@@ -1,0 +1,71 @@
+"""E6 -- Theorem 3.5 vs Theorem 3.7: flat vs cascading IBLTs of IBLTs.
+
+Paper claim: the flat protocol pays O(d_hat * d log u) bits (quadratic when
+many children each change a little) while the cascading protocol pays only
+O(d log(min(d,h)) log u); with the total change budget spread thinly over
+many children the cascading protocol must eventually win as d grows.  The
+benchmark sweeps d with ~2 changes per touched child and locates the
+crossover.
+"""
+
+from conftest import run_once
+from repro.bench.reporting import format_table
+from repro.core.setsofsets import reconcile_cascading, reconcile_iblt_of_iblts
+from repro.workloads import sets_of_sets_instance
+
+UNIVERSE = 4096
+NUM_CHILDREN = 128
+CHILD_SIZE = 32
+
+
+def _sweep():
+    rows = []
+    for difference in (16, 48, 96):
+        instance = sets_of_sets_instance(
+            NUM_CHILDREN,
+            CHILD_SIZE,
+            UNIVERSE,
+            difference,
+            seed=difference,
+            max_children_touched=max(1, difference // 2),
+        )
+        flat = reconcile_iblt_of_iblts(
+            instance.alice,
+            instance.bob,
+            instance.planted_difference,
+            UNIVERSE,
+            seed=1,
+            differing_children_bound=min(instance.planted_difference, NUM_CHILDREN),
+        )
+        cascading = reconcile_cascading(
+            instance.alice,
+            instance.bob,
+            instance.planted_difference,
+            UNIVERSE,
+            instance.max_child_size,
+            seed=1,
+            differing_children_bound=min(instance.planted_difference, NUM_CHILDREN),
+        )
+        rows.append(
+            {
+                "d": difference,
+                "flat bits": flat.total_bits,
+                "cascading bits": cascading.total_bits,
+                "flat ok": flat.success,
+                "cascading ok": cascading.success,
+            }
+        )
+    return rows
+
+
+def test_cascading_vs_flat_crossover(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(format_table(rows, "E6: flat (Thm 3.5) vs cascading (Thm 3.7), bits vs d"))
+    assert all(row["flat ok"] and row["cascading ok"] for row in rows)
+    # Shape check: the flat protocol's cost grows much faster (superlinearly)
+    # than the cascading protocol's, and cascading wins at the largest d.
+    flat_growth = rows[-1]["flat bits"] / rows[0]["flat bits"]
+    cascading_growth = rows[-1]["cascading bits"] / rows[0]["cascading bits"]
+    assert flat_growth > cascading_growth
+    assert rows[-1]["cascading bits"] < rows[-1]["flat bits"]

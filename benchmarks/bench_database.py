@@ -1,0 +1,58 @@
+"""E12 -- Section 1 application: binary relational database reconciliation.
+
+The paper's motivating database scenario: two replicas of a binary table with
+labeled columns and unlabeled rows, differing by d flipped bits.  The
+benchmark measures communication against shipping the whole table and
+compares the naive and cascading protocols.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.reporting import format_table
+from repro.db import reconcile_tables
+from repro.workloads import flipped_table_pair
+
+NUM_ROWS = 96
+NUM_COLUMNS = 128
+DENSITY = 0.5
+NUM_FLIPS = 8
+
+
+@pytest.mark.parametrize("protocol", ["naive", "cascading"])
+def test_database_reconciliation(benchmark, protocol):
+    alice, bob, _ = flipped_table_pair(
+        NUM_ROWS, NUM_COLUMNS, DENSITY, NUM_FLIPS, seed=3, max_rows_touched=4
+    )
+    result = run_once(
+        benchmark, reconcile_tables, alice, bob, NUM_FLIPS + 2, 11, protocol=protocol
+    )
+    assert result.success and result.recovered == alice
+
+
+def test_database_report(benchmark):
+    def sweep():
+        rows = []
+        for flips in (4, 8, 16):
+            alice, bob, _ = flipped_table_pair(
+                NUM_ROWS, NUM_COLUMNS, DENSITY, flips, seed=flips, max_rows_touched=flips // 2
+            )
+            naive = reconcile_tables(alice, bob, flips + 2, 11, protocol="naive")
+            cascading = reconcile_tables(alice, bob, flips + 2, 11, protocol="cascading")
+            rows.append(
+                {
+                    "flipped bits": flips,
+                    "naive bits": naive.total_bits,
+                    "cascading bits": cascading.total_bits,
+                    "full table bits": NUM_ROWS * NUM_COLUMNS,
+                    "both ok": naive.success and cascading.success,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, "E12: binary database reconciliation"))
+    assert all(row["both ok"] for row in rows)
+    # Reconciling a handful of flipped bits must beat shipping the table.
+    assert rows[0]["naive bits"] < rows[0]["full table bits"]

@@ -1,0 +1,33 @@
+"""E2 -- Figure 1: the "union" of two unlabeled graphs is not well defined.
+
+Paper claim (Figure 1, Section 4): there exist graph pairs where no single
+edge addition to one graph makes them isomorphic, yet adding one edge to
+*each* graph yields isomorphic results in more than one mutually
+non-isomorphic way.  The benchmark verifies both facts by exhaustive search
+over the one-edge extensions and times the canonical-form machinery used.
+"""
+
+from conftest import run_once
+from repro.graphs.isomorphism import (
+    canonical_form_small,
+    figure1_graphs,
+    merge_ambiguity_classes,
+    single_sided_merge_possible,
+)
+
+
+def test_figure1_merge_ambiguity(benchmark):
+    first, second = figure1_graphs()
+    classes = run_once(benchmark, merge_ambiguity_classes, first, second)
+    assert len(classes) >= 2, "Figure 1 requires at least two distinct merge results"
+    assert not single_sided_merge_possible(first, second)
+    print(
+        f"\nFigure 1: {len(classes)} mutually non-isomorphic one-edge-each merges, "
+        "no single-sided merge exists."
+    )
+
+
+def test_canonical_form_small_graph(benchmark):
+    first, _ = figure1_graphs()
+    form = benchmark(canonical_form_small, first)
+    assert len(form) == 5 * 4 // 2

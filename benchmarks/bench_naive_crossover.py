@@ -1,0 +1,53 @@
+"""E14 -- naive vs structured protocols: who wins where.
+
+Paper claim (Theorem 3.3 vs Theorems 3.5/3.9): the naive protocol pays
+``min(h log u, u)`` bits per differing child -- unbeatable when children are
+tiny, hopeless when children are dense (h = Theta(u)).  The benchmark sweeps
+the child size and shows the crossover.
+"""
+
+from conftest import run_once
+from repro.bench.reporting import format_table
+from repro.core.setsofsets import reconcile_multiround, reconcile_naive
+from repro.workloads import sets_of_sets_instance
+
+UNIVERSE = 1024
+NUM_CHILDREN = 48
+NUM_CHANGES = 6
+
+
+def _sweep():
+    rows = []
+    for child_size in (4, 32, 256, 512):
+        instance = sets_of_sets_instance(
+            NUM_CHILDREN, child_size, UNIVERSE, NUM_CHANGES,
+            seed=child_size, max_children_touched=3,
+        )
+        naive = reconcile_naive(
+            instance.alice, instance.bob, 2 * instance.differing_children,
+            UNIVERSE, instance.max_child_size, seed=5,
+        )
+        structured = reconcile_multiround(
+            instance.alice, instance.bob, instance.planted_difference,
+            UNIVERSE, instance.max_child_size, seed=5,
+        )
+        rows.append(
+            {
+                "h (child size)": child_size,
+                "naive bits": naive.total_bits,
+                "multi-round bits": structured.total_bits,
+                "winner": "naive" if naive.total_bits < structured.total_bits else "structured",
+                "both ok": naive.success and structured.success,
+            }
+        )
+    return rows
+
+
+def test_naive_vs_structured_crossover(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(format_table(rows, "E14: naive vs structured protocols across child sizes"))
+    assert all(row["both ok"] for row in rows)
+    # Small children: naive wins.  Dense children (h = Theta(u)): structured wins.
+    assert rows[0]["winner"] == "naive"
+    assert rows[-1]["winner"] == "structured"

@@ -1,0 +1,69 @@
+"""E9 -- Theorems 5.5 / 5.6: degree-neighborhood random graph reconciliation.
+
+Paper claims: (a) the minimum pairwise disjointness of the degree
+neighborhoods of G(n, p) grows with pn (Theorem 5.5 -- asymptotically it
+exceeds 4d+1 whp); (b) when it does, one round and roughly O(d pn log n)
+bits reconcile the graphs (Theorem 5.6) -- about a pn factor more than the
+degree-ordering scheme, in exchange for tolerating much sparser graphs.
+"""
+
+from conftest import run_once
+from repro.bench.reporting import format_table
+from repro.graphs import neighborhood_disjointness, reconcile_degree_neighborhood
+from repro.graphs.random_graphs import gnp_random_graph, reconciliation_pair
+
+
+def test_disjointness_trend(benchmark):
+    """Theorem 5.5 shape: disjointness grows with the expected degree pn."""
+
+    def sweep():
+        rows = []
+        for n, p in ((120, 0.1), (120, 0.3), (240, 0.3)):
+            disjointness = min(
+                neighborhood_disjointness(gnp_random_graph(n, p, seed), int(p * n))
+                for seed in range(3)
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "p": p,
+                    "pn": int(p * n),
+                    "min pairwise disjointness": disjointness,
+                    "supports d": max(0, (disjointness - 1) // 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, "E9a: degree-neighborhood disjointness of G(n,p)"))
+    assert rows[-1]["min pairwise disjointness"] >= rows[0]["min pairwise disjointness"]
+
+
+def test_degree_neighborhood_reconciliation(benchmark):
+    """Theorem 5.6 end to end on an instance whose disjointness supports d=1."""
+    n, p, d = 150, 0.35, 1
+    max_degree = int(p * n)
+
+    def run():
+        for seed in range(20):
+            base = gnp_random_graph(n, p, seed)
+            if neighborhood_disjointness(base, max_degree) < 4 * d + 1:
+                continue
+            pair = reconciliation_pair(n, p, d, seed=seed + 500, base=base)
+            result = reconcile_degree_neighborhood(
+                pair.alice, pair.bob, d, max_degree, seed=seed
+            )
+            return seed, result
+        return None, None
+
+    seed, result = run_once(benchmark, run)
+    if result is None:
+        print("\nE9b: no sufficiently disjoint instance found at this scale (see EXPERIMENTS.md)")
+        return
+    print(
+        f"\nE9b: degree-neighborhood reconciliation at n={n}, p={p}, d={d} (seed {seed}): "
+        f"success={result.success}, bits={result.total_bits}, rounds={result.num_rounds}"
+    )
+    if result.success:
+        assert result.num_rounds == 1

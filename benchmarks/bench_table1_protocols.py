@@ -1,0 +1,114 @@
+"""E1 -- Table 1: the four SSRK protocols in the dense binary-database regime.
+
+Paper claim (Table 1, Section 3.5): with ``h = Theta(u)``, ``n = Theta(s u)``
+and small ``d``, the naive protocol pays ``~ d * u`` bits per differing child
+while the structured protocols pay only poly(d, log u); the multi-round
+protocol is the cheapest but needs 3 rounds, and the one-round protocols get
+progressively cheaper as more structure is exploited.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.reporting import format_table
+from repro.bench.runner import summarize
+from repro.bench.table1 import Table1Config, run_table1
+from repro.core.setsofsets import (
+    reconcile_cascading,
+    reconcile_iblt_of_iblts,
+    reconcile_multiround,
+    reconcile_naive,
+)
+from repro.workloads import table1_instance
+
+CONFIG = Table1Config(
+    universe_size=2048, num_children=64, num_changes=8, children_touched=4, repeats=1
+)
+
+
+def _instance(seed=CONFIG.seed):
+    return table1_instance(
+        CONFIG.universe_size,
+        CONFIG.num_children,
+        CONFIG.num_changes,
+        seed,
+        max_children_touched=CONFIG.children_touched,
+    )
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return _instance()
+
+
+def test_table1_report(benchmark):
+    """Regenerate the whole Table 1 comparison and print it."""
+    measurements = run_once(benchmark, run_table1, CONFIG)
+    print()
+    print(format_table(summarize(measurements), "Table 1 (empirical, dense regime)"))
+    by_name = {m.name: m for m in measurements}
+    naive = by_name["naive (Thm 3.3)"]
+    multiround = by_name["multi-round (Thm 3.9)"]
+    flat = by_name["IBLT of IBLTs (Thm 3.5)"]
+    # Shape checks from the paper's table: naive is the most expensive in
+    # communication when u is large; the multi-round protocol is the cheapest
+    # but uses 3 rounds instead of 1.
+    assert naive.median_bits > multiround.median_bits
+    assert naive.median_bits > flat.median_bits
+    assert multiround.median_rounds == 3
+    assert flat.median_rounds == 1
+
+
+def test_naive_protocol(benchmark, instance):
+    result = run_once(
+        benchmark,
+        reconcile_naive,
+        instance.alice,
+        instance.bob,
+        2 * instance.differing_children,
+        instance.universe_size,
+        instance.max_child_size,
+        CONFIG.seed,
+    )
+    assert result.success
+
+
+def test_iblt_of_iblts_protocol(benchmark, instance):
+    result = run_once(
+        benchmark,
+        reconcile_iblt_of_iblts,
+        instance.alice,
+        instance.bob,
+        instance.planted_difference,
+        instance.universe_size,
+        CONFIG.seed,
+    )
+    assert result.success
+
+
+def test_cascading_protocol(benchmark, instance):
+    result = run_once(
+        benchmark,
+        reconcile_cascading,
+        instance.alice,
+        instance.bob,
+        instance.planted_difference,
+        instance.universe_size,
+        instance.max_child_size,
+        CONFIG.seed,
+    )
+    assert result.success
+
+
+def test_multiround_protocol(benchmark, instance):
+    result = run_once(
+        benchmark,
+        reconcile_multiround,
+        instance.alice,
+        instance.bob,
+        instance.planted_difference,
+        instance.universe_size,
+        instance.max_child_size,
+        CONFIG.seed,
+    )
+    assert result.success

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper artifacts listed in DESIGN.md's
+experiment index (E1-E14).  Protocol-level benchmarks run each configuration
+once per session (``benchmark.pedantic`` with a single round) because a
+single protocol execution is already an aggregate measurement; micro
+benchmarks (IBLT operations, estimators) use normal calibration.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+printed paper-style tables.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments); this shim lets the test
+and benchmark suites run straight from a source checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip lack PEP 660 support (``pip install -e .
+--no-use-pep517 --no-build-isolation`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro -- Reconciling Graphs and Sets of Sets (Mitzenmacher & Morgan, PODS 2018).
+
+A pure-Python reference implementation of the paper's data structures and
+protocols:
+
+* set reconciliation (IBLT and characteristic-polynomial protocols),
+* set-difference estimators,
+* set-of-sets reconciliation (naive, IBLT-of-IBLTs, cascading, multi-round),
+* random graph reconciliation (degree ordering and degree neighborhood
+  signature schemes), forest reconciliation, and the unbounded-computation
+  reference protocols of Section 4,
+* applications to binary relational databases and shingled document
+  collections.
+
+Quickstart::
+
+    from repro import SetOfSets, reconcile_cascading
+
+    alice = SetOfSets([{1, 2, 3}, {4, 5}, {6}])
+    bob = SetOfSets([{1, 2, 3}, {4, 5, 7}, {6}])
+    result = reconcile_cascading(alice, bob, difference_bound=2,
+                                 universe_size=8, max_child_size=4, seed=42)
+    assert result.success and result.recovered == alice
+"""
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.core.setrecon import (
+    reconcile_known_d,
+    reconcile_unknown_d,
+    reconcile_cpi,
+)
+from repro.core.setsofsets import (
+    SetOfSets,
+    MultisetOfMultisets,
+    reconcile_naive,
+    reconcile_naive_unknown,
+    reconcile_iblt_of_iblts,
+    reconcile_iblt_of_iblts_unknown,
+    reconcile_cascading,
+    reconcile_cascading_unknown,
+    reconcile_multiround,
+    reconcile_multiround_unknown,
+    reconcile_multisets_of_multisets,
+    minimum_matching_difference,
+)
+from repro.estimator import L0Estimator, StrataEstimator, MedianEstimator
+from repro.iblt import IBLT, IBLTParameters
+from repro.graphs import (
+    Graph,
+    RootedForest,
+    reconcile_labeled_graphs,
+    reconcile_degree_order,
+    reconcile_degree_neighborhood,
+    reconcile_forest,
+    reconcile_exhaustive,
+)
+from repro.db import BinaryTable, reconcile_tables
+from repro.documents import DocumentCollection, reconcile_collections
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReconciliationResult",
+    "Transcript",
+    "reconcile_known_d",
+    "reconcile_unknown_d",
+    "reconcile_cpi",
+    "SetOfSets",
+    "MultisetOfMultisets",
+    "reconcile_naive",
+    "reconcile_naive_unknown",
+    "reconcile_iblt_of_iblts",
+    "reconcile_iblt_of_iblts_unknown",
+    "reconcile_cascading",
+    "reconcile_cascading_unknown",
+    "reconcile_multiround",
+    "reconcile_multiround_unknown",
+    "reconcile_multisets_of_multisets",
+    "minimum_matching_difference",
+    "L0Estimator",
+    "StrataEstimator",
+    "MedianEstimator",
+    "IBLT",
+    "IBLTParameters",
+    "Graph",
+    "RootedForest",
+    "reconcile_labeled_graphs",
+    "reconcile_degree_order",
+    "reconcile_degree_neighborhood",
+    "reconcile_forest",
+    "reconcile_exhaustive",
+    "BinaryTable",
+    "reconcile_tables",
+    "DocumentCollection",
+    "reconcile_collections",
+    "__version__",
+]

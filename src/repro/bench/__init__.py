@@ -1,0 +1,20 @@
+"""Experiment harness: measurement helpers and paper-style report tables.
+
+The benchmark suite under ``benchmarks/`` uses this package to run each
+experiment of DESIGN.md's index and print the rows/series the paper reports
+(protocol comparisons, scaling curves, success probabilities).  Each
+experiment can also be run standalone, e.g.::
+
+    python -m repro.bench.table1
+"""
+
+from repro.bench.runner import ProtocolMeasurement, measure_protocol, summarize
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "ProtocolMeasurement",
+    "measure_protocol",
+    "summarize",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,32 @@
+"""Plain-text report tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned fixed-width table."""
+    if not rows:
+        return (title + "\n(no rows)\n") if title else "(no rows)\n"
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(str(header)), max(len(str(row.get(header, ""))) for row in rows))
+        for header in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[header]) for header in headers)
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[header] for header in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title))

@@ -1,0 +1,100 @@
+"""Measurement helpers for protocol experiments."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.comm import ReconciliationResult
+
+
+@dataclass
+class ProtocolMeasurement:
+    """Aggregated measurements of repeated protocol executions.
+
+    Attributes
+    ----------
+    name:
+        Label of the protocol / configuration.
+    bits:
+        Communication cost of each successful run.
+    seconds:
+        Wall-clock time of each run (successful or not).
+    rounds:
+        Rounds used by each successful run.
+    successes, trials:
+        Success count and total runs (the success *rate* is the quantity many
+        of the paper's theorems bound, e.g. the 2/3 of Theorem 3.7).
+    """
+
+    name: str
+    bits: list[int] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+    rounds: list[int] = field(default_factory=list)
+    successes: int = 0
+    trials: int = 0
+
+    def record(self, result: ReconciliationResult, elapsed: float) -> None:
+        """Record one protocol execution."""
+        self.trials += 1
+        self.seconds.append(elapsed)
+        if result.success:
+            self.successes += 1
+            self.bits.append(result.total_bits)
+            self.rounds.append(result.num_rounds)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that succeeded."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def median_bits(self) -> int:
+        """Median communication of successful runs (0 if none succeeded)."""
+        return int(statistics.median(self.bits)) if self.bits else 0
+
+    @property
+    def median_seconds(self) -> float:
+        """Median wall-clock time per run."""
+        return statistics.median(self.seconds) if self.seconds else 0.0
+
+    @property
+    def median_rounds(self) -> int:
+        """Median number of rounds of successful runs."""
+        return int(statistics.median(self.rounds)) if self.rounds else 0
+
+
+def measure_protocol(
+    name: str,
+    run: Callable[[int], ReconciliationResult],
+    *,
+    repeats: int = 3,
+    base_seed: int = 0,
+) -> ProtocolMeasurement:
+    """Run ``run(seed)`` ``repeats`` times and aggregate the results."""
+    measurement = ProtocolMeasurement(name)
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        result = run(base_seed + 1000 * repeat)
+        elapsed = time.perf_counter() - start
+        measurement.record(result, elapsed)
+    return measurement
+
+
+def summarize(measurements: Sequence[ProtocolMeasurement]) -> list[dict[str, object]]:
+    """Turn measurements into the row dictionaries the report tables print."""
+    rows = []
+    for measurement in measurements:
+        rows.append(
+            {
+                "protocol": measurement.name,
+                "success": f"{measurement.success_rate:.2f}",
+                "bits": measurement.median_bits,
+                "KiB": f"{measurement.median_bits / 8192:.2f}",
+                "rounds": measurement.median_rounds,
+                "seconds": f"{measurement.median_seconds:.3f}",
+            }
+        )
+    return rows

@@ -1,0 +1,25 @@
+"""Instrumented communication layer.
+
+Every protocol in this library runs both parties in-process and exchanges
+messages through a :class:`~repro.comm.transcript.Transcript`, which records
+who sent what, how many bits it costs on the wire, and how many communication
+rounds were used (the paper counts a "round" as one direction switch; a one
+round protocol is a single Alice-to-Bob message).
+
+The recorded bit counts are the quantities that the paper's communication
+bounds (Theorems 3.3-3.10, 5.2, 5.6, 6.1) talk about, and they are what the
+benchmark harness reports.
+"""
+
+from repro.comm.transcript import Message, Transcript
+from repro.comm.result import ReconciliationResult
+from repro.comm.sizing import WORD_BITS, bits_for_count, bits_for_elements
+
+__all__ = [
+    "Message",
+    "Transcript",
+    "ReconciliationResult",
+    "WORD_BITS",
+    "bits_for_count",
+    "bits_for_elements",
+]

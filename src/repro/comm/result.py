@@ -1,0 +1,51 @@
+"""Common result object returned by every reconciliation protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.comm.transcript import Transcript
+
+
+@dataclass
+class ReconciliationResult:
+    """Outcome of running a reconciliation protocol.
+
+    Attributes
+    ----------
+    success:
+        True if the receiving party verifiably recovered the sender's data.
+        Probabilistic failures (an IBLT that did not peel, a signature that
+        could not be matched) set this to False instead of raising.
+    recovered:
+        The reconstructed object (a set, a set of sets, a graph, ...);
+        ``None`` when ``success`` is False and nothing useful was recovered.
+    transcript:
+        The full message transcript with per-message bit accounting.
+    attempts:
+        Number of protocol attempts used (greater than 1 for the repeated
+        doubling variants of Corollaries 3.6 and 3.8).
+    details:
+        Free-form protocol-specific diagnostics (e.g. the difference bound
+        that finally succeeded, per-phase timings).
+    """
+
+    success: bool
+    recovered: Any
+    transcript: Transcript
+    attempts: int = 1
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication in bits."""
+        return self.transcript.total_bits
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of communication rounds."""
+        return self.transcript.num_rounds
+
+    def __bool__(self) -> bool:
+        return self.success

@@ -1,0 +1,65 @@
+"""Helpers for computing serialized payload sizes in bits.
+
+Protocols account communication analytically: a payload's cost is the number
+of bits its canonical serialization would occupy.  These helpers centralise
+the arithmetic so that every protocol charges identically for the same kind
+of payload.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+#: The word size ``w`` of the paper's word-RAM model, used where a payload is
+#: naturally "a constant number of words" (counters, field elements, seeds).
+WORD_BITS = 64
+
+
+def bits_for_value(max_value: int) -> int:
+    """Bits needed to represent values in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ParameterError("max_value must be non-negative")
+    return max(1, max_value.bit_length())
+
+
+def bits_for_count(count: int, bits_each: int) -> int:
+    """Total bits for ``count`` items of ``bits_each`` bits."""
+    if count < 0 or bits_each < 0:
+        raise ParameterError("count and bits_each must be non-negative")
+    return count * bits_each
+
+
+def bits_for_elements(count: int, universe_size: int) -> int:
+    """Bits for ``count`` raw elements drawn from a universe of ``universe_size``.
+
+    This is the ``O(d log u)`` term appearing throughout the paper's bounds.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    return bits_for_count(count, bits_for_value(universe_size - 1))
+
+
+def bits_for_field_elements(count: int, modulus: int) -> int:
+    """Bits for ``count`` elements of GF(modulus)."""
+    return bits_for_count(count, bits_for_value(modulus - 1))
+
+
+def bits_for_naive_child_set(universe_size: int, max_child_size: int) -> int:
+    """Width of a child set treated as a single item (naive protocol).
+
+    Theorem 3.3 charges ``min(h log u, u)`` bits per differing child set: a
+    child set of at most ``h`` elements can be sent either as an explicit
+    element list or as a ``u``-bit characteristic bitmap, whichever is smaller.
+    """
+    explicit = bits_for_elements(max_child_size, universe_size)
+    bitmap = universe_size
+    return max(1, min(explicit, bitmap))
+
+
+def ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` with ``ceil_log2(1) == 0``."""
+    if value <= 0:
+        raise ParameterError("value must be positive")
+    return max(0, math.ceil(math.log2(value)))

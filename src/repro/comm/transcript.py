@@ -1,0 +1,95 @@
+"""Message transcripts with bit and round accounting.
+
+A :class:`Transcript` is created per protocol execution.  Each call to
+:meth:`Transcript.send` records one message; the round counter increases
+whenever the direction of communication flips (the paper's convention: a one
+round protocol is a single message from Alice to Bob, the four round protocol
+of Theorem 3.10 alternates Bob/Alice/Bob/Alice... four direction switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transmitted message.
+
+    Attributes
+    ----------
+    sender:
+        Conventionally ``"alice"`` or ``"bob"``.
+    round_index:
+        1-based round the message belongs to.
+    label:
+        Human-readable description of the payload (shown in benchmark
+        breakdowns, e.g. ``"parent IBLT"`` or ``"difference estimators"``).
+    size_bits:
+        Serialized size charged for the message.
+    payload:
+        The in-memory payload object handed to the receiving party.  Not
+        serialized (the simulation passes Python objects), but its size was.
+    """
+
+    sender: str
+    round_index: int
+    label: str
+    size_bits: int
+    payload: Any = None
+
+
+@dataclass
+class Transcript:
+    """Accumulates the messages exchanged during one protocol execution."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def send(self, sender: str, label: str, size_bits: int, payload: Any = None) -> Message:
+        """Record a message from ``sender`` and return it."""
+        if size_bits < 0:
+            raise ParameterError("size_bits must be non-negative")
+        if not sender:
+            raise ParameterError("sender must be a non-empty string")
+        if self.messages and self.messages[-1].sender == sender:
+            round_index = self.messages[-1].round_index
+        else:
+            round_index = (self.messages[-1].round_index + 1) if self.messages else 1
+        message = Message(sender, round_index, label, size_bits, payload)
+        self.messages.append(message)
+        return message
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits across every message."""
+        return sum(message.size_bits for message in self.messages)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds used (0 if nothing was sent)."""
+        return self.messages[-1].round_index if self.messages else 0
+
+    def bits_by_sender(self) -> dict[str, int]:
+        """Total bits sent per party."""
+        totals: dict[str, int] = {}
+        for message in self.messages:
+            totals[message.sender] = totals.get(message.sender, 0) + message.size_bits
+        return totals
+
+    def bits_by_label(self) -> dict[str, int]:
+        """Total bits per payload label (for benchmark breakdowns)."""
+        totals: dict[str, int] = {}
+        for message in self.messages:
+            totals[message.label] = totals.get(message.label, 0) + message.size_bits
+        return totals
+
+    def extend(self, other: "Transcript") -> None:
+        """Append another transcript's messages (re-numbering rounds)."""
+        for message in other.messages:
+            self.send(message.sender, message.label, message.size_bits, message.payload)
+
+    def __len__(self) -> int:
+        return len(self.messages)

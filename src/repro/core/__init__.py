@@ -1,0 +1,12 @@
+"""Core reconciliation protocols.
+
+* :mod:`repro.core.setrecon` -- classic (single) set reconciliation: the IBLT
+  protocol of Corollaries 2.2/3.2, the characteristic-polynomial protocol of
+  Theorem 2.3, and the multiset variants of Section 3.4.
+* :mod:`repro.core.setsofsets` -- the paper's contribution: reconciliation of
+  sets of sets (naive, IBLT-of-IBLTs, cascading, and multi-round protocols).
+"""
+
+from repro.core import setrecon, setsofsets
+
+__all__ = ["setrecon", "setsofsets"]

@@ -1,0 +1,41 @@
+"""Single-set reconciliation protocols (Section 2 and Section 3.4).
+
+One-way reconciliation: at the end of a protocol Bob holds Alice's set.
+
+* :func:`~repro.core.setrecon.ibf.reconcile_known_d` -- Corollary 2.2: one
+  round, ``O(d log u)`` bits, ``O(n)`` time, succeeds with probability
+  ``1 - 1/poly(d)``.
+* :func:`~repro.core.setrecon.ibf.reconcile_unknown_d` -- Corollary 3.2: two
+  rounds, same communication, using a set-difference estimator first.
+* :func:`~repro.core.setrecon.cpi.reconcile_cpi` -- Theorem 2.3: one round,
+  ``O(d log u)`` bits, characteristic-polynomial interpolation, succeeds with
+  probability 1 (when the difference bound holds).
+* :mod:`repro.core.setrecon.multiset` -- Section 3.4: the same protocols for
+  multisets via the ``(element, multiplicity)`` encoding.
+"""
+
+from repro.core.setrecon.ibf import reconcile_known_d, reconcile_unknown_d
+from repro.core.setrecon.cpi import reconcile_cpi, CPIMessage
+from repro.core.setrecon.multiset import (
+    encode_multiset,
+    decode_multiset,
+    reconcile_multiset_known_d,
+    multiset_symmetric_difference,
+)
+from repro.core.setrecon.difference import (
+    symmetric_difference_size,
+    apply_difference,
+)
+
+__all__ = [
+    "reconcile_known_d",
+    "reconcile_unknown_d",
+    "reconcile_cpi",
+    "CPIMessage",
+    "encode_multiset",
+    "decode_multiset",
+    "reconcile_multiset_known_d",
+    "multiset_symmetric_difference",
+    "symmetric_difference_size",
+    "apply_difference",
+]

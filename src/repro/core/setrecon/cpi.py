@@ -1,0 +1,221 @@
+"""Characteristic-polynomial set reconciliation (Theorem 2.3).
+
+Minsky, Trachtenberg and Zippel's protocol: Alice evaluates the
+characteristic polynomial ``chi_A(z) = prod_{x in S_A} (z - x)`` of her set
+at ``d + 1`` shared points of a prime field and sends the evaluations plus
+``|S_A|``.  Bob evaluates his own characteristic polynomial at the same
+points, forms the ratio ``chi_A / chi_B`` and interpolates it as a rational
+function whose numerator/denominator degrees are fixed by the size
+difference.  The roots of the reduced numerator are ``S_A \\ S_B`` and the
+roots of the reduced denominator are ``S_B \\ S_A``.
+
+Unlike the IBLT protocol, this succeeds with certainty whenever the true
+difference is at most the bound ``d`` -- which is why the multi-round
+protocol of Theorem 3.9 uses it for the child sets with very small
+differences.  The cost is cubic-in-``d`` interpolation (Gaussian elimination)
+plus ``O(n d)`` evaluation time, matching the simpler of the two evaluation
+strategies discussed under Theorem 2.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Set
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.comm.sizing import bits_for_field_elements, bits_for_value
+from repro.core.setrecon.difference import apply_difference
+from repro.errors import ParameterError
+from repro.field import PrimeField, Polynomial, find_roots
+from repro.field.linalg import solve_linear_system
+from repro.field.prime import prime_at_least
+from repro.hashing import derive_seed
+
+
+@dataclass(frozen=True)
+class CPIMessage:
+    """Alice's single message in the characteristic-polynomial protocol.
+
+    Attributes
+    ----------
+    set_size:
+        ``|S_A|``.
+    evaluations:
+        ``chi_A`` evaluated at the shared points ``z_0, ..., z_{d}``.
+    difference_bound:
+        The bound ``d`` the evaluations were prepared for.
+    prime:
+        The field modulus both parties agreed on (derived from the universe
+        size, so it does not need to be transmitted).
+    """
+
+    set_size: int
+    evaluations: tuple[int, ...]
+    difference_bound: int
+    prime: int
+
+    @property
+    def size_bits(self) -> int:
+        """Transmitted size: the evaluations plus the set size counter."""
+        return bits_for_field_elements(len(self.evaluations), self.prime) + bits_for_value(
+            max(1, self.set_size)
+        )
+
+
+def field_for_universe(universe_size: int, difference_bound: int) -> PrimeField:
+    """The prime field shared by both parties.
+
+    The modulus must exceed every universe element and every evaluation
+    point; evaluation points are placed just above the universe so they can
+    never coincide with set elements (keeping ``chi_B`` nonzero there).
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    modulus = prime_at_least(universe_size + difference_bound + 2)
+    return PrimeField(modulus)
+
+
+def evaluation_points(universe_size: int, count: int) -> list[int]:
+    """The shared evaluation points ``z_i = universe_size + i``."""
+    return [universe_size + index for index in range(count)]
+
+
+def cpi_encode(
+    elements: Set[int], difference_bound: int, universe_size: int
+) -> CPIMessage:
+    """Alice's side: evaluate her characteristic polynomial at ``d + 1`` points."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    field = field_for_universe(universe_size, difference_bound)
+    points = evaluation_points(universe_size, difference_bound + 1)
+    evaluations = tuple(
+        Polynomial.evaluate_from_roots(field, elements, point) for point in points
+    )
+    return CPIMessage(len(elements), evaluations, difference_bound, field.modulus)
+
+
+def cpi_decode(
+    message: CPIMessage,
+    bob: Set[int],
+    universe_size: int,
+    seed: int = 0,
+) -> tuple[bool, set[int] | None]:
+    """Bob's side: interpolate the rational function and recover Alice's set.
+
+    Returns ``(success, recovered_set)``.  Failure means the true difference
+    exceeded the bound (or, pathologically, the linear system degenerated);
+    the caller can retry with a larger bound.
+    """
+    field = PrimeField(message.prime)
+    points = evaluation_points(universe_size, message.difference_bound + 1)
+    bob_list = list(bob)
+    size_delta = message.set_size - len(bob_list)
+    bound = message.difference_bound
+
+    if abs(size_delta) > bound:
+        return False, None
+
+    # Choose the number of interpolation samples m_bar >= |delta| with the
+    # same parity as the size difference, capped by what Alice sent.
+    m_bar = bound if (bound - size_delta) % 2 == 0 else bound + 1
+    if m_bar < abs(size_delta):
+        m_bar = abs(size_delta)
+    if m_bar > len(points):
+        return False, None
+    deg_num = (m_bar + size_delta) // 2
+    deg_den = (m_bar - size_delta) // 2
+
+    bob_evaluations = [
+        Polynomial.evaluate_from_roots(field, bob_list, point) for point in points
+    ]
+
+    if m_bar == 0:
+        numerator = Polynomial.one(field)
+        denominator = Polynomial.one(field)
+    else:
+        # Build the linear system for the non-leading coefficients of the
+        # monic numerator P (degree deg_num) and denominator Q (degree deg_den):
+        #   P(z_i) - f_i * Q(z_i) = 0   with  f_i = chi_A(z_i) / chi_B(z_i).
+        matrix: list[list[int]] = []
+        rhs: list[int] = []
+        for i in range(m_bar):
+            z = field.element(points[i])
+            f = field.div(message.evaluations[i], bob_evaluations[i])
+            row = []
+            power = 1
+            for _ in range(deg_num):
+                row.append(power)
+                power = field.mul(power, z)
+            power = 1
+            for _ in range(deg_den):
+                row.append(field.neg(field.mul(f, power)))
+                power = field.mul(power, z)
+            matrix.append(row)
+            rhs.append(
+                field.sub(field.mul(f, field.pow(z, deg_den)), field.pow(z, deg_num))
+            )
+        solution = solve_linear_system(field, matrix, rhs)
+        if solution is None:
+            return False, None
+        numerator = Polynomial.from_coefficients(
+            field, list(solution[:deg_num]) + [1]
+        )
+        denominator = Polynomial.from_coefficients(
+            field, list(solution[deg_num:]) + [1]
+        )
+
+    common = numerator.gcd(denominator)
+    if common.degree > 0:
+        numerator = (numerator // common).monic()
+        denominator = (denominator // common).monic()
+
+    rng = random.Random(derive_seed(seed, "cpi-roots"))
+    alice_only = find_roots(numerator, rng) if numerator.degree > 0 else []
+    bob_only = find_roots(denominator, rng) if denominator.degree > 0 else []
+
+    # The recovered factors must split completely into distinct roots that are
+    # genuine universe elements, and the denominator roots must be Bob's.
+    if len(alice_only) != numerator.degree or len(bob_only) != denominator.degree:
+        return False, None
+    if any(root >= universe_size for root in alice_only + bob_only):
+        return False, None
+    bob_set = set(bob_list)
+    if not set(bob_only) <= bob_set or bob_set & set(alice_only):
+        return False, None
+
+    recovered = apply_difference(bob_set, alice_only, bob_only)
+    if len(recovered) != message.set_size:
+        return False, None
+    # Spare-point verification: check the reconstruction against the last
+    # evaluation Alice sent (it is unused when m_bar < d + 1, and a harmless
+    # re-check otherwise).
+    check_point = points[-1]
+    if (
+        Polynomial.evaluate_from_roots(field, recovered, check_point)
+        != message.evaluations[-1]
+    ):
+        return False, None
+    return True, recovered
+
+
+def reconcile_cpi(
+    alice: Set[int],
+    bob: Set[int],
+    difference_bound: int,
+    universe_size: int,
+    seed: int = 0,
+    *,
+    transcript: Transcript | None = None,
+) -> ReconciliationResult:
+    """One-round characteristic-polynomial reconciliation (Theorem 2.3)."""
+    transcript = transcript if transcript is not None else Transcript()
+    message = cpi_encode(alice, difference_bound, universe_size)
+    transcript.send("alice", "CPI evaluations", message.size_bits, payload=message)
+    success, recovered = cpi_decode(message, bob, universe_size, seed)
+    return ReconciliationResult(
+        success,
+        recovered,
+        transcript,
+        details={"difference_bound": difference_bound},
+    )

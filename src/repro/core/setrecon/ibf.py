@@ -1,0 +1,150 @@
+"""IBLT-based set reconciliation (Corollaries 2.2 and 3.2).
+
+Known-``d`` protocol (one round): Alice encodes her set into an ``O(d)`` cell
+IBLT and sends it with a whole-set verification hash; Bob deletes his
+elements, peels the remainder, and applies the recovered difference to his
+own set.  Unknown-``d`` protocol (two rounds): Bob first sends a set
+difference estimator, Alice queries it to obtain a bound, then the known-``d``
+protocol runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Set
+
+from repro.comm import ReconciliationResult, Transcript, WORD_BITS
+from repro.comm.sizing import bits_for_value
+from repro.core.setrecon.difference import apply_difference, max_element_bits
+from repro.errors import ParameterError
+from repro.estimator import SetDifferenceEstimator, L0Estimator
+from repro.hashing import SeededHasher, derive_seed
+from repro.iblt import IBLT, IBLTParameters
+
+
+def _set_hash(seed: int, elements: Iterable[int]) -> int:
+    """Whole-set verification hash (guards against undetected checksum failures)."""
+    return SeededHasher(derive_seed(seed, "set-verification"), WORD_BITS).hash_iterable(
+        elements
+    )
+
+
+def reconcile_known_d(
+    alice: Set[int],
+    bob: Set[int],
+    difference_bound: int,
+    universe_size: int,
+    seed: int,
+    *,
+    num_hashes: int = 4,
+    transcript: Transcript | None = None,
+) -> ReconciliationResult:
+    """One-round IBLT set reconciliation with a known difference bound.
+
+    Parameters
+    ----------
+    alice, bob:
+        The two parties' sets of elements from ``[0, universe_size)``.
+    difference_bound:
+        Upper bound ``d`` on ``|alice xor bob|``.  If the true difference
+        exceeds the bound, decoding fails (reported via ``success=False``).
+    universe_size:
+        Size ``u`` of the element universe; determines key width.
+    seed:
+        Shared seed (public coins).
+    num_hashes:
+        IBLT hash-function count.
+    transcript:
+        Optional existing transcript to append to (used when this protocol is
+        a subroutine of a larger one).
+
+    Returns
+    -------
+    ReconciliationResult
+        ``recovered`` is Bob's reconstruction of Alice's set.
+    """
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    transcript = transcript if transcript is not None else Transcript()
+    key_bits = max_element_bits(universe_size)
+    params = IBLTParameters.for_difference(
+        max(1, difference_bound), key_bits, derive_seed(seed, "setrecon"), num_hashes
+    )
+
+    # Alice: encode and send.
+    alice_table = IBLT.from_items(params, alice)
+    alice_hash = _set_hash(seed, alice)
+    transcript.send(
+        "alice",
+        "set IBLT",
+        alice_table.size_bits + bits_for_value(len(alice)) + WORD_BITS,
+        payload=(alice_table, alice_hash, len(alice)),
+    )
+
+    # Bob: delete his elements and decode the remainder.
+    difference_table = alice_table.copy()
+    difference_table.delete_all(bob)
+    decode = difference_table.try_decode()
+    if not decode.success:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "iblt-peel"}
+        )
+    recovered = apply_difference(bob, decode.positive, decode.negative)
+    verified = _set_hash(seed, recovered) == alice_hash and len(recovered) == len(alice)
+    return ReconciliationResult(
+        verified,
+        recovered if verified else None,
+        transcript,
+        details={
+            "difference_found": decode.symmetric_difference_size(),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def reconcile_unknown_d(
+    alice: Set[int],
+    bob: Set[int],
+    universe_size: int,
+    seed: int,
+    *,
+    estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
+    safety_factor: float = 2.0,
+    num_hashes: int = 4,
+) -> ReconciliationResult:
+    """Two-round IBLT set reconciliation without a difference bound (Cor 3.2).
+
+    Bob sends a set-difference estimator seeded with his elements; Alice adds
+    hers, queries the estimate, scales it by ``safety_factor`` and runs the
+    known-``d`` protocol with that bound.
+    """
+    if estimator_factory is None:
+        estimator_factory = L0Estimator
+    transcript = Transcript()
+    estimator_seed = derive_seed(seed, "setrecon-estimator")
+
+    bob_estimator = estimator_factory(estimator_seed)
+    bob_estimator.update_all(bob, 1)
+    transcript.send(
+        "bob", "difference estimator", bob_estimator.size_bits, payload=bob_estimator
+    )
+
+    alice_estimator = estimator_factory(estimator_seed)
+    alice_estimator.update_all(alice, 2)
+    merged = bob_estimator.merge(alice_estimator)
+    estimate = merged.query()
+    bound = max(1, int(round(safety_factor * estimate)) + 1)
+
+    result = reconcile_known_d(
+        alice,
+        bob,
+        bound,
+        universe_size,
+        seed,
+        num_hashes=num_hashes,
+        transcript=transcript,
+    )
+    result.details["estimated_difference"] = estimate
+    result.details["difference_bound_used"] = bound
+    return result

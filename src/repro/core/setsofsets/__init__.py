@@ -1,0 +1,68 @@
+"""Reconciliation of sets of sets (Section 3 -- the paper's core contribution).
+
+Alice and Bob each hold a *parent set* of up to ``s`` *child sets*, each child
+containing at most ``h`` elements of a universe of size ``u``; the total
+number of element differences under the minimum-difference matching of child
+sets is ``d``.  Protocols (all one-way: Bob ends with Alice's parent set):
+
+=================================================  =====================  ======
+protocol                                           paper reference        rounds
+=================================================  =====================  ======
+:func:`~repro.core.setsofsets.naive.reconcile_naive`                Thm 3.3     1
+:func:`~repro.core.setsofsets.naive.reconcile_naive_unknown`        Thm 3.4     2
+:func:`~repro.core.setsofsets.iblt_of_iblts.reconcile_iblt_of_iblts`        Alg 1 / Thm 3.5   1
+:func:`~repro.core.setsofsets.iblt_of_iblts.reconcile_iblt_of_iblts_unknown` Cor 3.6   O(log d)
+:func:`~repro.core.setsofsets.cascading.reconcile_cascading`        Alg 2 / Thm 3.7   1
+:func:`~repro.core.setsofsets.cascading.reconcile_cascading_unknown`        Cor 3.8   O(log d)
+:func:`~repro.core.setsofsets.multiround.reconcile_multiround`      Thm 3.9     3
+:func:`~repro.core.setsofsets.multiround.reconcile_multiround_unknown`      Thm 3.10    4
+=================================================  =====================  ======
+
+:mod:`repro.core.setsofsets.nested` adapts the protocols to sets of multisets
+and multisets of multisets (Section 3.4), which the graph applications use.
+"""
+
+from repro.core.setsofsets.types import SetOfSets
+from repro.core.setsofsets.matching import (
+    minimum_matching_difference,
+    relaxed_difference,
+    differing_children_count,
+)
+from repro.core.setsofsets.naive import reconcile_naive, reconcile_naive_unknown
+from repro.core.setsofsets.iblt_of_iblts import (
+    reconcile_iblt_of_iblts,
+    reconcile_iblt_of_iblts_unknown,
+)
+from repro.core.setsofsets.cascading import (
+    reconcile_cascading,
+    reconcile_cascading_unknown,
+)
+from repro.core.setsofsets.multiround import (
+    reconcile_multiround,
+    reconcile_multiround_unknown,
+)
+from repro.core.setsofsets.nested import (
+    MultisetOfMultisets,
+    encode_multiset_children,
+    decode_multiset_children,
+    reconcile_multisets_of_multisets,
+)
+
+__all__ = [
+    "SetOfSets",
+    "minimum_matching_difference",
+    "relaxed_difference",
+    "differing_children_count",
+    "reconcile_naive",
+    "reconcile_naive_unknown",
+    "reconcile_iblt_of_iblts",
+    "reconcile_iblt_of_iblts_unknown",
+    "reconcile_cascading",
+    "reconcile_cascading_unknown",
+    "reconcile_multiround",
+    "reconcile_multiround_unknown",
+    "MultisetOfMultisets",
+    "encode_multiset_children",
+    "decode_multiset_children",
+    "reconcile_multisets_of_multisets",
+]

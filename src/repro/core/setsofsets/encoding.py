@@ -1,0 +1,191 @@
+"""Child-set encodings used by the structured set-of-sets protocols.
+
+Algorithm 1 represents each child set as a *(child IBLT, hash)* pair -- the
+"child encoding" -- and inserts those encodings as keys into a parent IBLT.
+This module provides:
+
+* canonical hashing of a child set (both parties compute identical hashes);
+* packing / unpacking of a child encoding into a fixed-width integer key;
+* explicit (raw) encodings of whole child sets, used by the naive protocol
+  of Theorem 3.3 and the ``T*`` table of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import CapacityError, ParameterError
+from repro.hashing import SeededHasher, derive_seed, int_to_bytes
+from repro.iblt import IBLT, IBLTParameters
+
+
+# ---------------------------------------------------------------------------
+# Child-set hashing
+# ---------------------------------------------------------------------------
+
+
+def child_set_hash(child: Iterable[int], seed: int, bits: int) -> int:
+    """Canonical ``bits``-wide hash of a child set.
+
+    The hash is computed over the sorted element list, so it is independent
+    of iteration order and identical for both parties.  The paper asks for an
+    ``O(log s)``-bit pairwise-independent hash; 48 bits (the library default
+    set by the protocols) keeps collision probability among ``O(s^2)`` pairs
+    negligible for any realistic ``s``.
+    """
+    hasher = SeededHasher(derive_seed(seed, "child-set-hash"), bits)
+    payload = b"".join(int_to_bytes(element, 8) for element in sorted(child))
+    return hasher.hash_bytes(payload)
+
+
+def parent_hash(children: Iterable[Iterable[int]], seed: int, bits: int = 64) -> int:
+    """Verification hash of a whole parent set (order independent).
+
+    Protocols send this tiny hash alongside their main payload so Bob can
+    verify his reconstruction (the replication / verification trick described
+    at the end of Section 3.2).
+    """
+    hasher = SeededHasher(derive_seed(seed, "parent-hash"), bits)
+    combined = 0
+    for child in children:
+        combined ^= child_set_hash(child, seed, bits)
+    return hasher.hash_int(combined)
+
+
+# ---------------------------------------------------------------------------
+# (child IBLT, hash) encodings -- keys of the parent IBLT
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChildEncodingScheme:
+    """Shared description of how child sets are encoded into parent-IBLT keys.
+
+    Parameters
+    ----------
+    child_params:
+        IBLT parameters used for every child IBLT at this level; fully
+        determines the serialized child-IBLT width.
+    hash_bits:
+        Width of the child-set hash appended to the serialized child IBLT.
+    seed:
+        Seed for the child-set hash (shared).
+    """
+
+    child_params: IBLTParameters
+    hash_bits: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.hash_bits < 8:
+            raise ParameterError("hash_bits must be at least 8")
+
+    @property
+    def key_bits(self) -> int:
+        """Width of a full child encoding (serialized child IBLT + hash)."""
+        return self.child_params.size_bits + self.hash_bits
+
+    def encode(self, child: Iterable[int]) -> int:
+        """Encode a child set into a fixed-width integer key."""
+        child = list(child)
+        table = IBLT.from_items(self.child_params, child)
+        serialized = table.serialize()
+        return (serialized << self.hash_bits) | child_set_hash(
+            child, self.seed, self.hash_bits
+        )
+
+    def decode(self, key: int) -> tuple[IBLT, int]:
+        """Split a key back into ``(child IBLT, child hash)``."""
+        if key < 0 or key.bit_length() > self.key_bits:
+            raise CapacityError("encoded child key does not match the scheme")
+        child_hash = key & ((1 << self.hash_bits) - 1)
+        table = IBLT.deserialize(self.child_params, key >> self.hash_bits)
+        return table, child_hash
+
+    def hash_of(self, child: Iterable[int]) -> int:
+        """The hash component alone (cheap lookup key)."""
+        return child_set_hash(child, self.seed, self.hash_bits)
+
+
+# ---------------------------------------------------------------------------
+# Explicit (raw) child encodings -- the naive protocol and T*
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExplicitChildScheme:
+    """Encode a whole child set explicitly into a fixed-width integer key.
+
+    Theorem 3.3 charges ``min(h log u, u)`` bits per child set: whichever of
+    the two canonical encodings is smaller is used --
+
+    * *bitmap*: one bit per universe element (total ``u`` bits), or
+    * *packed list*: the at most ``h`` elements written as sorted
+      ``1 + log u``-bit values (a leading 1 bit distinguishes "element
+      present" slots from padding so sets of different sizes stay distinct).
+    """
+
+    universe_size: int
+    max_child_size: int
+
+    def __post_init__(self) -> None:
+        if self.universe_size <= 0:
+            raise ParameterError("universe_size must be positive")
+        if self.max_child_size < 0:
+            raise ParameterError("max_child_size must be non-negative")
+
+    @property
+    def element_bits(self) -> int:
+        return max(1, (self.universe_size - 1).bit_length())
+
+    @property
+    def uses_bitmap(self) -> bool:
+        packed = self.max_child_size * (self.element_bits + 1)
+        return self.universe_size <= packed
+
+    @property
+    def key_bits(self) -> int:
+        """Width of the explicit encoding (``min(h (log u + 1), u)``)."""
+        packed = max(1, self.max_child_size * (self.element_bits + 1))
+        return min(self.universe_size, packed) if self.max_child_size else 1
+
+    def encode(self, child: Iterable[int]) -> int:
+        child = sorted(set(child))
+        if len(child) > self.max_child_size:
+            raise CapacityError(
+                f"child set of size {len(child)} exceeds max_child_size "
+                f"{self.max_child_size}"
+            )
+        if any(element >= self.universe_size for element in child):
+            raise CapacityError("child set element outside the universe")
+        if self.uses_bitmap:
+            encoded = 0
+            for element in child:
+                encoded |= 1 << element
+            return encoded
+        encoded = 0
+        slot_bits = self.element_bits + 1
+        for element in child:
+            encoded = (encoded << slot_bits) | (1 << self.element_bits) | element
+        return encoded
+
+    def decode(self, key: int) -> frozenset[int]:
+        if self.uses_bitmap:
+            elements = []
+            index = 0
+            while key:
+                if key & 1:
+                    elements.append(index)
+                key >>= 1
+                index += 1
+            return frozenset(elements)
+        slot_bits = self.element_bits + 1
+        element_mask = (1 << self.element_bits) - 1
+        elements = []
+        while key:
+            slot = key & ((1 << slot_bits) - 1)
+            if slot >> self.element_bits:
+                elements.append(slot & element_mask)
+            key >>= slot_bits
+        return frozenset(elements)

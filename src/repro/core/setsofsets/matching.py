@@ -1,0 +1,100 @@
+"""Difference measures between two sets of sets.
+
+The paper defines ``d`` as "the value of the minimum cost matching between
+Alice and Bob's child sets, where the cost of matching two sets is equal to
+their set difference", and notes the protocols actually solve the relaxed
+version where every child set only needs to be close to *some* child set of
+the other party.  Both quantities are implemented here; they are used by the
+workload generators (to verify planted differences) and by tests and
+benchmarks, never by the protocols themselves (which only receive bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.setsofsets.types import SetOfSets
+
+try:  # scipy is an optional test-time dependency; fall back to a greedy bound.
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - scipy is installed in the dev environment
+    linear_sum_assignment = None
+
+
+def _difference_matrix(alice: SetOfSets, bob: SetOfSets) -> tuple[np.ndarray, list, list]:
+    alice_children = alice.sorted_children()
+    bob_children = bob.sorted_children()
+    matrix = np.zeros((len(alice_children), len(bob_children)), dtype=np.int64)
+    for i, a_child in enumerate(alice_children):
+        for j, b_child in enumerate(bob_children):
+            matrix[i, j] = len(a_child ^ b_child)
+    return matrix, alice_children, bob_children
+
+
+def minimum_matching_difference(alice: SetOfSets, bob: SetOfSets) -> int:
+    """The paper's ``d``: minimum-cost perfect matching on child sets.
+
+    Unmatched child sets (when the parents have different numbers of
+    children) cost their full size, which corresponds to matching them with
+    an empty set.
+    """
+    matrix, alice_children, bob_children = _difference_matrix(alice, bob)
+    size = max(len(alice_children), len(bob_children))
+    if size == 0:
+        return 0
+    padded = np.zeros((size, size), dtype=np.int64)
+    for i in range(size):
+        for j in range(size):
+            if i < len(alice_children) and j < len(bob_children):
+                padded[i, j] = matrix[i, j]
+            elif i < len(alice_children):
+                padded[i, j] = len(alice_children[i])
+            elif j < len(bob_children):
+                padded[i, j] = len(bob_children[j])
+    if linear_sum_assignment is not None:
+        rows, cols = linear_sum_assignment(padded)
+        return int(padded[rows, cols].sum())
+    return _greedy_matching_cost(padded)
+
+
+def _greedy_matching_cost(padded: np.ndarray) -> int:
+    """Greedy upper bound on the matching cost (used only without scipy)."""
+    size = padded.shape[0]
+    used_cols: set[int] = set()
+    total = 0
+    order = sorted(range(size), key=lambda row: int(padded[row].min()))
+    for row in order:
+        best_col = min(
+            (col for col in range(size) if col not in used_cols),
+            key=lambda col: int(padded[row, col]),
+        )
+        used_cols.add(best_col)
+        total += int(padded[row, best_col])
+    return total
+
+
+def relaxed_difference(alice: SetOfSets, bob: SetOfSets) -> int:
+    """The relaxed measure the protocols tolerate (Section 3.1).
+
+    Sum over each of Alice's child sets of its minimum difference to *any* of
+    Bob's child sets, plus the symmetric term.  Always at most twice the
+    matching difference.
+    """
+    matrix, alice_children, bob_children = _difference_matrix(alice, bob)
+    total = 0
+    if len(bob_children):
+        for i, child in enumerate(alice_children):
+            total += int(matrix[i].min()) if len(bob_children) else len(child)
+    else:
+        total += sum(len(child) for child in alice_children)
+    if len(alice_children):
+        for j, child in enumerate(bob_children):
+            total += int(matrix[:, j].min()) if len(alice_children) else len(child)
+    else:
+        total += sum(len(child) for child in bob_children)
+    return total
+
+
+def differing_children_count(alice: SetOfSets, bob: SetOfSets) -> int:
+    """The paper's ``d_hat``: number of child sets present on one side only."""
+    return len(alice.children ^ bob.children)

@@ -1,0 +1,145 @@
+"""The naive set-of-sets protocols (Theorems 3.3 and 3.4).
+
+Ignore the fact that children are sets: treat each child set as a single
+item from the universe of all possible child sets (of size ``O(min(u^h,
+2^u))``) and run plain set reconciliation over those items.  Communication is
+``O(d_hat * min(h log u, u))`` -- excellent when child sets are tiny, but it
+resends whole child sets even when only one element changed, which is what
+the structured protocols of Sections 3.2-3.3 fix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.comm import ReconciliationResult, Transcript, WORD_BITS
+from repro.core.setsofsets.encoding import ExplicitChildScheme, parent_hash
+from repro.core.setsofsets.types import SetOfSets
+from repro.errors import ParameterError
+from repro.estimator import L0Estimator, SetDifferenceEstimator
+from repro.hashing import SeededHasher, derive_seed
+from repro.iblt import IBLT, IBLTParameters
+
+
+def reconcile_naive(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    differing_children_bound: int,
+    universe_size: int,
+    max_child_size: int,
+    seed: int,
+    *,
+    num_hashes: int = 4,
+    transcript: Transcript | None = None,
+) -> ReconciliationResult:
+    """One-round naive protocol for known ``d_hat`` (Theorem 3.3).
+
+    Parameters
+    ----------
+    alice, bob:
+        The two parent sets.
+    differing_children_bound:
+        Upper bound ``d_hat`` on the number of child sets appearing on one
+        side only (at most ``min(d, s)``).
+    universe_size, max_child_size:
+        The shared parameters ``u`` and ``h`` fixing the explicit encoding.
+    seed:
+        Shared seed.
+    """
+    if differing_children_bound < 0:
+        raise ParameterError("differing_children_bound must be non-negative")
+    transcript = transcript if transcript is not None else Transcript()
+    scheme = ExplicitChildScheme(universe_size, max_child_size)
+    # A bound of d_hat differing child *pairs* can put up to 2 * d_hat child
+    # encodings (one per side) into the difference table, so size for that.
+    params = IBLTParameters.for_difference(
+        2 * max(1, differing_children_bound),
+        scheme.key_bits,
+        derive_seed(seed, "naive-parent"),
+        num_hashes,
+    )
+
+    alice_table = IBLT(params)
+    for child in alice:
+        alice_table.insert(scheme.encode(child))
+    verification = parent_hash(alice, seed)
+    transcript.send(
+        "alice",
+        "naive parent IBLT",
+        alice_table.size_bits + WORD_BITS,
+        payload=(alice_table, verification),
+    )
+
+    difference = alice_table.copy()
+    for child in bob:
+        difference.delete(scheme.encode(child))
+    decode = difference.try_decode()
+    if not decode.success:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "parent-iblt-peel"}
+        )
+    alice_only = [scheme.decode(key) for key in decode.positive]
+    bob_only = [scheme.decode(key) for key in decode.negative]
+    recovered = bob.replace_children(bob_only, alice_only)
+    verified = parent_hash(recovered, seed) == verification
+    return ReconciliationResult(
+        verified,
+        recovered if verified else None,
+        transcript,
+        details={
+            "differing_children_found": len(alice_only) + len(bob_only),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def reconcile_naive_unknown(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    universe_size: int,
+    max_child_size: int,
+    seed: int,
+    *,
+    estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
+    safety_factor: float = 2.0,
+    num_hashes: int = 4,
+) -> ReconciliationResult:
+    """Two-round naive protocol for unknown ``d_hat`` (Theorem 3.4).
+
+    Bob sends a set-difference estimator over the hashes of his child sets;
+    Alice estimates the number of differing children and runs the known
+    bound protocol with a safety margin.
+    """
+    if estimator_factory is None:
+        estimator_factory = L0Estimator
+    transcript = Transcript()
+    estimator_seed = derive_seed(seed, "naive-estimator")
+    hasher = SeededHasher(derive_seed(seed, "naive-child-id"), 64)
+
+    def child_id(child) -> int:
+        return hasher.hash_iterable(sorted(child)) ^ hasher.hash_int(len(child))
+
+    bob_estimator = estimator_factory(estimator_seed)
+    bob_estimator.update_all((child_id(child) for child in bob), 1)
+    transcript.send(
+        "bob", "child-count estimator", bob_estimator.size_bits, payload=bob_estimator
+    )
+
+    alice_estimator = estimator_factory(estimator_seed)
+    alice_estimator.update_all((child_id(child) for child in alice), 2)
+    estimate = bob_estimator.merge(alice_estimator).query()
+    bound = max(1, int(round(safety_factor * estimate)) + 1)
+
+    result = reconcile_naive(
+        alice,
+        bob,
+        bound,
+        universe_size,
+        max_child_size,
+        seed,
+        num_hashes=num_hashes,
+        transcript=transcript,
+    )
+    result.details["estimated_differing_children"] = estimate
+    result.details["differing_children_bound_used"] = bound
+    return result

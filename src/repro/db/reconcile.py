@@ -1,0 +1,74 @@
+"""End-to-end reconciliation of binary relational tables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.comm import ReconciliationResult
+from repro.core.setsofsets.cascading import reconcile_cascading
+from repro.core.setsofsets.naive import reconcile_naive
+from repro.db.table import BinaryTable
+from repro.errors import ParameterError
+from repro.hashing import derive_seed
+
+
+def reconcile_tables(
+    alice: BinaryTable,
+    bob: BinaryTable,
+    flipped_bits_bound: int,
+    seed: int,
+    *,
+    protocol: str | Callable[..., ReconciliationResult] = "cascading",
+    **protocol_kwargs,
+) -> ReconciliationResult:
+    """One-way reconciliation of two binary tables (Bob recovers Alice's).
+
+    Parameters
+    ----------
+    alice, bob:
+        Tables over the same column list.
+    flipped_bits_bound:
+        Upper bound ``d`` on the number of flipped bits separating the tables
+        under the minimum-difference row matching.
+    seed:
+        Shared seed.
+    protocol:
+        Which set-of-sets protocol to use: ``"cascading"`` (Theorem 3.7,
+        default), ``"naive"`` (Theorem 3.3), or any callable following the
+        ``(alice, bob, d, u, h, seed, ...)`` convention.
+
+    Returns
+    -------
+    ReconciliationResult
+        ``recovered`` is a :class:`BinaryTable` equal to Alice's.
+    """
+    if alice.columns != bob.columns:
+        raise ParameterError("tables must share the same columns")
+    universe = alice.num_columns
+    max_child = max(
+        1,
+        alice.to_sets_of_sets().max_child_size,
+        bob.to_sets_of_sets().max_child_size,
+    )
+    if protocol == "cascading":
+        protocol_fn: Callable[..., ReconciliationResult] = reconcile_cascading
+    elif protocol == "naive":
+        def protocol_fn(a, b, d, u, h, s, **kw):
+            return reconcile_naive(a, b, max(1, d), u, h, s, **kw)
+    elif callable(protocol):
+        protocol_fn = protocol
+    else:
+        raise ParameterError(f"unknown protocol {protocol!r}")
+
+    result = protocol_fn(
+        alice.to_sets_of_sets(),
+        bob.to_sets_of_sets(),
+        max(1, flipped_bits_bound),
+        universe,
+        max_child,
+        derive_seed(seed, "db"),
+        **protocol_kwargs,
+    )
+    if result.success:
+        result.recovered = BinaryTable.from_sets_of_sets(alice.columns, result.recovered)
+    return result

@@ -1,0 +1,98 @@
+"""A collection of documents and its set-of-sets representation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.setsofsets import SetOfSets
+from repro.documents.shingle import document_signature
+from repro.errors import ParameterError
+
+
+class DocumentCollection:
+    """A collection of text documents with shared shingling parameters.
+
+    Parameters
+    ----------
+    documents:
+        The document texts.
+    shingle_size:
+        Number of words per shingle (both parties must agree).
+    seed:
+        Shared seed for the shingle hashes.
+    signature_size:
+        Optional cap on the number of shingle hashes kept per document.
+    hash_bits:
+        Width of shingle hashes (defines the element universe ``2**hash_bits``).
+    """
+
+    def __init__(
+        self,
+        documents: Iterable[str],
+        shingle_size: int = 3,
+        seed: int = 0,
+        *,
+        signature_size: int | None = None,
+        hash_bits: int = 48,
+    ) -> None:
+        if hash_bits <= 0:
+            raise ParameterError("hash_bits must be positive")
+        self.shingle_size = shingle_size
+        self.seed = seed
+        self.signature_size = signature_size
+        self.hash_bits = hash_bits
+        self._documents = list(documents)
+        self._signatures = [
+            document_signature(
+                text,
+                shingle_size,
+                seed,
+                signature_size=signature_size,
+                hash_bits=hash_bits,
+            )
+            for text in self._documents
+        ]
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def documents(self) -> list[str]:
+        """The document texts."""
+        return list(self._documents)
+
+    @property
+    def signatures(self) -> list[frozenset[int]]:
+        """Per-document shingle signatures, parallel to :attr:`documents`."""
+        return list(self._signatures)
+
+    @property
+    def universe_size(self) -> int:
+        """Size of the shingle-hash universe."""
+        return 1 << self.hash_bits
+
+    @property
+    def max_signature_size(self) -> int:
+        """Largest signature (the paper's ``h``)."""
+        return max((len(sig) for sig in self._signatures), default=0)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._documents)
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_sets_of_sets(self) -> SetOfSets:
+        """The set of document signatures (duplicates collapse, as in a set)."""
+        return SetOfSets(sig for sig in self._signatures if sig)
+
+    def signature_of(self, text: str) -> frozenset[int]:
+        """Signature of an arbitrary document under this collection's parameters."""
+        return document_signature(
+            text,
+            self.shingle_size,
+            self.seed,
+            signature_size=self.signature_size,
+            hash_bits=self.hash_bits,
+        )

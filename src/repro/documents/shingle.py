@@ -1,0 +1,60 @@
+"""Shingling: turning documents into sets of hashed word windows."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParameterError
+from repro.hashing import SeededHasher, derive_seed
+
+_WORD_PATTERN = re.compile(r"[\w']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-cased word tokens of a document."""
+    return [token.lower() for token in _WORD_PATTERN.findall(text)]
+
+
+def shingle_hashes(
+    text: str, shingle_size: int, seed: int, hash_bits: int = 48
+) -> set[int]:
+    """Hashes of all ``shingle_size``-word windows of the document.
+
+    Documents shorter than one shingle are hashed as a single (short) window
+    so every non-empty document has a non-empty representation.
+    """
+    if shingle_size <= 0:
+        raise ParameterError("shingle_size must be positive")
+    tokens = tokenize(text)
+    hasher = SeededHasher(derive_seed(seed, "shingle"), hash_bits)
+    if not tokens:
+        return set()
+    if len(tokens) < shingle_size:
+        return {hasher.hash_bytes(" ".join(tokens).encode("utf-8"))}
+    hashes = set()
+    for start in range(len(tokens) - shingle_size + 1):
+        window = " ".join(tokens[start : start + shingle_size])
+        hashes.add(hasher.hash_bytes(window.encode("utf-8")))
+    return hashes
+
+
+def document_signature(
+    text: str,
+    shingle_size: int,
+    seed: int,
+    *,
+    signature_size: int | None = None,
+    hash_bits: int = 48,
+) -> frozenset[int]:
+    """The document's signature: its shingle hashes, optionally subsampled.
+
+    Following Broder, ``signature_size`` keeps only the numerically smallest
+    hashes (min-wise subsampling), trading a little sensitivity for a much
+    smaller child set; ``None`` keeps every shingle.
+    """
+    hashes = shingle_hashes(text, shingle_size, seed, hash_bits)
+    if signature_size is None or len(hashes) <= signature_size:
+        return frozenset(hashes)
+    if signature_size <= 0:
+        raise ParameterError("signature_size must be positive")
+    return frozenset(sorted(hashes)[:signature_size])

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Protocol failures that the paper treats as probabilistic
+events (e.g. an IBLT that does not peel) are represented either by exceptions
+(for programming misuse) or by explicit ``success`` flags on result objects
+(for expected probabilistic failure); see the individual protocol modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DecodeError(ReproError):
+    """Raised when a data structure cannot be decoded (e.g. IBLT peeling fails).
+
+    Protocols that can recover from a decode failure (for example by doubling
+    the difference bound, Corollary 3.6) catch this internally; it only
+    propagates to callers of the low-level data structure APIs.
+    """
+
+
+class ChecksumError(DecodeError):
+    """Raised when a checksum mismatch is detected during decoding."""
+
+
+class ReconciliationError(ReproError):
+    """Raised when a reconciliation protocol cannot produce a result at all.
+
+    Note that most protocols report probabilistic failure through the
+    ``success`` field of their result object instead of raising.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when a caller supplies invalid or inconsistent parameters."""
+
+
+class CapacityError(ReproError):
+    """Raised when a fixed-capacity structure would overflow (e.g. a key wider
+    than the IBLT's configured key width)."""

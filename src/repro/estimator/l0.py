@@ -1,0 +1,130 @@
+"""The paper's improved set-difference estimator (Theorem 3.1 / Appendix A).
+
+The construction follows Appendix A: the universe is sampled at geometric
+rates into ``O(log n)`` levels; each level keeps a constant number of tiny
+counters (2-bit, i.e. mod-4) indexed by a pairwise-independent hash.  An
+element of ``S1`` adds +1 to its bucket, an element of ``S2`` adds -1, so
+identical elements on the two sides cancel exactly and only the symmetric
+difference contributes.  A level whose number of non-zero buckets is small
+counts its sampled difference (almost) exactly; the query scales the count of
+the sparsest reliable level by its sampling rate.
+
+Compared with the strata estimator this sketch stores 2-bit counters instead
+of full IBLT cells, which is exactly the ``O(log u)``-factor saving the paper
+claims.  (The word-RAM constant-time tricks of Appendix A -- packing the
+whole sketch into O(1) machine words -- are not reproduced; Python-level
+loops over the ``O(log n)`` levels are used instead.  This changes constants,
+not sizes.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.estimator.base import SetDifferenceEstimator
+from repro.hashing import PairwiseHash, SeededHasher, derive_seed
+
+
+class L0Estimator(SetDifferenceEstimator):
+    """L0-sketch set-difference estimator with nested geometric sampling.
+
+    Parameters
+    ----------
+    seed:
+        Shared seed.
+    num_levels:
+        Number of sampling levels.  Level ``i`` sees each differing element
+        with probability ``2^{-i}`` (level 0 sees everything), so
+        ``num_levels = 32`` handles differences up to billions.
+    buckets_per_level:
+        Number of mod-4 counters per level.  Larger values give better
+        accuracy; the default of 128 keeps the sketch around 1 KiB while
+        estimating within a small constant factor.
+    reliable_fraction:
+        A level is trusted when its non-zero bucket count is at most
+        ``reliable_fraction * buckets_per_level`` (collisions are then rare).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        num_levels: int = 32,
+        buckets_per_level: int = 128,
+        reliable_fraction: float = 0.25,
+    ) -> None:
+        if num_levels <= 0:
+            raise ParameterError("num_levels must be positive")
+        if buckets_per_level < 8:
+            raise ParameterError("buckets_per_level must be at least 8")
+        if not 0.0 < reliable_fraction < 1.0:
+            raise ParameterError("reliable_fraction must be in (0, 1)")
+        self.seed = seed
+        self.num_levels = num_levels
+        self.buckets_per_level = buckets_per_level
+        self.reliable_fraction = reliable_fraction
+        self._level_hasher = SeededHasher(derive_seed(seed, "l0-level"), 64)
+        self._bucket_hashes = [
+            PairwiseHash(derive_seed(seed, "l0-bucket", level), buckets_per_level)
+            for level in range(num_levels)
+        ]
+        self._counters = [[0] * buckets_per_level for _ in range(num_levels)]
+
+    # -- internal helpers -----------------------------------------------------------
+
+    def _max_level_of(self, element: int) -> int:
+        """Deepest level the element is sampled into (it lands in 0..this)."""
+        level_hash = self._level_hasher.hash_int(element)
+        if level_hash == 0:
+            return self.num_levels - 1
+        trailing = (level_hash & -level_hash).bit_length() - 1
+        return min(trailing, self.num_levels - 1)
+
+    def _check_compatible(self, other: "L0Estimator") -> None:
+        if (
+            self.seed != other.seed
+            or self.num_levels != other.num_levels
+            or self.buckets_per_level != other.buckets_per_level
+        ):
+            raise ParameterError("cannot combine L0 estimators with different parameters")
+
+    # -- SetDifferenceEstimator interface ---------------------------------------------
+
+    def update(self, element: int, side: int) -> None:
+        self._validate_side(side)
+        delta = 1 if side == 1 else 3  # -1 mod 4
+        deepest = self._max_level_of(element)
+        for level in range(deepest + 1):
+            bucket = self._bucket_hashes[level](self._level_hasher.hash_int(element))
+            counters = self._counters[level]
+            counters[bucket] = (counters[bucket] + delta) % 4
+
+    def merge(self, other: "L0Estimator") -> "L0Estimator":
+        self._check_compatible(other)
+        merged = L0Estimator(
+            self.seed, self.num_levels, self.buckets_per_level, self.reliable_fraction
+        )
+        for level in range(self.num_levels):
+            mine = self._counters[level]
+            theirs = other._counters[level]
+            merged._counters[level] = [(a + b) % 4 for a, b in zip(mine, theirs)]
+        return merged
+
+    def _nonzero_count(self, level: int) -> int:
+        return sum(1 for value in self._counters[level] if value != 0)
+
+    def query(self) -> int:
+        threshold = int(self.reliable_fraction * self.buckets_per_level)
+        for level in range(self.num_levels):
+            count = self._nonzero_count(level)
+            if count <= threshold:
+                if level == 0:
+                    return count
+                return max(1, count) << level
+        # Every level is saturated -- the difference is astronomically large;
+        # report the most pessimistic scaled estimate.
+        deepest = self.num_levels - 1
+        return max(1, self._nonzero_count(deepest)) << deepest
+
+    @property
+    def size_bits(self) -> int:
+        # Two bits per counter; that is the whole transmitted payload.
+        return 2 * self.num_levels * self.buckets_per_level

@@ -1,0 +1,33 @@
+"""Finite-field and polynomial arithmetic substrate.
+
+The characteristic-polynomial set reconciliation protocol of Minsky,
+Trachtenberg and Zippel (Theorem 2.3 in the paper) requires exact arithmetic
+over a prime field GF(p) with ``p`` larger than the element universe:
+
+* :mod:`repro.field.prime` -- primality testing and prime generation.
+* :mod:`repro.field.gfp` -- the :class:`~repro.field.gfp.PrimeField` helper
+  wrapping modular arithmetic (add/sub/mul/inverse/power).
+* :mod:`repro.field.poly` -- dense univariate polynomials over GF(p)
+  (addition, multiplication, division, GCD, evaluation, interpolation).
+* :mod:`repro.field.linalg` -- Gaussian elimination and nullspace computation
+  over GF(p) (used for rational-function interpolation).
+* :mod:`repro.field.roots` -- root finding for polynomials over GF(p) via
+  Cantor-Zassenhaus equal-degree splitting (used to extract the reconciled
+  set elements from the interpolated characteristic-polynomial ratio).
+"""
+
+from repro.field.prime import is_probable_prime, next_prime
+from repro.field.gfp import PrimeField
+from repro.field.poly import Polynomial
+from repro.field.linalg import solve_nullspace_vector, gaussian_elimination
+from repro.field.roots import find_roots
+
+__all__ = [
+    "is_probable_prime",
+    "next_prime",
+    "PrimeField",
+    "Polynomial",
+    "solve_nullspace_vector",
+    "gaussian_elimination",
+    "find_roots",
+]

@@ -1,0 +1,89 @@
+"""Arithmetic in the prime field GF(p).
+
+A thin, explicit wrapper around Python's arbitrary-precision integers.  All
+values are canonical residues in ``[0, p)``.  Keeping the field as an object
+(rather than free functions taking a modulus) lets polynomials, matrices and
+protocols share a single validated modulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.field.prime import is_probable_prime
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The finite field of integers modulo a prime ``p``.
+
+    Parameters
+    ----------
+    modulus:
+        A prime number.  Primality is checked at construction time because a
+        composite modulus silently breaks inversion and root finding.
+    """
+
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2 or not is_probable_prime(self.modulus):
+            raise ParameterError(f"modulus {self.modulus} is not prime")
+
+    # -- canonical representation -------------------------------------------------
+
+    def element(self, value: int) -> int:
+        """Reduce an integer to its canonical residue in ``[0, p)``."""
+        return value % self.modulus
+
+    def __contains__(self, value: int) -> bool:
+        return 0 <= value < self.modulus
+
+    # -- ring operations ----------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``(a + b) mod p``."""
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``(a - b) mod p``."""
+        return (a - b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        """Return ``-a mod p``."""
+        return (-a) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod p``."""
+        return (a * b) % self.modulus
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Return ``base**exponent mod p`` (negative exponents invert)."""
+        return pow(base, exponent, self.modulus)
+
+    def inv(self, a: int) -> int:
+        """Return the multiplicative inverse of ``a`` modulo ``p``.
+
+        Raises
+        ------
+        ZeroDivisionError
+            If ``a`` is congruent to zero.
+        """
+        if a % self.modulus == 0:
+            raise ZeroDivisionError("cannot invert zero in a prime field")
+        return pow(a, -1, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        """Return ``a / b mod p``."""
+        return self.mul(a, self.inv(b))
+
+    # -- helpers ------------------------------------------------------------------
+
+    def uniform_element(self, rng) -> int:
+        """Draw a uniform field element using the supplied ``random.Random``."""
+        return rng.randrange(self.modulus)
+
+    def uniform_nonzero(self, rng) -> int:
+        """Draw a uniform nonzero field element."""
+        return rng.randrange(1, self.modulus)

@@ -1,0 +1,122 @@
+"""Linear algebra over GF(p): Gaussian elimination and nullspace vectors.
+
+The rational-function interpolation step of the characteristic-polynomial
+protocol (Theorem 2.3) reduces to finding a nonzero vector in the nullspace
+of a small linear system over GF(p); the paper notes this costs ``O(d^3)``
+via Gaussian elimination, which is exactly what we implement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.field.gfp import PrimeField
+
+
+def gaussian_elimination(
+    field: PrimeField, matrix: Sequence[Sequence[int]]
+) -> tuple[list[list[int]], list[int]]:
+    """Reduce ``matrix`` to reduced row echelon form over ``field``.
+
+    Returns
+    -------
+    (rref, pivot_columns):
+        The reduced matrix (as a new list of lists of canonical residues) and
+        the list of pivot column indices, one per nonzero row.
+    """
+    rows = [[field.element(entry) for entry in row] for row in matrix]
+    if not rows:
+        return [], []
+    num_cols = len(rows[0])
+    if any(len(row) != num_cols for row in rows):
+        raise ParameterError("matrix rows must all have the same length")
+
+    pivot_columns: list[int] = []
+    pivot_row = 0
+    for col in range(num_cols):
+        if pivot_row >= len(rows):
+            break
+        # Find a row with a nonzero entry in this column.
+        chosen = None
+        for candidate in range(pivot_row, len(rows)):
+            if rows[candidate][col] != 0:
+                chosen = candidate
+                break
+        if chosen is None:
+            continue
+        rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
+        # Normalise the pivot row.
+        inv = field.inv(rows[pivot_row][col])
+        rows[pivot_row] = [field.mul(inv, entry) for entry in rows[pivot_row]]
+        # Eliminate the column from every other row.
+        for other in range(len(rows)):
+            if other == pivot_row or rows[other][col] == 0:
+                continue
+            factor = rows[other][col]
+            rows[other] = [
+                field.sub(entry, field.mul(factor, pivot_entry))
+                for entry, pivot_entry in zip(rows[other], rows[pivot_row])
+            ]
+        pivot_columns.append(col)
+        pivot_row += 1
+    return rows, pivot_columns
+
+
+def solve_nullspace_vector(
+    field: PrimeField, matrix: Sequence[Sequence[int]]
+) -> list[int] | None:
+    """Return a nonzero vector ``v`` with ``matrix @ v = 0`` over GF(p).
+
+    Returns ``None`` when the nullspace is trivial (matrix has full column
+    rank).  When several free variables exist the *last* free column is set
+    to one and the rest to zero, which for the rational interpolation system
+    corresponds to fixing the highest-degree denominator coefficient -- the
+    conventional normalisation.
+    """
+    if not matrix:
+        return None
+    num_cols = len(matrix[0])
+    rref, pivot_columns = gaussian_elimination(field, matrix)
+    free_columns = [col for col in range(num_cols) if col not in pivot_columns]
+    if not free_columns:
+        return None
+    chosen_free = free_columns[-1]
+    solution = [0] * num_cols
+    solution[chosen_free] = 1
+    # Back-substitute: each pivot row reads  x_pivot + sum(coeff * x_free) = 0.
+    for row, pivot_col in zip(rref, pivot_columns):
+        value = 0
+        for col in free_columns:
+            if row[col]:
+                value = field.add(value, field.mul(row[col], solution[col]))
+        solution[pivot_col] = field.neg(value)
+    return solution
+
+
+def solve_linear_system(
+    field: PrimeField,
+    matrix: Sequence[Sequence[int]],
+    rhs: Sequence[int],
+) -> list[int] | None:
+    """Solve ``matrix @ x = rhs`` over GF(p); return ``None`` if inconsistent.
+
+    When the system is under-determined an arbitrary particular solution is
+    returned (free variables set to zero).
+    """
+    if len(matrix) != len(rhs):
+        raise ParameterError("matrix and right-hand side sizes disagree")
+    if not matrix:
+        return []
+    num_cols = len(matrix[0])
+    augmented = [list(row) + [value] for row, value in zip(matrix, rhs)]
+    rref, pivot_columns = gaussian_elimination(field, augmented)
+    for row in rref:
+        if all(entry == 0 for entry in row[:num_cols]) and row[num_cols] != 0:
+            return None
+    solution = [0] * num_cols
+    for row, pivot_col in zip(rref, pivot_columns):
+        if pivot_col == num_cols:
+            return None
+        solution[pivot_col] = row[num_cols]
+    return solution

@@ -1,0 +1,64 @@
+"""Primality testing and prime generation.
+
+The characteristic-polynomial protocol needs a prime ``q`` larger than the
+element universe (Theorem 2.3) and the fingerprint protocols of Section 4
+need a prime of size roughly ``n^{2d+3}`` (Theorem 4.3).  Miller-Rabin with a
+fixed witness set is deterministic for 64-bit inputs and overwhelmingly
+reliable beyond that, which is ample for a reproduction library.
+"""
+
+from __future__ import annotations
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(candidate: int, rounds: int = 12) -> bool:
+    """Return ``True`` if ``candidate`` is (very probably) prime.
+
+    Uses Miller-Rabin with the first ``rounds`` small primes as witnesses,
+    which is a deterministic test for all 64-bit integers.
+    """
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _SMALL_PRIMES[:rounds]:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Return the smallest prime strictly greater than ``value``."""
+    if value < 2:
+        return 2
+    candidate = value + 1
+    if candidate % 2 == 0:
+        candidate += 1
+    if value == 2:
+        return 3
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prime_at_least(value: int) -> int:
+    """Return the smallest prime greater than or equal to ``value``."""
+    if value <= 2:
+        return 2
+    if is_probable_prime(value):
+        return value
+    return next_prime(value)

@@ -1,0 +1,111 @@
+"""Root finding for polynomials over GF(p).
+
+The characteristic-polynomial protocol recovers the set difference as the
+roots of the numerator / denominator of the interpolated rational function.
+We find roots with the standard Cantor-Zassenhaus strategy:
+
+1. restrict to the product of distinct linear factors by taking
+   ``gcd(f, x^p - x)``;
+2. split that product recursively with random shifts
+   ``gcd(g, (x + a)^((p-1)/2) - 1)``.
+
+Degrees are small (at most the difference bound ``d``), so this is fast even
+in pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ParameterError
+from repro.field.gfp import PrimeField
+from repro.field.poly import Polynomial
+
+
+def _linear_factor_product(poly: Polynomial) -> Polynomial:
+    """Return the product of the distinct linear factors of ``poly``.
+
+    Computes ``gcd(poly, x^p - x)`` using modular exponentiation of ``x``.
+    """
+    field = poly.field
+    x = Polynomial.x(field)
+    x_to_p = x.pow_mod(field.modulus, poly)
+    return poly.gcd(x_to_p - x)
+
+
+def _split_roots(poly: Polynomial, rng: random.Random, roots: list[int]) -> None:
+    """Recursively split a product of distinct linear factors into roots."""
+    field = poly.field
+    degree = poly.degree
+    if degree <= 0:
+        return
+    if degree == 1:
+        # poly = x + c (monic), root = -c.
+        constant = poly.coeffs[0]
+        roots.append(field.neg(constant))
+        return
+    if field.modulus == 2:  # pragma: no cover - universes are always larger
+        for candidate in (0, 1):
+            if poly.evaluate(candidate) == 0:
+                roots.append(candidate)
+        return
+    exponent = (field.modulus - 1) // 2
+    one = Polynomial.one(field)
+    while True:
+        shift = field.uniform_element(rng)
+        shifted = Polynomial.from_coefficients(field, [shift, 1])
+        probe = shifted.pow_mod(exponent, poly) - one
+        factor = poly.gcd(probe)
+        if 0 < factor.degree < degree:
+            break
+    complementary = (poly // factor).monic()
+    _split_roots(factor.monic(), rng, roots)
+    _split_roots(complementary, rng, roots)
+
+
+def find_roots(poly: Polynomial, rng: random.Random | None = None) -> list[int]:
+    """Return all roots in GF(p) of ``poly`` (each distinct root once).
+
+    Parameters
+    ----------
+    poly:
+        The polynomial to factor; must be nonzero.
+    rng:
+        Randomness source for the Cantor-Zassenhaus splits.  Passing a seeded
+        ``random.Random`` keeps the whole protocol deterministic; the default
+        uses a fixed seed so results are reproducible.
+    """
+    if poly.is_zero():
+        raise ParameterError("cannot find roots of the zero polynomial")
+    if rng is None:
+        rng = random.Random(0x5EED)
+    monic = poly.monic()
+    if monic.degree == 0:
+        return []
+    linear_part = _linear_factor_product(monic)
+    roots: list[int] = []
+    if linear_part.degree >= 1:
+        _split_roots(linear_part.monic(), rng, roots)
+    roots.sort()
+    return roots
+
+
+def roots_with_multiplicity(poly: Polynomial, rng: random.Random | None = None) -> dict[int, int]:
+    """Return a mapping from root to multiplicity.
+
+    Used by multiset reconciliation (Section 3.4), where repeated elements of
+    a multiset appear as repeated roots of the characteristic polynomial.
+    """
+    result: dict[int, int] = {}
+    remaining = poly.monic()
+    for root in find_roots(poly, rng):
+        count = 0
+        linear = Polynomial.from_coefficients(poly.field, [poly.field.neg(root), 1])
+        while True:
+            quotient, remainder = remaining.divmod(linear)
+            if not remainder.is_zero():
+                break
+            remaining = quotient
+            count += 1
+        result[root] = count
+    return result

@@ -1,0 +1,190 @@
+"""Random graph reconciliation via the degree-neighborhood scheme (Theorem 5.6).
+
+For sparser graphs than the degree-ordering scheme can handle, a vertex's
+signature is ``D_v``: the multiset of the degrees (at most ``max_degree``,
+the paper's ``pn``) of its neighbors.  When all degree neighborhoods are
+``(pn, 4d+1)``-disjoint (Definition 5.4; Theorem 5.5 shows this holds with
+high probability for the stated range of ``p`` and ``d``), conforming
+vertices have signatures within multiset distance ``2d`` and non-conforming
+ones are at least ``2d+1`` apart, so Bob can again adopt Alice's labeling
+after reconciling the *set of multisets* of signatures.
+
+Costs roughly ``O(pn)`` times more communication than the degree-ordering
+scheme (every edge change perturbs ~``2pn`` signatures by one element), which
+is exactly the trade-off Theorem 5.6 describes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.core.setrecon import reconcile_known_d
+from repro.core.setrecon.multiset import decode_multiset, encode_multiset
+from repro.core.setsofsets import SetOfSets
+from repro.core.setsofsets.cascading import reconcile_cascading
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.separation import (
+    degree_neighborhood_signatures,
+    multiset_difference_size,
+)
+from repro.hashing import derive_seed
+
+
+def _encode_signature(signature: Counter, multiplicity_bound: int) -> frozenset[int]:
+    """Encode a degree multiset as a set of (degree, count) pair keys."""
+    return frozenset(encode_multiset(dict(signature), multiplicity_bound))
+
+
+def _decode_signature(encoded: frozenset[int], multiplicity_bound: int) -> Counter:
+    return Counter(decode_multiset(set(encoded), multiplicity_bound))
+
+
+def signature_change_bound(difference_bound: int, max_degree: int) -> int:
+    """Bound on encoded-element changes caused by ``difference_bound`` edge changes.
+
+    Each edge change alters the degree of its two endpoints; every neighbor
+    of an endpoint sees one degree value replaced in its signature (at most 4
+    encoded ``(degree, count)`` pairs), and the endpoints themselves gain or
+    lose one entry.  With endpoint degrees capped at roughly ``max_degree``
+    this is at most ``8 * max_degree + 8`` encoded changes per edge change.
+    """
+    return max(1, difference_bound) * (8 * max(1, max_degree) + 8)
+
+
+def reconcile_degree_neighborhood(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    max_degree: int,
+    seed: int,
+    *,
+    signature_protocol=reconcile_cascading,
+    signature_bound: int | None = None,
+) -> ReconciliationResult:
+    """One-round reconciliation with degree-neighborhood signatures (Theorem 5.6).
+
+    Parameters
+    ----------
+    alice, bob:
+        The two unlabeled graphs (equal vertex counts).
+    difference_bound:
+        Bound ``d`` on the number of differing edges.
+    max_degree:
+        The signature truncation threshold (the paper's ``pn``); both parties
+        must use the same value.
+    signature_bound:
+        Optional override of the total encoded-change bound passed to the
+        set-of-sets protocol (defaults to :func:`signature_change_bound`).
+    """
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    difference_bound = max(1, difference_bound)
+    transcript = Transcript()
+    multiplicity_bound = alice.num_vertices  # a degree value occurs at most n times
+    if signature_bound is None:
+        signature_bound = signature_change_bound(difference_bound, max_degree)
+
+    # ---- Alice: signatures, canonical labeling by signature order, edges.
+    alice_signatures = degree_neighborhood_signatures(alice, max_degree)
+    alice_encoded = {
+        vertex: _encode_signature(signature, multiplicity_bound)
+        for vertex, signature in alice_signatures.items()
+    }
+    if len(set(alice_encoded.values())) != alice.num_vertices:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "alice-not-disjoint"}
+        )
+    alice_order = sorted(alice_encoded, key=lambda v: sorted(alice_encoded[v]))
+    alice_labeling = {vertex: rank for rank, vertex in enumerate(alice_order)}
+    alice_canonical = alice.relabel(
+        [alice_labeling[v] for v in range(alice.num_vertices)]
+    )
+    alice_signature_set = SetOfSets(alice_encoded.values())
+
+    # ---- Bob: his signatures.
+    bob_signatures = degree_neighborhood_signatures(bob, max_degree)
+    bob_encoded = {
+        vertex: _encode_signature(signature, multiplicity_bound)
+        for vertex, signature in bob_signatures.items()
+    }
+    bob_signature_set = SetOfSets(bob_encoded.values())
+
+    pair_universe = (alice.num_vertices + 1) * (multiplicity_bound + 1) + multiplicity_bound + 1
+    max_child = max(
+        1, alice_signature_set.max_child_size, bob_signature_set.max_child_size
+    )
+
+    # ---- Message part (a): reconcile the signature multisets.
+    bits_before_signatures = transcript.total_bits
+    signature_result = signature_protocol(
+        alice_signature_set,
+        bob_signature_set,
+        signature_bound,
+        pair_universe,
+        max_child,
+        derive_seed(seed, "degree-neighborhood-signatures"),
+        transcript=transcript,
+    )
+    if not signature_result.success:
+        return ReconciliationResult(
+            False,
+            None,
+            transcript,
+            details={"failure": "signature-reconciliation", **signature_result.details},
+        )
+
+    # ---- Bob aligns with Alice's labeling via closest signatures.
+    alice_children = signature_result.recovered.sorted_children()
+    if len(alice_children) != alice.num_vertices:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "signature-count"}
+        )
+    alice_counters = [_decode_signature(child, multiplicity_bound) for child in alice_children]
+    label_of_rank = {rank: rank for rank in range(len(alice_children))}
+    bob_labeling: dict[int, int] = {}
+    used: set[int] = set()
+    for vertex in bob.vertices():
+        bob_counter = bob_signatures[vertex]
+        best_rank = None
+        best_distance = None
+        for rank, alice_counter in enumerate(alice_counters):
+            distance = multiset_difference_size(bob_counter, alice_counter)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_rank = rank
+        if best_rank is None or best_distance > 2 * difference_bound or best_rank in used:
+            return ReconciliationResult(
+                False, None, transcript, details={"failure": "conforming-match"}
+            )
+        used.add(best_rank)
+        bob_labeling[vertex] = label_of_rank[best_rank]
+    bob_canonical = bob.relabel([bob_labeling[v] for v in range(bob.num_vertices)])
+
+    # ---- Message part (b): labeled-edge reconciliation.
+    signature_bits = transcript.total_bits - bits_before_signatures
+    edge_result = reconcile_known_d(
+        alice_canonical.edge_keys(),
+        bob_canonical.edge_keys(),
+        difference_bound,
+        alice_canonical.edge_key_universe,
+        derive_seed(seed, "degree-neighborhood-edges"),
+        transcript=transcript,
+    )
+    if not edge_result.success:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "edge-reconciliation"}
+        )
+    recovered = Graph.from_edge_keys(alice.num_vertices, edge_result.recovered)
+    return ReconciliationResult(
+        True,
+        recovered,
+        transcript,
+        details={
+            "bob_canonical_labeling": bob_labeling,
+            "max_degree": max_degree,
+            "signature_bits": signature_bits,
+            "edge_bits": transcript.total_bits - bits_before_signatures - signature_bits,
+        },
+    )

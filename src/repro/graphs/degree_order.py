@@ -1,0 +1,206 @@
+"""Random graph reconciliation via the degree-ordering scheme (Theorem 5.2).
+
+One round, for graphs that are ``(h, d+1, 2d+1)``-separated (Definition 5.1,
+which ``G(n, p)`` satisfies with high probability in the regime of
+Theorem 5.3):
+
+1.  Both parties sort their vertices by degree.  The top ``h`` vertices are
+    identified by their degree rank; every other vertex's *signature* is the
+    subset of the top ``h`` it is adjacent to.
+2.  Alice sends (a) a set-of-sets reconciliation message for her signature
+    set (each signature is a subset of ``[h]``; at most ``d`` total element
+    changes separate the two signature sets) and (b) a labeled-edge
+    reconciliation message for her graph under her canonical labeling.
+3.  Bob recovers Alice's signatures, matches each of his vertices to the
+    unique Alice signature within Hamming distance ``d`` (separation makes
+    non-conforming signatures at least ``d+1`` away), adopts Alice's
+    labeling, and finishes with plain labeled set reconciliation of the
+    edges.
+
+``recovered`` is Alice's graph expressed in the canonical labeling (i.e. a
+graph isomorphic to hers that Bob can now hold); ``details`` carries the
+conforming labeling Bob computed for his own vertex ids.
+"""
+
+from __future__ import annotations
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.core.setrecon import reconcile_known_d
+from repro.core.setsofsets import SetOfSets
+from repro.core.setsofsets.cascading import reconcile_cascading
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.separation import degree_order_signatures
+from repro.hashing import derive_seed
+
+
+def canonical_labeling_from_signatures(
+    top_vertices: list[int], signatures: dict[int, frozenset[int]]
+) -> dict[int, int]:
+    """Alice's canonical labeling: degree rank for the top, signature order below.
+
+    Raises :class:`ParameterError` when two signatures coincide (the graph is
+    then not separated and the scheme does not apply).
+    """
+    labeling = {vertex: rank for rank, vertex in enumerate(top_vertices)}
+    ordered = sorted(signatures.items(), key=lambda item: sorted(item[1]))
+    seen: set[frozenset[int]] = set()
+    for offset, (vertex, signature) in enumerate(ordered):
+        if signature in seen:
+            raise ParameterError("duplicate vertex signatures: graph is not separated")
+        seen.add(signature)
+        labeling[vertex] = len(top_vertices) + offset
+    return labeling
+
+
+def _conforming_labels_for_bob(
+    alice_signatures: SetOfSets,
+    bob_signatures: dict[int, frozenset[int]],
+    num_top: int,
+    difference_bound: int,
+) -> dict[int, int] | None:
+    """Map each of Bob's non-top vertices to Alice's canonical label.
+
+    A Bob vertex conforms to the *closest* Alice signature, which must lie
+    within Hamming distance ``difference_bound`` (under full separation the
+    closest signature is also the unique one within that distance); returns
+    ``None`` when a vertex has no close-enough signature, the closest is
+    tied, or two vertices claim the same signature.
+    """
+    alice_list = alice_signatures.sorted_children()
+    label_of_signature = {
+        signature: num_top + rank for rank, signature in enumerate(alice_list)
+    }
+    assigned: dict[int, int] = {}
+    used: set[int] = set()
+    for vertex, signature in bob_signatures.items():
+        best = None
+        best_distance = None
+        tied = False
+        for candidate in alice_list:
+            distance = len(candidate ^ signature)
+            if best_distance is None or distance < best_distance:
+                best, best_distance, tied = candidate, distance, False
+            elif distance == best_distance:
+                tied = True
+        if best is None or best_distance > difference_bound or tied:
+            return None
+        label = label_of_signature[best]
+        if label in used:
+            return None
+        used.add(label)
+        assigned[vertex] = label
+    return assigned
+
+
+def reconcile_degree_order(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    num_top: int,
+    seed: int,
+    *,
+    signature_protocol=reconcile_cascading,
+) -> ReconciliationResult:
+    """One-round random graph reconciliation (Theorem 5.2).
+
+    Parameters
+    ----------
+    alice, bob:
+        The two unlabeled graphs (equal vertex counts).
+    difference_bound:
+        Bound ``d`` on the number of edge changes separating the graphs.
+    num_top:
+        The scheme parameter ``h`` (see Theorem 5.3 for the value that makes
+        random graphs separated with high probability).
+    seed:
+        Shared seed.
+    signature_protocol:
+        Set-of-sets protocol used for the signatures (cascading by default);
+        must follow the ``(alice, bob, d, u, h, seed, ...)`` signature.
+    """
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    if num_top <= 0 or num_top > alice.num_vertices:
+        raise ParameterError("num_top must lie in (0, num_vertices]")
+    difference_bound = max(1, difference_bound)
+    transcript = Transcript()
+
+    # ---- Alice's side: signatures, canonical labeling, canonical edge keys.
+    alice_top, alice_signatures = degree_order_signatures(alice, num_top)
+    try:
+        alice_labeling = canonical_labeling_from_signatures(alice_top, alice_signatures)
+    except ParameterError:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "alice-not-separated"}
+        )
+    alice_canonical = alice.relabel(
+        [alice_labeling[v] for v in range(alice.num_vertices)]
+    )
+    alice_signature_set = SetOfSets(alice_signatures.values())
+    if alice_signature_set.num_children != len(alice_signatures):
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "alice-not-separated"}
+        )
+
+    # ---- Bob's side: his own signatures (needed before protocol messages apply).
+    bob_top, bob_signatures = degree_order_signatures(bob, num_top)
+    bob_signature_set = SetOfSets(bob_signatures.values())
+
+    # ---- Message part (a): reconcile the signature sets (set of sets, u = h).
+    bits_before_signatures = transcript.total_bits
+    signature_result = signature_protocol(
+        alice_signature_set,
+        bob_signature_set,
+        difference_bound,
+        num_top,
+        num_top,
+        derive_seed(seed, "degree-order-signatures"),
+        transcript=transcript,
+    )
+    if not signature_result.success:
+        return ReconciliationResult(
+            False,
+            None,
+            transcript,
+            details={"failure": "signature-reconciliation", **signature_result.details},
+        )
+
+    # ---- Bob aligns his labeling with Alice's.
+    conforming = _conforming_labels_for_bob(
+        signature_result.recovered, bob_signatures, num_top, difference_bound
+    )
+    if conforming is None:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "conforming-match"}
+        )
+    bob_labeling = {vertex: rank for rank, vertex in enumerate(bob_top)}
+    bob_labeling.update(conforming)
+    bob_canonical = bob.relabel([bob_labeling[v] for v in range(bob.num_vertices)])
+
+    # ---- Message part (b): labeled-edge reconciliation under the shared labeling.
+    signature_bits = transcript.total_bits - bits_before_signatures
+    edge_result = reconcile_known_d(
+        alice_canonical.edge_keys(),
+        bob_canonical.edge_keys(),
+        difference_bound,
+        alice_canonical.edge_key_universe,
+        derive_seed(seed, "degree-order-edges"),
+        transcript=transcript,
+    )
+    if not edge_result.success:
+        return ReconciliationResult(
+            False, None, transcript, details={"failure": "edge-reconciliation"}
+        )
+    recovered = Graph.from_edge_keys(alice.num_vertices, edge_result.recovered)
+    return ReconciliationResult(
+        True,
+        recovered,
+        transcript,
+        details={
+            "bob_canonical_labeling": bob_labeling,
+            "num_top": num_top,
+            "signature_bits": signature_bits,
+            "edge_bits": transcript.total_bits - bits_before_signatures - signature_bits,
+        },
+    )

@@ -1,0 +1,101 @@
+"""Exhaustive (unbounded-computation) graph reconciliation (Theorem 4.3).
+
+Alice sends a random evaluation of the polynomial whose coefficients are the
+bits of her graph's canonical form.  Bob enumerates every graph within ``d``
+edge changes of his own, canonicalises each, and adopts the first whose
+polynomial evaluation matches.  Communication is the information-theoretic
+optimum ``O(d log n)`` bits (Theorem 4.4 proves the matching lower bound);
+computation is astronomically expensive, so the implementation is gated to
+very small graphs and serves as the exact reference the efficient Section 5
+schemes are compared against.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.comm.sizing import bits_for_value
+from repro.errors import ParameterError
+from repro.field.prime import prime_at_least
+from repro.graphs.graph import Graph
+from repro.graphs.isomorphism import (
+    MAX_BRUTE_FORCE_VERTICES,
+    canonical_form_small,
+)
+
+
+def _canonical_evaluation(graph: Graph, point: int, prime: int) -> int:
+    bits = canonical_form_small(graph)
+    value = 0
+    power = 1
+    for bit in bits:
+        if bit:
+            value = (value + power) % prime
+        power = (power * point) % prime
+    return value
+
+
+def _graphs_within_changes(graph: Graph, max_changes: int):
+    """Yield every graph obtained by toggling at most ``max_changes`` edge slots."""
+    n = graph.num_vertices
+    slots = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for num_changes in range(max_changes + 1):
+        for flipped in combinations(slots, num_changes):
+            candidate = graph.copy()
+            for u, v in flipped:
+                candidate.toggle_edge(u, v)
+            yield candidate
+
+
+def reconcile_exhaustive(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    seed: int,
+    *,
+    prime: int | None = None,
+) -> ReconciliationResult:
+    """One-round, ``O(d log n)``-bit graph reconciliation (Theorem 4.3).
+
+    ``recovered`` is a graph isomorphic to Alice's obtained by changing at
+    most ``difference_bound`` edges of Bob's graph.  Only feasible for
+    ``n <= 9`` and small ``d`` because Bob enumerates ``O(n^{2d})`` graphs and
+    canonicalises each by brute force.
+    """
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    n = alice.num_vertices
+    if n > MAX_BRUTE_FORCE_VERTICES:
+        raise ParameterError(
+            f"exhaustive reconciliation is limited to {MAX_BRUTE_FORCE_VERTICES} vertices"
+        )
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    if prime is None:
+        # q = n^{2d+3} as in the proof of Theorem 4.3 (with a small floor).
+        prime = prime_at_least(max(17, n ** (2 * difference_bound + 3)))
+
+    transcript = Transcript()
+    rng = random.Random(seed)
+    point = rng.randrange(prime)
+    evaluation = _canonical_evaluation(alice, point, prime)
+    transcript.send(
+        "alice",
+        "canonical-form fingerprint",
+        2 * bits_for_value(prime - 1),
+        payload=(point, evaluation),
+    )
+
+    for candidate in _graphs_within_changes(bob, difference_bound):
+        if _canonical_evaluation(candidate, point, prime) == evaluation:
+            return ReconciliationResult(
+                True,
+                candidate,
+                transcript,
+                details={"prime": prime},
+            )
+    return ReconciliationResult(
+        False, None, transcript, details={"failure": "no-candidate-matched", "prime": prime}
+    )

@@ -1,0 +1,169 @@
+"""Graph isomorphism: brute-force canonical forms and the fingerprint protocol.
+
+Theorem 4.1 gives a folklore ``O(log q)``-bit protocol for unlabeled graph
+isomorphism with unbounded computation: both parties canonicalise their
+graphs, interpret the canonical adjacency bits as polynomial coefficients
+over ``Z_q``, and compare a random evaluation (Schwartz-Zippel).  Canonical
+forms are computed by brute force over vertex permutations, so this is only
+feasible for small graphs; it exists here as the reference point for the
+exhaustive reconciliation protocol (Theorem 4.3) and to demonstrate Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.comm.sizing import bits_for_value
+from repro.errors import ParameterError
+from repro.field.prime import prime_at_least
+from repro.graphs.graph import Graph
+
+#: Brute-force canonicalisation enumerates n! permutations; keep n small.
+MAX_BRUTE_FORCE_VERTICES = 9
+
+
+def _adjacency_bits(graph: Graph, ordering: tuple[int, ...]) -> tuple[int, ...]:
+    """Upper-triangle adjacency bits of the graph under a vertex ordering."""
+    bits = []
+    n = graph.num_vertices
+    for i in range(n):
+        for j in range(i + 1, n):
+            bits.append(1 if graph.has_edge(ordering[i], ordering[j]) else 0)
+    return tuple(bits)
+
+
+def canonical_form_small(graph: Graph) -> tuple[int, ...]:
+    """Lexicographically smallest adjacency bit string over all orderings.
+
+    This realises the paper's "first graph in increasing lexicographical
+    order which is isomorphic to G" for graphs small enough to enumerate.
+    """
+    n = graph.num_vertices
+    if n > MAX_BRUTE_FORCE_VERTICES:
+        raise ParameterError(
+            f"brute-force canonicalisation is limited to {MAX_BRUTE_FORCE_VERTICES} vertices"
+        )
+    if n == 0:
+        return ()
+    return min(_adjacency_bits(graph, ordering) for ordering in permutations(range(n)))
+
+
+def are_isomorphic_small(first: Graph, second: Graph) -> bool:
+    """Exact isomorphism test for small graphs (shared canonical form)."""
+    if first.num_vertices != second.num_vertices:
+        return False
+    return canonical_form_small(first) == canonical_form_small(second)
+
+
+@dataclass(frozen=True)
+class FingerprintMessage:
+    """Alice's message in the Theorem 4.1 protocol: the point and the evaluation."""
+
+    point: int
+    evaluation: int
+    prime: int
+
+    @property
+    def size_bits(self) -> int:
+        return 2 * bits_for_value(self.prime - 1)
+
+
+def _canonical_polynomial_evaluation(graph: Graph, point: int, prime: int) -> int:
+    """Evaluate the canonical-form polynomial ``sum bits[i] * point^i`` in Z_q."""
+    bits = canonical_form_small(graph)
+    value = 0
+    power = 1
+    for bit in bits:
+        if bit:
+            value = (value + power) % prime
+        power = (power * point) % prime
+    return value
+
+
+def isomorphism_fingerprint_protocol(
+    alice: Graph,
+    bob: Graph,
+    seed: int,
+    *,
+    prime: int | None = None,
+) -> ReconciliationResult:
+    """The one-message isomorphism protocol of Theorem 4.1.
+
+    ``recovered`` is the boolean verdict (True = isomorphic).  The failure
+    probability is ``O(n^2 / q)``; the default prime is ``>= n^4`` so the
+    verdict is wrong with probability at most ``O(1/n^2)``.
+    """
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("isomorphism protocol requires equal vertex counts")
+    n = alice.num_vertices
+    if prime is None:
+        prime = prime_at_least(max(17, n**4))
+    transcript = Transcript()
+    rng = random.Random(seed)
+    point = rng.randrange(prime)
+    message = FingerprintMessage(
+        point, _canonical_polynomial_evaluation(alice, point, prime), prime
+    )
+    transcript.send("alice", "canonical fingerprint", message.size_bits, payload=message)
+    bob_evaluation = _canonical_polynomial_evaluation(bob, message.point, prime)
+    verdict = bob_evaluation == message.evaluation
+    return ReconciliationResult(True, verdict, transcript, details={"prime": prime})
+
+
+def one_edge_extensions(graph: Graph) -> list[Graph]:
+    """All graphs obtained by adding exactly one missing edge."""
+    extensions = []
+    for u in range(graph.num_vertices):
+        for v in range(u + 1, graph.num_vertices):
+            if not graph.has_edge(u, v):
+                extended = graph.copy()
+                extended.add_edge(u, v)
+                extensions.append(extended)
+    return extensions
+
+
+def merge_ambiguity_classes(first: Graph, second: Graph) -> list[tuple[int, ...]]:
+    """Isomorphism classes reachable by adding one edge to *each* graph.
+
+    Returns the distinct canonical forms ``C`` such that there exist single
+    edges ``e1, e2`` with ``first + e1`` isomorphic to ``second + e2`` and of
+    canonical form ``C``.  Figure 1's point is exactly that this list can
+    contain more than one class (the "union" of two unlabeled graphs is not
+    well defined) even when no single-sided edge addition makes the graphs
+    isomorphic.
+    """
+    second_forms = {canonical_form_small(extended) for extended in one_edge_extensions(second)}
+    classes = set()
+    for extended in one_edge_extensions(first):
+        form = canonical_form_small(extended)
+        if form in second_forms:
+            classes.add(form)
+    return sorted(classes)
+
+
+def single_sided_merge_possible(first: Graph, second: Graph) -> bool:
+    """True if adding one edge to only one of the graphs makes them isomorphic."""
+    second_form = canonical_form_small(second)
+    if any(canonical_form_small(g) == second_form for g in one_edge_extensions(first)):
+        return True
+    first_form = canonical_form_small(first)
+    return any(canonical_form_small(g) == first_form for g in one_edge_extensions(second))
+
+
+def figure1_graphs() -> tuple[Graph, Graph]:
+    """A pair of graphs reproducing the phenomenon illustrated by Figure 1.
+
+    Adding a single edge to each graph can produce isomorphic results in more
+    than one mutually non-isomorphic way, while no single-sided edge addition
+    makes the graphs isomorphic -- i.e. the "union" of two unlabeled graphs
+    is not well defined (verified by the test suite via
+    :func:`merge_ambiguity_classes` and :func:`single_sided_merge_possible`).
+    """
+    # A triangle with a pendant edge plus an isolated vertex ("paw" + K1) ...
+    paw = Graph(5, [(0, 1), (0, 2), (0, 3), (1, 2)])
+    # ... and a "chair": a star on {0,1,2,3} with one extra edge hanging off a leaf.
+    chair = Graph(5, [(0, 1), (0, 2), (0, 3), (1, 4)])
+    return paw, chair

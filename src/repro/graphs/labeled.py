@@ -1,0 +1,58 @@
+"""Labeled graph reconciliation.
+
+If the two graphs share a vertex labeling, reconciling them "is equivalent to
+set reconciliation on their sets of labeled edges" (Section 4).  Every random
+graph / forest scheme reduces to this after its signature step has aligned
+the labelings.
+"""
+
+from __future__ import annotations
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.core.setrecon import reconcile_known_d, reconcile_unknown_d
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+
+
+def reconcile_labeled_graphs(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int | None,
+    seed: int,
+    *,
+    transcript: Transcript | None = None,
+) -> ReconciliationResult:
+    """Reconcile two graphs that share a vertex labeling.
+
+    Parameters
+    ----------
+    alice, bob:
+        Graphs on the same vertex set with the same labeling.
+    difference_bound:
+        Bound on the number of differing edges; pass ``None`` to use the
+        two-round estimator-based protocol instead (Corollary 3.2).
+    seed:
+        Shared seed.
+
+    Returns
+    -------
+    ReconciliationResult
+        ``recovered`` is Alice's graph (as a :class:`Graph`).
+    """
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("labeled reconciliation requires equal vertex counts")
+    universe = alice.edge_key_universe
+    if difference_bound is None:
+        result = reconcile_unknown_d(alice.edge_keys(), bob.edge_keys(), universe, seed)
+    else:
+        result = reconcile_known_d(
+            alice.edge_keys(),
+            bob.edge_keys(),
+            difference_bound,
+            universe,
+            seed,
+            transcript=transcript,
+        )
+    if result.success:
+        result.recovered = Graph.from_edge_keys(alice.num_vertices, result.recovered)
+    return result

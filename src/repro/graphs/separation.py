@@ -1,0 +1,135 @@
+"""Signature schemes and their robustness properties (Section 5).
+
+Two vertex-signature schemes are used to align unlabeled random graphs:
+
+* **Degree ordering** (Section 5.1, after Babai-Erdos-Selkow): sort vertices
+  by degree; the ``h`` highest-degree vertices are identified by their degree
+  rank, every other vertex by the subset of those ``h`` vertices it is
+  adjacent to.  Robust when the graph is ``(h, a, b)``-separated
+  (Definition 5.1).
+* **Degree neighborhood** (Section 5.2, after Czajka-Pandurangan): a vertex's
+  signature is the multiset of its neighbors' degrees, truncated at ``m``.
+  Robust when all degree neighborhoods are ``(m, k)``-disjoint
+  (Definition 5.4).
+
+This module computes both kinds of signatures and checks both robustness
+properties (used by Theorems 5.3 and 5.5's experiments).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import ParameterError
+from repro.graphs.graph import Graph
+
+
+# ---------------------------------------------------------------------------
+# Degree-ordering scheme (Definition 5.1)
+# ---------------------------------------------------------------------------
+
+
+def degree_sorted_vertices(graph: Graph) -> list[int]:
+    """Vertices sorted by decreasing degree (ties broken by vertex id)."""
+    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+
+
+def degree_order_signatures(
+    graph: Graph, num_top: int
+) -> tuple[list[int], dict[int, frozenset[int]]]:
+    """Compute the degree-ordering signatures.
+
+    Returns
+    -------
+    (top_vertices, signatures):
+        ``top_vertices`` is the list of the ``num_top`` highest-degree
+        vertices (in degree order).  ``signatures[v]``, for every other
+        vertex ``v``, is the subset of ``{0, ..., num_top-1}`` recording which
+        top vertices ``v`` is adjacent to (the paper's ``sig(v)`` read as a
+        set rather than a bit string).
+    """
+    if num_top < 0 or num_top > graph.num_vertices:
+        raise ParameterError("num_top must lie in [0, num_vertices]")
+    ordered = degree_sorted_vertices(graph)
+    top_vertices = ordered[:num_top]
+    top_index = {vertex: index for index, vertex in enumerate(top_vertices)}
+    signatures: dict[int, frozenset[int]] = {}
+    for vertex in ordered[num_top:]:
+        adjacency = graph.neighbors(vertex)
+        signatures[vertex] = frozenset(
+            top_index[top] for top in top_vertices if top in adjacency
+        )
+    return top_vertices, signatures
+
+
+def is_degree_separated(graph: Graph, num_top: int, degree_gap: int, signature_gap: int) -> bool:
+    """Check Definition 5.1: the graph is ``(h, a, b)``-separated.
+
+    * the top ``h`` degrees are pairwise separated by at least ``a``;
+    * the signatures of all remaining vertices are pairwise at Hamming
+      distance at least ``b``.
+    """
+    ordered = degree_sorted_vertices(graph)
+    degrees = [graph.degree(v) for v in ordered]
+    for index in range(min(num_top, len(ordered) - 1)):
+        if degrees[index] - degrees[index + 1] < degree_gap:
+            return False
+    _, signatures = degree_order_signatures(graph, num_top)
+    signature_list = list(signatures.values())
+    for i in range(len(signature_list)):
+        for j in range(i + 1, len(signature_list)):
+            if len(signature_list[i] ^ signature_list[j]) < signature_gap:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Degree-neighborhood scheme (Definition 5.4)
+# ---------------------------------------------------------------------------
+
+
+def degree_neighborhood_signatures(graph: Graph, max_degree: int) -> dict[int, Counter]:
+    """The multiset ``D_v`` of degrees (at most ``max_degree``) of ``v``'s neighbors."""
+    if max_degree < 0:
+        raise ParameterError("max_degree must be non-negative")
+    degrees = graph.degree_sequence()
+    signatures: dict[int, Counter] = {}
+    for vertex in graph.vertices():
+        counter: Counter = Counter()
+        for neighbor in graph.neighbors(vertex):
+            if degrees[neighbor] <= max_degree:
+                counter[degrees[neighbor]] += 1
+        signatures[vertex] = counter
+    return signatures
+
+
+def multiset_difference_size(first: Counter, second: Counter) -> int:
+    """``|D_u xor D_v|`` for two degree multisets."""
+    keys = set(first) | set(second)
+    return sum(abs(first.get(key, 0) - second.get(key, 0)) for key in keys)
+
+
+def neighborhood_disjointness(graph: Graph, max_degree: int) -> int:
+    """The smallest pairwise multiset difference among all vertex signatures.
+
+    The graph's degree neighborhoods are ``(max_degree, k)``-disjoint exactly
+    when this value is at least ``k`` (Definition 5.4).  Returns a large
+    sentinel for graphs with fewer than two vertices.
+    """
+    signatures = list(degree_neighborhood_signatures(graph, max_degree).values())
+    if len(signatures) < 2:
+        return graph.num_vertices * graph.num_vertices
+    best = None
+    for i in range(len(signatures)):
+        for j in range(i + 1, len(signatures)):
+            difference = multiset_difference_size(signatures[i], signatures[j])
+            if best is None or difference < best:
+                best = difference
+                if best == 0:
+                    return 0
+    return best if best is not None else 0
+
+
+def are_neighborhoods_disjoint(graph: Graph, max_degree: int, min_difference: int) -> bool:
+    """Check Definition 5.4: all degree neighborhoods ``(max_degree, min_difference)``-disjoint."""
+    return neighborhood_disjointness(graph, max_degree) >= min_difference

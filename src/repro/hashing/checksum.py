@@ -1,0 +1,45 @@
+"""Checksums for IBLT cells and whole-set verification hashes.
+
+The IBLT of Section 2 stores, per cell, the XOR of a *checksum* of every key
+hashed there.  The checksum must be wide enough that distinct keys do not
+collide with high probability; the paper uses Theta(log u) bits.  The same
+primitive doubles as the whole-set hash protocols attach to guard against
+undetected checksum failures ("we often ward against checksum failures by
+augmenting the set recovery process with a hash of each of the sets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hashing.prf import SeededHasher, derive_seed
+
+
+@dataclass(frozen=True)
+class Checksum:
+    """A seeded fixed-width checksum function for integer keys.
+
+    Parameters
+    ----------
+    seed:
+        Shared seed.
+    bits:
+        Checksum width; 32 bits is the library default, which keeps the
+        per-cell overhead modest while making collisions among the handful of
+        keys in any one reconciliation negligible.
+    """
+
+    seed: int
+    bits: int = 32
+
+    def _hasher(self) -> SeededHasher:
+        return SeededHasher(derive_seed(self.seed, "checksum"), self.bits)
+
+    def of_key(self, key: int) -> int:
+        """Checksum of a single key."""
+        return self._hasher().hash_int(key)
+
+    def of_set(self, values: Iterable[int]) -> int:
+        """Order-independent checksum of a collection of keys (XOR-combined)."""
+        return self._hasher().hash_iterable(values)

@@ -1,0 +1,77 @@
+"""Families of independent seeded hash functions.
+
+An IBLT with ``k`` hash functions needs ``k`` independent functions that both
+parties agree on.  :class:`HashFamily` derives them from a single seed.  The
+family also provides the *partitioned* bucket mapping recommended by the
+paper ("one can use a partitioned hash table, with each hash function having
+m/k cells"), which guarantees that the k cells a key maps to are distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.hashing.prf import SeededHasher, derive_seed
+
+
+@dataclass
+class HashFamily:
+    """``k`` independent hash functions mapping keys to cells of a table.
+
+    Parameters
+    ----------
+    seed:
+        Shared seed.
+    num_hashes:
+        Number of hash functions ``k``.
+    num_cells:
+        Total number of table cells ``m``.  The table is partitioned into
+        ``k`` contiguous regions; hash function ``i`` maps into region ``i``.
+    """
+
+    seed: int
+    num_hashes: int
+    num_cells: int
+    _hashers: list[SeededHasher] = field(init=False, repr=False, default_factory=list)
+    _region_bounds: list[tuple[int, int]] = field(
+        init=False, repr=False, default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_hashes <= 0:
+            raise ParameterError("num_hashes must be positive")
+        if self.num_cells < self.num_hashes:
+            raise ParameterError("num_cells must be at least num_hashes")
+        self._hashers = [
+            SeededHasher(derive_seed(self.seed, "hash-family", index), 128)
+            for index in range(self.num_hashes)
+        ]
+        base = self.num_cells // self.num_hashes
+        remainder = self.num_cells % self.num_hashes
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        for index in range(self.num_hashes):
+            size = base + (1 if index < remainder else 0)
+            bounds.append((start, size))
+            start += size
+        self._region_bounds = bounds
+
+    def cells_for(self, key: int) -> list[int]:
+        """Return the ``k`` distinct cell indices for ``key``.
+
+        One cell per partition region, so the indices are always distinct.
+        """
+        cells: list[int] = []
+        for hasher, (start, size) in zip(self._hashers, self._region_bounds):
+            cells.append(start + hasher.hash_to_range(key, size))
+        return cells
+
+    def region_of(self, cell_index: int) -> int:
+        """Return which hash function's region a cell index belongs to."""
+        if not 0 <= cell_index < self.num_cells:
+            raise ParameterError("cell index out of range")
+        for region, (start, size) in enumerate(self._region_bounds):
+            if start <= cell_index < start + size:
+                return region
+        raise ParameterError("cell index out of range")  # pragma: no cover

@@ -1,0 +1,62 @@
+"""Pairwise-independent hash functions.
+
+The paper repeatedly asks for ``O(log s)``-bit *pairwise independent* hashes
+(child-set hashes in Algorithm 1, vertex signatures in Section 6).  The
+classic construction ``h(x) = ((a*x + b) mod p) mod m`` with ``a, b`` drawn
+uniformly from a prime field is pairwise independent; we draw ``a`` and ``b``
+deterministically from the shared seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.hashing.prf import SeededHasher
+
+#: A Mersenne prime comfortably larger than any 64-bit input; arithmetic mod
+#: this prime is exact with Python integers.
+_DEFAULT_PRIME = (1 << 89) - 1
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """``h(x) = ((a*x + b) mod p) mod out_range`` with seeded coefficients.
+
+    Parameters
+    ----------
+    seed:
+        Shared seed from which ``a`` (nonzero) and ``b`` are derived.
+    out_range:
+        Size of the output range; outputs lie in ``[0, out_range)``.
+    prime:
+        Field prime; must exceed both the largest input and ``out_range``.
+        Defaults to a 89-bit Mersenne prime suitable for 64-bit inputs.
+    """
+
+    seed: int
+    out_range: int
+    prime: int = _DEFAULT_PRIME
+    _a: int = field(init=False, repr=False, default=0)
+    _b: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.out_range <= 0:
+            raise ParameterError("out_range must be positive")
+        if self.prime <= self.out_range:
+            raise ParameterError("prime must exceed out_range")
+        coeff_source = SeededHasher(self.seed, 128)
+        a = coeff_source.hash_int(1) % (self.prime - 1) + 1
+        b = coeff_source.hash_int(2) % self.prime
+        object.__setattr__(self, "_a", a)
+        object.__setattr__(self, "_b", b)
+
+    @property
+    def out_bits(self) -> int:
+        """Number of bits needed to represent an output value."""
+        return max(1, (self.out_range - 1).bit_length())
+
+    def __call__(self, value: int) -> int:
+        if value < 0:
+            raise ParameterError("PairwiseHash inputs must be non-negative")
+        return ((self._a * value + self._b) % self.prime) % self.out_range

@@ -1,0 +1,70 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing splits a key into byte-sized characters and XORs together
+per-character lookup tables of random words.  It is 3-wise independent and
+very fast, and serves in this library as an alternative key hash for IBLT
+bucket selection (the paper only needs limited independence for the IBLT hash
+functions; tabulation hashing is a standard practical choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.hashing.prf import SeededHasher
+
+
+@dataclass
+class TabulationHash:
+    """Tabulation hash over fixed-width integer keys.
+
+    Parameters
+    ----------
+    seed:
+        Shared seed used to fill the lookup tables deterministically.
+    key_bits:
+        Maximum width of input keys in bits; keys are processed as
+        ``ceil(key_bits / 8)`` characters of 8 bits each.
+    out_bits:
+        Width of the output hash value.
+    """
+
+    seed: int
+    key_bits: int = 64
+    out_bits: int = 64
+    _tables: list[list[int]] = field(init=False, repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.key_bits <= 0 or self.out_bits <= 0:
+            raise ParameterError("key_bits and out_bits must be positive")
+        num_chars = (self.key_bits + 7) // 8
+        filler = SeededHasher(self.seed, self.out_bits)
+        tables: list[list[int]] = []
+        for char_index in range(num_chars):
+            table = [
+                filler.hash_int((char_index << 16) | byte_value)
+                for byte_value in range(256)
+            ]
+            tables.append(table)
+        self._tables = tables
+
+    def __call__(self, key: int) -> int:
+        if key < 0:
+            raise ParameterError("TabulationHash inputs must be non-negative")
+        if key.bit_length() > self.key_bits:
+            raise ParameterError(
+                f"key of {key.bit_length()} bits exceeds configured width "
+                f"{self.key_bits}"
+            )
+        result = 0
+        for table in self._tables:
+            result ^= table[key & 0xFF]
+            key >>= 8
+        return result
+
+    def hash_to_range(self, key: int, modulus: int) -> int:
+        """Hash ``key`` into ``[0, modulus)``."""
+        if modulus <= 0:
+            raise ParameterError("modulus must be positive")
+        return self(key) % modulus

@@ -1,0 +1,357 @@
+"""The Invertible Bloom Lookup Table.
+
+Each cell stores ``(count, key_xor, check_xor)`` exactly as described in
+Section 2 of the paper: the number of keys hashed to the cell, the XOR of
+those keys, and the XOR of a fixed-width checksum of those keys.  Deleting a
+key is the same operation with the count decremented, so counts can go
+negative; a table can therefore represent the *signed difference* of two
+sets, which is how set reconciliation uses it (insert Alice's elements,
+delete Bob's, peel what remains).
+
+Peeling repeatedly extracts "pure" cells (count of +1 or -1 whose key
+checksum matches the cell checksum) until the table is empty or stuck.  The
+two failure modes of the paper are surfaced distinctly: a peeling failure
+leaves the table non-empty and is always detected; a checksum failure is
+caught when the final table is not structurally empty or by the caller's
+whole-set hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, DecodeError, ParameterError
+from repro.hashing import Checksum, HashFamily, derive_seed
+from repro.iblt.sizing import cells_for_difference
+
+
+@dataclass(frozen=True)
+class IBLTParameters:
+    """Configuration that both parties must share for their IBLTs to combine.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of cells ``m``.
+    key_bits:
+        Width of keys in bits.  Keys are non-negative integers below
+        ``2**key_bits``.
+    seed:
+        Shared seed (public coins) from which the bucket hash functions and
+        the cell checksum function are derived.
+    num_hashes:
+        Number of hash functions ``k``.
+    checksum_bits:
+        Width of the per-key checksum stored (XORed) in each cell.
+    count_bits:
+        Width used for the cell count in the serialized form.  Counts are
+        stored in two's complement, so values in
+        ``[-2**(count_bits-1), 2**(count_bits-1))`` are representable.
+    """
+
+    num_cells: int
+    key_bits: int
+    seed: int
+    num_hashes: int = 4
+    checksum_bits: int = 32
+    count_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_cells < self.num_hashes:
+            raise ParameterError("num_cells must be at least num_hashes")
+        if self.key_bits <= 0:
+            raise ParameterError("key_bits must be positive")
+        if self.num_hashes < 2:
+            raise ParameterError("num_hashes must be at least 2")
+        if self.checksum_bits < 8:
+            raise ParameterError("checksum_bits must be at least 8")
+        if self.count_bits < 4:
+            raise ParameterError("count_bits must be at least 4")
+
+    @classmethod
+    def for_difference(
+        cls,
+        difference_bound: int,
+        key_bits: int,
+        seed: int,
+        num_hashes: int = 4,
+        checksum_bits: int = 32,
+        count_bits: int = 16,
+    ) -> "IBLTParameters":
+        """Parameters sized (via :func:`cells_for_difference`) for ``d`` keys."""
+        cells = cells_for_difference(max(1, difference_bound), num_hashes)
+        return cls(
+            num_cells=cells,
+            key_bits=key_bits,
+            seed=seed,
+            num_hashes=num_hashes,
+            checksum_bits=checksum_bits,
+            count_bits=count_bits,
+        )
+
+    @property
+    def cell_bits(self) -> int:
+        """Serialized width of a single cell in bits."""
+        return self.count_bits + self.key_bits + self.checksum_bits
+
+    @property
+    def size_bits(self) -> int:
+        """Serialized width of the whole table in bits."""
+        return self.num_cells * self.cell_bits
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of attempting to decode an IBLT.
+
+    Attributes
+    ----------
+    success:
+        True if the peeling emptied the table.
+    positive:
+        Keys recovered with positive count (inserted more often than deleted;
+        for reconciliation these are ``S_A \\ S_B``).
+    negative:
+        Keys recovered with negative count (``S_B \\ S_A``).
+    """
+
+    success: bool
+    positive: set[int] = field(default_factory=set)
+    negative: set[int] = field(default_factory=set)
+
+    def symmetric_difference_size(self) -> int:
+        """Number of keys recovered on either side."""
+        return len(self.positive) + len(self.negative)
+
+
+class IBLT:
+    """An Invertible Bloom Lookup Table over fixed-width integer keys."""
+
+    def __init__(self, params: IBLTParameters) -> None:
+        self.params = params
+        self._counts = [0] * params.num_cells
+        self._key_xor = [0] * params.num_cells
+        self._check_xor = [0] * params.num_cells
+        self._family = HashFamily(
+            derive_seed(params.seed, "iblt-buckets"),
+            params.num_hashes,
+            params.num_cells,
+        )
+        self._checksum = Checksum(
+            derive_seed(params.seed, "iblt-checksum"), params.checksum_bits
+        )
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def from_items(cls, params: IBLTParameters, items) -> "IBLT":
+        """Build a table with every item of ``items`` inserted ("encode a set")."""
+        table = cls(params)
+        for item in items:
+            table.insert(item)
+        return table
+
+    def copy(self) -> "IBLT":
+        """Deep copy of the table (shares the immutable parameters)."""
+        clone = IBLT(self.params)
+        clone._counts = list(self._counts)
+        clone._key_xor = list(self._key_xor)
+        clone._check_xor = list(self._check_xor)
+        return clone
+
+    # -- mutation -------------------------------------------------------------------
+
+    def _validate_key(self, key: int) -> None:
+        if key < 0:
+            raise ParameterError("IBLT keys must be non-negative")
+        if key.bit_length() > self.params.key_bits:
+            raise CapacityError(
+                f"key of {key.bit_length()} bits exceeds key_bits="
+                f"{self.params.key_bits}"
+            )
+
+    def _update(self, key: int, delta: int) -> None:
+        self._validate_key(key)
+        check = self._checksum.of_key(key)
+        for cell in self._family.cells_for(key):
+            self._counts[cell] += delta
+            self._key_xor[cell] ^= key
+            self._check_xor[cell] ^= check
+
+    def insert(self, key: int) -> None:
+        """Add a key to the table."""
+        self._update(key, +1)
+
+    def delete(self, key: int) -> None:
+        """Remove a key from the table (counts may go negative)."""
+        self._update(key, -1)
+
+    def insert_all(self, keys) -> None:
+        """Insert every key of an iterable."""
+        for key in keys:
+            self.insert(key)
+
+    def delete_all(self, keys) -> None:
+        """Delete every key of an iterable."""
+        for key in keys:
+            self.delete(key)
+
+    # -- combination ----------------------------------------------------------------
+
+    def _check_compatible(self, other: "IBLT") -> None:
+        if self.params != other.params:
+            raise ParameterError("cannot combine IBLTs with different parameters")
+
+    def subtract(self, other: "IBLT") -> "IBLT":
+        """Return a new table representing ``self - other``.
+
+        If ``self`` encodes Alice's set and ``other`` encodes Bob's, the
+        result encodes the signed symmetric difference and can be decoded to
+        recover it (the "combine Alice and Bob's IBLTs" operation of
+        Section 2).
+        """
+        self._check_compatible(other)
+        result = self.copy()
+        for cell in range(self.params.num_cells):
+            result._counts[cell] -= other._counts[cell]
+            result._key_xor[cell] ^= other._key_xor[cell]
+            result._check_xor[cell] ^= other._check_xor[cell]
+        return result
+
+    def merge(self, other: "IBLT") -> "IBLT":
+        """Return a new table representing the sum ``self + other``."""
+        self._check_compatible(other)
+        result = self.copy()
+        for cell in range(self.params.num_cells):
+            result._counts[cell] += other._counts[cell]
+            result._key_xor[cell] ^= other._key_xor[cell]
+            result._check_xor[cell] ^= other._check_xor[cell]
+        return result
+
+    # -- inspection -----------------------------------------------------------------
+
+    def is_structurally_empty(self) -> bool:
+        """True if every cell is all-zero (no keys remain, barring cancellation)."""
+        return (
+            all(count == 0 for count in self._counts)
+            and all(key == 0 for key in self._key_xor)
+            and all(check == 0 for check in self._check_xor)
+        )
+
+    def _is_pure(self, cell: int) -> bool:
+        """A cell is pure when it holds exactly one key (checksum-verified)."""
+        if self._counts[cell] not in (1, -1):
+            return False
+        return self._check_xor[cell] == self._checksum.of_key(self._key_xor[cell])
+
+    # -- decoding -------------------------------------------------------------------
+
+    def try_decode(self) -> DecodeResult:
+        """Peel the table and report what was recovered.
+
+        The table itself is not modified; peeling happens on a working copy.
+        """
+        work = self.copy()
+        positive: set[int] = set()
+        negative: set[int] = set()
+        pending = [cell for cell in range(work.params.num_cells) if work._is_pure(cell)]
+        while pending:
+            cell = pending.pop()
+            if not work._is_pure(cell):
+                continue
+            key = work._key_xor[cell]
+            sign = work._counts[cell]
+            if sign == 1:
+                positive.add(key)
+            else:
+                negative.add(key)
+            # Remove the key from every cell it hashes to (including this one).
+            check = work._checksum.of_key(key)
+            for touched in work._family.cells_for(key):
+                work._counts[touched] -= sign
+                work._key_xor[touched] ^= key
+                work._check_xor[touched] ^= check
+                if work._is_pure(touched):
+                    pending.append(touched)
+        success = work.is_structurally_empty()
+        if not success:
+            # A failed peel must not report partial sets that overlap; we keep
+            # what was recovered (useful to the cascading protocol) but flag it.
+            return DecodeResult(False, positive, negative)
+        return DecodeResult(True, positive, negative)
+
+    def decode(self) -> tuple[set[int], set[int]]:
+        """Peel the table; raise :class:`DecodeError` if it does not empty."""
+        result = self.try_decode()
+        if not result.success:
+            raise DecodeError(
+                f"IBLT with {self.params.num_cells} cells failed to decode"
+            )
+        return result.positive, result.negative
+
+    # -- serialization ---------------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """Serialized size in bits (what a protocol pays to transmit this table)."""
+        return self.params.size_bits
+
+    def serialize(self) -> int:
+        """Canonical fixed-width integer encoding of the table contents.
+
+        The encoding packs cells from index 0 upward, each as
+        ``count (two's complement) || key_xor || check_xor``.  Because the
+        width is fully determined by the parameters, a serialized table can be
+        used as a fixed-width key of a *parent* IBLT (Section 3.2).
+        """
+        params = self.params
+        count_limit = 1 << params.count_bits
+        half = count_limit >> 1
+        encoded = 0
+        for cell in range(params.num_cells):
+            count = self._counts[cell]
+            if not -half <= count < half:
+                raise CapacityError(
+                    f"cell count {count} does not fit in {params.count_bits} bits"
+                )
+            encoded = (encoded << params.count_bits) | (count % count_limit)
+            encoded = (encoded << params.key_bits) | self._key_xor[cell]
+            encoded = (encoded << params.checksum_bits) | self._check_xor[cell]
+        return encoded
+
+    @classmethod
+    def deserialize(cls, params: IBLTParameters, encoded: int) -> "IBLT":
+        """Inverse of :meth:`serialize`."""
+        if encoded < 0 or encoded.bit_length() > params.size_bits:
+            raise ParameterError("encoded value does not match the parameters")
+        table = cls(params)
+        count_limit = 1 << params.count_bits
+        half = count_limit >> 1
+        key_mask = (1 << params.key_bits) - 1
+        check_mask = (1 << params.checksum_bits) - 1
+        for cell in range(params.num_cells - 1, -1, -1):
+            table._check_xor[cell] = encoded & check_mask
+            encoded >>= params.checksum_bits
+            table._key_xor[cell] = encoded & key_mask
+            encoded >>= params.key_bits
+            raw_count = encoded & (count_limit - 1)
+            encoded >>= params.count_bits
+            table._counts[cell] = raw_count - count_limit if raw_count >= half else raw_count
+        return table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IBLT):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self._counts == other._counts
+            and self._key_xor == other._key_xor
+            and self._check_xor == other._check_xor
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        occupied = sum(1 for count in self._counts if count != 0)
+        return (
+            f"IBLT(cells={self.params.num_cells}, key_bits={self.params.key_bits}, "
+            f"occupied={occupied})"
+        )

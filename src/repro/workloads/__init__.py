@@ -1,0 +1,43 @@
+"""Synthetic workload generators for tests, examples and benchmarks.
+
+The paper has no datasets; every experiment runs on synthetic inputs with a
+*planted*, exactly-known difference, so measured communication can be related
+to the true ``d``.  Generators:
+
+* :mod:`repro.workloads.sets_of_sets` -- random parent sets and controlled
+  perturbations; includes the dense "binary database" regime of Table 1.
+* :mod:`repro.workloads.forests` -- random shallow rooted forests and the
+  paper's edge-edit model.
+* :mod:`repro.workloads.database` -- random binary tables with bit flips.
+* :mod:`repro.workloads.documents` -- synthetic corpora with edited /
+  fresh documents.
+
+Graph workloads live in :mod:`repro.graphs.random_graphs` (G(n, p),
+perturbations and the planted-separation variant).
+"""
+
+from repro.workloads.sets_of_sets import (
+    SetsOfSetsInstance,
+    random_sets_of_sets,
+    perturb_sets_of_sets,
+    sets_of_sets_instance,
+    table1_instance,
+)
+from repro.workloads.forests import random_forest, perturb_forest, forest_instance
+from repro.workloads.database import random_binary_table, flipped_table_pair
+from repro.workloads.documents import synthetic_corpus, edited_corpus_pair
+
+__all__ = [
+    "SetsOfSetsInstance",
+    "random_sets_of_sets",
+    "perturb_sets_of_sets",
+    "sets_of_sets_instance",
+    "table1_instance",
+    "random_forest",
+    "perturb_forest",
+    "forest_instance",
+    "random_binary_table",
+    "flipped_table_pair",
+    "synthetic_corpus",
+    "edited_corpus_pair",
+]

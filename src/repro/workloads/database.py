@@ -1,0 +1,78 @@
+"""Random binary tables with planted bit flips."""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.table import BinaryTable
+from repro.errors import ParameterError
+
+
+def random_binary_table(
+    num_rows: int, num_columns: int, density: float, seed: int
+) -> BinaryTable:
+    """A table of ``num_rows`` distinct random binary rows.
+
+    Each cell is 1 with probability ``density``; duplicate rows are redrawn so
+    the table genuinely has ``num_rows`` rows.
+    """
+    if not 0.0 < density < 1.0:
+        raise ParameterError("density must lie strictly between 0 and 1")
+    if num_rows <= 0 or num_columns <= 0:
+        raise ParameterError("num_rows and num_columns must be positive")
+    rng = random.Random(seed)
+    columns = [f"c{i}" for i in range(num_columns)]
+    rows: set[frozenset[int]] = set()
+    guard = 0
+    while len(rows) < num_rows:
+        guard += 1
+        if guard > 100 * num_rows:
+            raise ParameterError("could not generate enough distinct rows")
+        row = frozenset(
+            column for column in range(num_columns) if rng.random() < density
+        )
+        rows.add(row)
+    return BinaryTable(columns, rows)
+
+
+def flipped_table_pair(
+    num_rows: int,
+    num_columns: int,
+    density: float,
+    num_flips: int,
+    seed: int,
+    *,
+    max_rows_touched: int | None = None,
+) -> tuple[BinaryTable, BinaryTable, int]:
+    """Alice's table plus Bob's copy with ``num_flips`` random bit flips.
+
+    Returns ``(alice, bob, flips_applied)``.  Flips are spread over at most
+    ``max_rows_touched`` rows when given.
+    """
+    alice = random_binary_table(num_rows, num_columns, density, seed)
+    rng = random.Random(seed + 1)
+    bob_rows = [set(row) for row in sorted(alice.rows(), key=sorted)]
+    limit = len(bob_rows) if max_rows_touched is None else min(max_rows_touched, len(bob_rows))
+    touched_indices = rng.sample(range(len(bob_rows)), limit)
+    applied = 0
+    guard = 0
+    while applied < num_flips and guard < 100 * (num_flips + 1):
+        guard += 1
+        row = bob_rows[rng.choice(touched_indices)]
+        column = rng.randrange(num_columns)
+        if column in row:
+            row.discard(column)
+        else:
+            row.add(column)
+        applied += 1
+    bob = BinaryTable(alice.columns, bob_rows)
+    if bob.num_rows != alice.num_rows:
+        return flipped_table_pair(
+            num_rows,
+            num_columns,
+            density,
+            num_flips,
+            seed + 7,
+            max_rows_touched=max_rows_touched,
+        )
+    return alice, bob, applied

@@ -1,0 +1,68 @@
+"""Synthetic document corpora with edited and fresh documents."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ParameterError
+
+_VOCABULARY = [
+    "data", "set", "graph", "vertex", "edge", "hash", "table", "protocol",
+    "round", "message", "random", "peeling", "bloom", "filter", "degree",
+    "signature", "forest", "tree", "child", "parent", "universe", "element",
+    "difference", "estimate", "reconcile", "alice", "bob", "polynomial",
+    "field", "cell", "checksum", "count", "stream", "document", "shingle",
+    "database", "row", "column", "binary", "match", "label", "sketch",
+]
+
+
+def _random_sentence(rng: random.Random, num_words: int) -> str:
+    return " ".join(rng.choice(_VOCABULARY) for _ in range(num_words))
+
+
+def synthetic_corpus(
+    num_documents: int, words_per_document: int, seed: int
+) -> list[str]:
+    """A corpus of random word-salad documents."""
+    if num_documents <= 0 or words_per_document <= 0:
+        raise ParameterError("num_documents and words_per_document must be positive")
+    rng = random.Random(seed)
+    return [_random_sentence(rng, words_per_document) for _ in range(num_documents)]
+
+
+def edit_document(text: str, num_edits: int, rng: random.Random) -> str:
+    """Replace ``num_edits`` random words of a document."""
+    words = text.split()
+    for _ in range(min(num_edits, len(words))):
+        position = rng.randrange(len(words))
+        words[position] = rng.choice(_VOCABULARY)
+    return " ".join(words)
+
+
+def edited_corpus_pair(
+    num_documents: int,
+    words_per_document: int,
+    num_edited: int,
+    edits_per_document: int,
+    num_fresh: int,
+    seed: int,
+) -> tuple[list[str], list[str]]:
+    """Alice's corpus and Bob's mostly-identical copy.
+
+    Bob's copy shares most documents verbatim, has ``num_edited`` documents
+    with ``edits_per_document`` word replacements each (near duplicates), and
+    is missing ``num_fresh`` of Alice's documents entirely (fresh documents
+    from Bob's point of view).
+    """
+    if num_edited + num_fresh > num_documents:
+        raise ParameterError("num_edited + num_fresh cannot exceed num_documents")
+    rng = random.Random(seed)
+    alice = synthetic_corpus(num_documents, words_per_document, seed)
+    bob = list(alice)
+    indices = rng.sample(range(num_documents), num_edited + num_fresh)
+    for index in indices[:num_edited]:
+        bob[index] = edit_document(bob[index], edits_per_document, rng)
+    fresh_indices = sorted(indices[num_edited:], reverse=True)
+    for index in fresh_indices:
+        del bob[index]
+    return alice, bob

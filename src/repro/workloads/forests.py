@@ -1,0 +1,114 @@
+"""Random rooted forests and the paper's edge-edit model (Section 6)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.graphs.forest import RootedForest
+
+
+def random_forest(
+    num_vertices: int,
+    seed: int,
+    *,
+    max_depth: int = 6,
+    root_probability: float = 0.1,
+) -> RootedForest:
+    """A random rooted forest with bounded depth.
+
+    Vertices are added one at a time; each new vertex becomes a root with
+    probability ``root_probability`` and otherwise attaches to a uniformly
+    random earlier vertex whose depth is below ``max_depth``.
+    """
+    if num_vertices <= 0:
+        raise ParameterError("num_vertices must be positive")
+    if max_depth < 1:
+        raise ParameterError("max_depth must be at least 1")
+    rng = random.Random(seed)
+    parents: list[int | None] = [None]
+    depths = [0]
+    for vertex in range(1, num_vertices):
+        eligible = [v for v in range(vertex) if depths[v] < max_depth]
+        if not eligible or rng.random() < root_probability:
+            parents.append(None)
+            depths.append(0)
+        else:
+            parent = rng.choice(eligible)
+            parents.append(parent)
+            depths.append(depths[parent] + 1)
+    return RootedForest(parents)
+
+
+def perturb_forest(
+    forest: RootedForest, num_edits: int, seed: int
+) -> tuple[RootedForest, int]:
+    """Apply up to ``num_edits`` edge insertions/deletions preserving forest-ness.
+
+    Deletions detach a random non-root vertex (it becomes a root); insertions
+    attach a random root under a random non-descendant vertex.  Returns the
+    edited forest and the number of edits actually applied.
+    """
+    if num_edits < 0:
+        raise ParameterError("num_edits must be non-negative")
+    rng = random.Random(seed)
+    edited = forest.copy()
+    applied = 0
+    for _ in range(num_edits):
+        non_roots = [v for v in range(edited.num_vertices) if edited.parent(v) is not None]
+        roots = edited.roots()
+        do_delete = non_roots and (not roots or len(roots) < 2 or rng.random() < 0.5)
+        if do_delete and non_roots:
+            edited.delete_edge(rng.choice(non_roots))
+            applied += 1
+            continue
+        if len(roots) >= 2:
+            child = rng.choice(roots)
+            # Pick a parent that is not in child's subtree (any vertex whose
+            # root is different works; a root has itself as subtree root).
+            candidates = [
+                v
+                for v in range(edited.num_vertices)
+                if v != child and not _is_descendant(edited, v, child)
+            ]
+            if candidates:
+                edited.insert_edge(rng.choice(candidates), child)
+                applied += 1
+    return edited, applied
+
+
+def _is_descendant(forest: RootedForest, vertex: int, ancestor: int) -> bool:
+    """True if ``vertex`` lies in the subtree rooted at ``ancestor``."""
+    current: int | None = vertex
+    while current is not None:
+        if current == ancestor:
+            return True
+        current = forest.parent(current)
+    return False
+
+
+@dataclass(frozen=True)
+class ForestInstance:
+    """A generated forest reconciliation instance."""
+
+    alice: RootedForest
+    bob: RootedForest
+    num_edits: int
+    max_depth: int
+
+
+def forest_instance(
+    num_vertices: int,
+    num_edits: int,
+    seed: int,
+    *,
+    max_depth: int = 6,
+    root_probability: float = 0.1,
+) -> ForestInstance:
+    """Generate Alice's forest and Bob's edited copy."""
+    alice = random_forest(
+        num_vertices, seed, max_depth=max_depth, root_probability=root_probability
+    )
+    bob, applied = perturb_forest(alice, num_edits, seed + 1)
+    return ForestInstance(alice, bob, applied, max(alice.max_depth, bob.max_depth))

@@ -1,0 +1,173 @@
+"""Random sets-of-sets instances with planted differences."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.setsofsets import SetOfSets
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SetsOfSetsInstance:
+    """A generated reconciliation instance.
+
+    Attributes
+    ----------
+    alice, bob:
+        The two parent sets.
+    universe_size, max_child_size:
+        The shared parameters ``u`` and ``h`` (``max_child_size`` is an upper
+        bound valid for both sides, including after perturbation).
+    planted_difference:
+        The exact number of element changes applied to turn Alice's parent
+        into Bob's (the paper's ``d`` for this instance).
+    differing_children:
+        Number of child sets touched by the perturbation (a lower bound on
+        the paper's ``d_hat``).
+    """
+
+    alice: SetOfSets
+    bob: SetOfSets
+    universe_size: int
+    max_child_size: int
+    planted_difference: int
+    differing_children: int
+
+
+def random_sets_of_sets(
+    num_children: int,
+    child_size: int,
+    universe_size: int,
+    seed: int,
+    *,
+    child_size_jitter: int = 0,
+) -> SetOfSets:
+    """A parent set of ``num_children`` random child sets.
+
+    Child sets are sampled without replacement from ``[0, universe_size)``;
+    ``child_size_jitter`` adds a uniform ±jitter to each child's size.
+    Children are re-drawn on the (unlikely) event of a duplicate so the
+    parent really has ``num_children`` distinct children.
+    """
+    if child_size <= 0 or child_size + child_size_jitter > universe_size:
+        raise ParameterError("child_size (plus jitter) must lie in (0, universe_size]")
+    rng = random.Random(seed)
+    children: set[frozenset[int]] = set()
+    while len(children) < num_children:
+        size = child_size + (
+            rng.randint(-child_size_jitter, child_size_jitter) if child_size_jitter else 0
+        )
+        size = max(1, min(universe_size, size))
+        children.add(frozenset(rng.sample(range(universe_size), size)))
+    return SetOfSets(children)
+
+
+def perturb_sets_of_sets(
+    parent: SetOfSets,
+    num_changes: int,
+    universe_size: int,
+    seed: int,
+    *,
+    max_children_touched: int | None = None,
+) -> tuple[SetOfSets, int, int]:
+    """Apply exactly ``num_changes`` element insertions/deletions to ``parent``.
+
+    Changes are spread over at most ``max_children_touched`` child sets
+    (default: no limit beyond the child count).  Returns ``(perturbed,
+    actual_changes, children_touched)``; the actual change count can fall
+    slightly short only when the universe is too small to keep children
+    distinct, which the generator avoids by construction.
+    """
+    if num_changes < 0:
+        raise ParameterError("num_changes must be non-negative")
+    rng = random.Random(seed)
+    children = [set(child) for child in parent.sorted_children()]
+    if not children:
+        raise ParameterError("cannot perturb an empty parent set")
+    limit = len(children) if max_children_touched is None else min(
+        max_children_touched, len(children)
+    )
+    touched_indices = rng.sample(range(len(children)), limit)
+    applied = 0
+    touched: set[int] = set()
+    guard = 0
+    while applied < num_changes and guard < 50 * (num_changes + 1):
+        guard += 1
+        index = rng.choice(touched_indices)
+        child = children[index]
+        if child and rng.random() < 0.5:
+            child.discard(rng.choice(sorted(child)))
+        else:
+            candidate = rng.randrange(universe_size)
+            if candidate in child:
+                continue
+            child.add(candidate)
+        applied += 1
+        touched.add(index)
+    perturbed = SetOfSets(children)
+    if perturbed.num_children != parent.num_children:
+        # A perturbation collapsed two children into one (extremely unlikely
+        # with random universes); retry with a different seed offset.
+        return perturb_sets_of_sets(
+            parent,
+            num_changes,
+            universe_size,
+            seed + 1,
+            max_children_touched=max_children_touched,
+        )
+    return perturbed, applied, len(touched)
+
+
+def sets_of_sets_instance(
+    num_children: int,
+    child_size: int,
+    universe_size: int,
+    num_changes: int,
+    seed: int,
+    *,
+    max_children_touched: int | None = None,
+    child_size_jitter: int = 0,
+) -> SetsOfSetsInstance:
+    """Generate a full reconciliation instance (Alice plus perturbed Bob)."""
+    alice = random_sets_of_sets(
+        num_children, child_size, universe_size, seed, child_size_jitter=child_size_jitter
+    )
+    bob, applied, touched = perturb_sets_of_sets(
+        alice,
+        num_changes,
+        universe_size,
+        seed + 1,
+        max_children_touched=max_children_touched,
+    )
+    max_child = max(alice.max_child_size, bob.max_child_size)
+    return SetsOfSetsInstance(alice, bob, universe_size, max_child, applied, touched)
+
+
+def table1_instance(
+    universe_size: int,
+    num_children: int,
+    num_changes: int,
+    seed: int,
+    *,
+    density: float = 0.5,
+    max_children_touched: int | None = None,
+) -> SetsOfSetsInstance:
+    """The Table 1 regime: dense binary-database rows (``h = Theta(u)``).
+
+    Each child set contains about ``density * universe_size`` elements, so
+    ``h = Theta(u)`` and ``n = Theta(s u)`` exactly as in the paper's
+    comparison table; ``num_changes`` is kept small relative to ``s`` and
+    ``h``.
+    """
+    child_size = max(1, int(round(density * universe_size)))
+    return sets_of_sets_instance(
+        num_children,
+        child_size,
+        universe_size,
+        num_changes,
+        seed,
+        max_children_touched=max_children_touched,
+        child_size_jitter=max(1, child_size // 10),
+    )

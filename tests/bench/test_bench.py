@@ -1,0 +1,62 @@
+"""Tests for the experiment harness (measurement and reporting)."""
+
+from repro.bench import format_table, measure_protocol, summarize
+from repro.bench.table1 import Table1Config, run_table1
+from repro.comm import ReconciliationResult, Transcript
+
+
+def _fake_result(success=True, bits=100):
+    transcript = Transcript()
+    transcript.send("alice", "payload", bits)
+    return ReconciliationResult(success, {1} if success else None, transcript)
+
+
+class TestRunner:
+    def test_measure_protocol_counts(self):
+        measurement = measure_protocol("demo", lambda seed: _fake_result(), repeats=4)
+        assert measurement.trials == 4
+        assert measurement.successes == 4
+        assert measurement.success_rate == 1.0
+        assert measurement.median_bits == 100
+        assert measurement.median_rounds == 1
+
+    def test_failures_excluded_from_bits(self):
+        outcomes = iter([True, False, True])
+
+        def run(seed):
+            return _fake_result(success=next(outcomes))
+
+        measurement = measure_protocol("demo", run, repeats=3)
+        assert measurement.successes == 2
+        assert measurement.success_rate == 2 / 3
+        assert len(measurement.bits) == 2
+
+    def test_summarize_rows(self):
+        measurement = measure_protocol("demo", lambda seed: _fake_result(), repeats=2)
+        rows = summarize([measurement])
+        assert rows[0]["protocol"] == "demo"
+        assert rows[0]["bits"] == 100
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestTable1Experiment:
+    def test_small_run_produces_all_protocols(self):
+        config = Table1Config(
+            universe_size=96, num_children=12, num_changes=4, children_touched=2, repeats=1
+        )
+        measurements = run_table1(config)
+        assert len(measurements) == 4
+        assert all(m.trials == 1 for m in measurements)
+        # In this tiny regime every protocol should succeed.
+        assert all(m.success_rate == 1.0 for m in measurements)

@@ -1,0 +1,130 @@
+"""Tests for the communication layer: transcripts, sizing helpers, results."""
+
+import pytest
+
+from repro.comm import ReconciliationResult, Transcript, WORD_BITS
+from repro.comm.sizing import (
+    bits_for_count,
+    bits_for_elements,
+    bits_for_field_elements,
+    bits_for_naive_child_set,
+    bits_for_value,
+    ceil_log2,
+)
+from repro.errors import ParameterError
+
+
+class TestTranscript:
+    def test_single_message_is_one_round(self):
+        transcript = Transcript()
+        transcript.send("alice", "payload", 100)
+        assert transcript.num_rounds == 1
+        assert transcript.total_bits == 100
+
+    def test_same_sender_same_round(self):
+        transcript = Transcript()
+        transcript.send("alice", "a", 10)
+        transcript.send("alice", "b", 20)
+        assert transcript.num_rounds == 1
+        assert transcript.total_bits == 30
+
+    def test_direction_switch_increments_round(self):
+        transcript = Transcript()
+        transcript.send("bob", "estimator", 5)
+        transcript.send("alice", "table", 50)
+        transcript.send("bob", "reply", 5)
+        transcript.send("alice", "payloads", 50)
+        assert transcript.num_rounds == 4
+
+    def test_empty_transcript(self):
+        transcript = Transcript()
+        assert transcript.num_rounds == 0
+        assert transcript.total_bits == 0
+        assert len(transcript) == 0
+
+    def test_bits_by_sender_and_label(self):
+        transcript = Transcript()
+        transcript.send("alice", "table", 10)
+        transcript.send("bob", "table", 20)
+        transcript.send("alice", "hash", 5)
+        assert transcript.bits_by_sender() == {"alice": 15, "bob": 20}
+        assert transcript.bits_by_label() == {"table": 30, "hash": 5}
+
+    def test_invalid_messages_rejected(self):
+        transcript = Transcript()
+        with pytest.raises(ParameterError):
+            transcript.send("alice", "x", -1)
+        with pytest.raises(ParameterError):
+            transcript.send("", "x", 1)
+
+    def test_extend_renumbers_rounds(self):
+        first = Transcript()
+        first.send("alice", "a", 1)
+        second = Transcript()
+        second.send("alice", "b", 2)
+        second.send("bob", "c", 3)
+        first.extend(second)
+        assert first.num_rounds == 2
+        assert first.total_bits == 6
+
+    def test_payload_carried(self):
+        transcript = Transcript()
+        payload = {"key": 1}
+        message = transcript.send("alice", "obj", 8, payload=payload)
+        assert message.payload is payload
+
+
+class TestSizing:
+    def test_bits_for_value(self):
+        assert bits_for_value(0) == 1
+        assert bits_for_value(1) == 1
+        assert bits_for_value(255) == 8
+        assert bits_for_value(256) == 9
+
+    def test_bits_for_elements(self):
+        assert bits_for_elements(10, 1024) == 10 * 10
+
+    def test_bits_for_count_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            bits_for_count(-1, 8)
+
+    def test_bits_for_field_elements(self):
+        assert bits_for_field_elements(3, 2**13) == 3 * 13
+
+    def test_naive_child_set_uses_minimum(self):
+        # Small universe: bitmap (u bits) wins over the packed list.
+        assert bits_for_naive_child_set(16, 10) == 16
+        # Large universe: the packed list wins.
+        assert bits_for_naive_child_set(2**20, 5) == 5 * 20
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        with pytest.raises(ParameterError):
+            ceil_log2(0)
+
+    def test_word_bits_constant(self):
+        assert WORD_BITS == 64
+
+
+class TestReconciliationResult:
+    def _transcript(self, bits):
+        transcript = Transcript()
+        transcript.send("alice", "x", bits)
+        return transcript
+
+    def test_bool_and_accessors(self):
+        result = ReconciliationResult(True, {1}, self._transcript(10))
+        assert result
+        assert result.total_bits == 10
+        assert result.num_rounds == 1
+
+    def test_failed_result_is_falsy(self):
+        result = ReconciliationResult(False, None, self._transcript(10))
+        assert not result
+
+    def test_details_default(self):
+        result = ReconciliationResult(True, None, Transcript())
+        assert result.details == {}
+        assert result.attempts == 1

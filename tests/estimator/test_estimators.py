@@ -1,0 +1,113 @@
+"""Tests for the set-difference estimators (strata baseline and L0)."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.estimator import L0Estimator, MedianEstimator, StrataEstimator
+
+
+def build_pair(factory, true_difference, shared=2000, seed=0):
+    """Two estimators over mostly-shared sets with a planted difference."""
+    rng = random.Random(seed)
+    shared_elements = rng.sample(range(1 << 40), shared)
+    alice_only = rng.sample(range(1 << 40, 2 << 40), true_difference // 2)
+    bob_only = rng.sample(range(2 << 40, 3 << 40), true_difference - true_difference // 2)
+    alice_est = factory(777)
+    bob_est = factory(777)
+    alice_est.update_all(shared_elements + alice_only, 1)
+    bob_est.update_all(shared_elements + bob_only, 2)
+    return alice_est.merge(bob_est)
+
+
+@pytest.mark.parametrize("factory", [L0Estimator, StrataEstimator], ids=["l0", "strata"])
+class TestEstimatorAccuracy:
+    def test_zero_difference(self, factory):
+        merged = build_pair(factory, 0)
+        assert merged.query() <= 4
+
+    def test_small_difference_exactish(self, factory):
+        merged = build_pair(factory, 8, seed=1)
+        assert 1 <= merged.query() <= 40
+
+    @pytest.mark.parametrize("true_d", [16, 64, 256, 1024])
+    def test_constant_factor_accuracy(self, factory, true_d):
+        estimate = build_pair(factory, true_d, seed=true_d).query()
+        assert true_d / 8 <= estimate <= true_d * 8
+
+    def test_monotone_trend(self, factory):
+        small = build_pair(factory, 16, seed=3).query()
+        large = build_pair(factory, 1024, seed=3).query()
+        assert large > small
+
+
+@pytest.mark.parametrize("factory", [L0Estimator, StrataEstimator], ids=["l0", "strata"])
+class TestEstimatorInterface:
+    def test_invalid_side_rejected(self, factory):
+        with pytest.raises(ParameterError):
+            factory(1).update(5, 3)
+
+    def test_merge_requires_same_seed(self, factory):
+        with pytest.raises(ParameterError):
+            factory(1).merge(factory(2))
+
+    def test_size_bits_positive(self, factory):
+        assert factory(1).size_bits > 0
+
+    def test_identical_sets_cancel(self, factory):
+        estimator = factory(5)
+        estimator.update_all(range(100), 1)
+        estimator.update_all(range(100), 2)
+        assert estimator.query() <= 4
+
+
+class TestSizeComparison:
+    def test_l0_is_smaller_than_strata(self):
+        # The paper's Theorem 3.1 improvement: the L0 sketch drops the
+        # O(log u) factor that the strata estimator pays per stratum cell.
+        assert L0Estimator(1).size_bits < StrataEstimator(1).size_bits / 10
+
+
+class TestL0Parameters:
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            L0Estimator(1, num_levels=0)
+        with pytest.raises(ParameterError):
+            L0Estimator(1, buckets_per_level=2)
+        with pytest.raises(ParameterError):
+            L0Estimator(1, reliable_fraction=1.5)
+
+    def test_size_formula(self):
+        estimator = L0Estimator(1, num_levels=10, buckets_per_level=64)
+        assert estimator.size_bits == 2 * 10 * 64
+
+
+class TestStrataParameters:
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            StrataEstimator(1, num_strata=0)
+        with pytest.raises(ParameterError):
+            StrataEstimator(1, cells_per_stratum=2)
+
+
+class TestMedianEstimator:
+    def test_replicas_for_delta(self):
+        assert MedianEstimator.replicas_for_delta(0.5) >= 1
+        assert MedianEstimator.replicas_for_delta(0.01) > MedianEstimator.replicas_for_delta(0.3)
+        with pytest.raises(ParameterError):
+            MedianEstimator.replicas_for_delta(0.0)
+
+    def test_median_accuracy(self):
+        merged = build_pair(lambda seed: MedianEstimator(seed, num_replicas=5), 128, seed=9)
+        assert 16 <= merged.query() <= 1024
+
+    def test_merge_shape_checked(self):
+        a = MedianEstimator(1, num_replicas=3)
+        b = MedianEstimator(1, num_replicas=5)
+        with pytest.raises(ParameterError):
+            a.merge(b)
+
+    def test_size_is_sum_of_replicas(self):
+        estimator = MedianEstimator(1, num_replicas=3)
+        assert estimator.size_bits == 3 * L0Estimator(0).size_bits

@@ -1,0 +1,138 @@
+"""Tests for polynomial arithmetic over GF(p)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.field import PrimeField, Polynomial
+
+FIELD = PrimeField(10007)
+
+
+def poly(*coeffs):
+    return Polynomial.from_coefficients(FIELD, list(coeffs))
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert poly(1, 2, 0, 0).degree == 1
+
+    def test_zero_polynomial(self):
+        assert Polynomial.zero(FIELD).degree == -1
+        assert Polynomial.zero(FIELD).is_zero()
+
+    def test_one_and_x(self):
+        assert Polynomial.one(FIELD).degree == 0
+        assert Polynomial.x(FIELD).degree == 1
+
+    def test_from_roots(self):
+        p = Polynomial.from_roots(FIELD, [2, 3])
+        assert p.evaluate(2) == 0 and p.evaluate(3) == 0 and p.evaluate(4) != 0
+        assert p.is_monic()
+
+    def test_evaluate_from_roots_matches(self):
+        roots = [5, 17, 101, 999]
+        p = Polynomial.from_roots(FIELD, roots)
+        for point in (0, 1, 12, 9999):
+            assert p.evaluate(point) == Polynomial.evaluate_from_roots(FIELD, roots, point)
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        a, b = poly(1, 2, 3), poly(4, 5)
+        assert (a + b).coeffs == (5, 7, 3)
+        assert (a - b).coeffs == (10004, 10004, 3)
+        assert ((a + b) - b) == a
+
+    def test_multiplication(self):
+        assert (poly(1, 1) * poly(1, 1)).coeffs == (1, 2, 1)
+
+    def test_multiplication_by_zero(self):
+        assert (poly(1, 2) * Polynomial.zero(FIELD)).is_zero()
+
+    def test_scale(self):
+        assert poly(1, 2).scale(3).coeffs == (3, 6)
+
+    def test_divmod_exact(self):
+        a = poly(1, 1) * poly(2, 0, 1)
+        quotient, remainder = a.divmod(poly(1, 1))
+        assert remainder.is_zero()
+        assert quotient == poly(2, 0, 1)
+
+    def test_divmod_with_remainder(self):
+        dividend, divisor = poly(1, 0, 0, 1), poly(1, 1)
+        quotient, remainder = dividend.divmod(divisor)
+        assert quotient * divisor + remainder == dividend
+        assert remainder.degree < divisor.degree
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly(1, 2).divmod(Polynomial.zero(FIELD))
+
+    def test_mod_and_floordiv_operators(self):
+        dividend, divisor = poly(3, 2, 1), poly(1, 1)
+        assert (dividend // divisor) * divisor + (dividend % divisor) == dividend
+
+    def test_gcd(self):
+        common = poly(1, 1)
+        a = common * poly(2, 1)
+        b = common * poly(3, 0, 1)
+        assert a.gcd(b) == common.monic()
+
+    def test_gcd_coprime(self):
+        assert poly(1, 1).gcd(poly(2, 1)).degree == 0
+
+    def test_monic(self):
+        assert poly(2, 4).monic().coeffs[-1] == 1
+
+    def test_pow_mod(self):
+        modulus = poly(1, 0, 1)
+        base = Polynomial.x(FIELD)
+        assert base.pow_mod(2, modulus) == poly(10006)  # x^2 = -1 mod (x^2+1)
+
+    def test_pow_mod_negative_exponent(self):
+        with pytest.raises(ParameterError):
+            poly(1, 1).pow_mod(-1, poly(1, 0, 1))
+
+    def test_mismatched_fields(self):
+        other = Polynomial.from_coefficients(PrimeField(7), [1])
+        with pytest.raises(ParameterError):
+            poly(1) + other
+
+
+class TestEvaluationInterpolation:
+    def test_horner_evaluation(self):
+        p = poly(1, 2, 3)  # 1 + 2x + 3x^2
+        assert p.evaluate(2) == (1 + 4 + 12) % 10007
+
+    def test_derivative(self):
+        assert poly(5, 3, 4).derivative().coeffs == (3, 8)
+        assert poly(7).derivative().is_zero()
+
+    def test_interpolation_recovers_polynomial(self):
+        p = poly(3, 0, 5, 1)
+        points = [(x, p.evaluate(x)) for x in range(5)]
+        assert Polynomial.interpolate(FIELD, points) == p
+
+    def test_interpolation_duplicate_x_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial.interpolate(FIELD, [(1, 2), (1, 3)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10006), min_size=1, max_size=6))
+    def test_interpolation_round_trip(self, coeffs):
+        p = Polynomial.from_coefficients(FIELD, coeffs)
+        points = [(x, p.evaluate(x)) for x in range(len(coeffs) + 1)]
+        assert Polynomial.interpolate(FIELD, points) == p
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10006), max_size=5),
+        st.lists(st.integers(min_value=0, max_value=10006), max_size=5),
+    )
+    def test_evaluation_is_ring_homomorphism(self, coeffs_a, coeffs_b):
+        a = Polynomial.from_coefficients(FIELD, coeffs_a)
+        b = Polynomial.from_coefficients(FIELD, coeffs_b)
+        point = 1234
+        assert (a * b).evaluate(point) == FIELD.mul(a.evaluate(point), b.evaluate(point))
+        assert (a + b).evaluate(point) == FIELD.add(a.evaluate(point), b.evaluate(point))

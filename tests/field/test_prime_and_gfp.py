@@ -1,0 +1,100 @@
+"""Tests for primality utilities and GF(p) arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.field import PrimeField, is_probable_prime, next_prime
+from repro.field.prime import prime_at_least
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert all(is_probable_prime(p) for p in (2, 3, 5, 7, 11, 13, 97, 101))
+
+    def test_small_composites(self):
+        assert not any(is_probable_prime(c) for c in (0, 1, 4, 6, 9, 15, 91, 100))
+
+    def test_large_prime(self):
+        assert is_probable_prime((1 << 61) - 1)  # Mersenne prime
+
+    def test_large_composite(self):
+        assert not is_probable_prime((1 << 61) - 3)
+
+    def test_carmichael_number(self):
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    def test_prime_at_least(self):
+        assert prime_at_least(13) == 13
+        assert prime_at_least(14) == 17
+        assert prime_at_least(1) == 2
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_next_prime_is_prime_and_greater(self, value):
+        result = next_prime(value)
+        assert result > value
+        assert is_probable_prime(result)
+
+
+class TestPrimeField:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ParameterError):
+            PrimeField(10)
+
+    def test_basic_arithmetic(self):
+        field = PrimeField(97)
+        assert field.add(90, 10) == 3
+        assert field.sub(5, 10) == 92
+        assert field.mul(12, 9) == 108 % 97
+        assert field.neg(1) == 96
+
+    def test_inverse(self):
+        field = PrimeField(101)
+        for value in range(1, 101):
+            assert field.mul(value, field.inv(value)) == 1
+
+    def test_inverse_of_zero_fails(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(7).inv(0)
+
+    def test_division(self):
+        field = PrimeField(13)
+        assert field.mul(field.div(5, 3), 3) == 5
+
+    def test_pow_negative_exponent(self):
+        field = PrimeField(13)
+        assert field.pow(3, -1) == field.inv(3)
+
+    def test_contains(self):
+        field = PrimeField(7)
+        assert 0 in field and 6 in field and 7 not in field and -1 not in field
+
+    def test_element_reduction(self):
+        field = PrimeField(7)
+        assert field.element(-1) == 6
+        assert field.element(15) == 1
+
+    def test_uniform_sampling(self):
+        field = PrimeField(11)
+        rng = random.Random(0)
+        samples = {field.uniform_element(rng) for _ in range(300)}
+        assert samples == set(range(11))
+        nonzero = {field.uniform_nonzero(rng) for _ in range(300)}
+        assert 0 not in nonzero
+
+    @given(st.integers(), st.integers())
+    def test_field_axioms_mod_large_prime(self, a, b):
+        field = PrimeField((1 << 61) - 1)
+        a, b = field.element(a), field.element(b)
+        assert field.add(a, b) == field.add(b, a)
+        assert field.mul(a, b) == field.mul(b, a)
+        assert field.sub(field.add(a, b), b) == a

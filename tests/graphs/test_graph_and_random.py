@@ -1,0 +1,173 @@
+"""Tests for the Graph type, random graph generation and labeled reconciliation."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.graphs import Graph, gnp_random_graph, perturb_edges, reconcile_labeled_graphs
+from repro.graphs.random_graphs import (
+    planted_separated_graph,
+    random_permutation,
+    reconciliation_pair,
+)
+from repro.graphs.separation import is_degree_separated
+
+
+class TestGraph:
+    def test_add_remove_edges(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert graph.num_edges == 2
+        assert graph.has_edge(1, 0)
+        graph.remove_edge(0, 1)
+        assert graph.num_edges == 1 and not graph.has_edge(0, 1)
+
+    def test_duplicate_add_is_noop(self):
+        graph = Graph(3, [(0, 1)])
+        graph.add_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ParameterError):
+            Graph(3).add_edge(1, 1)
+
+    def test_vertex_range_checked(self):
+        with pytest.raises(ParameterError):
+            Graph(3).add_edge(0, 3)
+
+    def test_toggle(self):
+        graph = Graph(3)
+        graph.toggle_edge(0, 2)
+        assert graph.has_edge(0, 2)
+        graph.toggle_edge(0, 2)
+        assert not graph.has_edge(0, 2)
+
+    def test_degrees_and_neighbors(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.neighbors(0) == {1, 2, 3}
+        assert graph.degree_sequence() == [3, 1, 1, 1]
+
+    def test_edge_keys_round_trip(self):
+        graph = Graph(5, [(0, 4), (2, 3)])
+        rebuilt = Graph.from_edge_keys(5, graph.edge_keys())
+        assert rebuilt == graph
+
+    def test_edge_key_canonical(self):
+        graph = Graph(5)
+        assert graph.edge_key(4, 1) == graph.edge_key(1, 4)
+
+    def test_relabel_preserves_structure(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        relabeled = graph.relabel([3, 2, 1, 0])
+        assert relabeled.has_edge(3, 2) and relabeled.has_edge(1, 0)
+        assert relabeled.num_edges == graph.num_edges
+
+    def test_relabel_requires_permutation(self):
+        with pytest.raises(ParameterError):
+            Graph(3).relabel([0, 0, 1])
+
+    def test_edge_difference(self):
+        a = Graph(4, [(0, 1), (1, 2)])
+        b = Graph(4, [(0, 1), (2, 3)])
+        assert a.edge_difference(b) == 2
+
+    def test_networkx_round_trip(self):
+        graph = Graph(6, [(0, 1), (2, 5), (3, 4)])
+        back = Graph.from_networkx(graph.to_networkx())
+        assert back == graph
+
+    def test_copy_is_independent(self):
+        graph = Graph(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+
+
+class TestRandomGraphs:
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, 1).num_edges == 0
+        assert gnp_random_graph(10, 1.0, 1).num_edges == 45
+
+    def test_gnp_expected_density(self):
+        graph = gnp_random_graph(200, 0.3, 7)
+        expected = 0.3 * 199 * 200 / 2
+        assert 0.8 * expected < graph.num_edges < 1.2 * expected
+
+    def test_gnp_deterministic_by_seed(self):
+        assert gnp_random_graph(50, 0.2, 3) == gnp_random_graph(50, 0.2, 3)
+        assert gnp_random_graph(50, 0.2, 3) != gnp_random_graph(50, 0.2, 4)
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            gnp_random_graph(10, 1.5, 1)
+
+    def test_perturb_exact_changes(self):
+        base = gnp_random_graph(60, 0.3, 5)
+        perturbed = perturb_edges(base, 7, random.Random(1))
+        assert base.edge_difference(perturbed) == 7
+
+    def test_perturb_too_many_changes_rejected(self):
+        with pytest.raises(ParameterError):
+            perturb_edges(Graph(3), 10, random.Random(1))
+
+    def test_random_permutation(self):
+        permutation = random_permutation(20, random.Random(2))
+        assert sorted(permutation) == list(range(20))
+
+    def test_reconciliation_pair_difference_bound(self):
+        pair = reconciliation_pair(80, 0.3, 6, seed=9, relabel_alice=False)
+        assert pair.alice.edge_difference(pair.bob) <= 6
+
+    def test_reconciliation_pair_relabeled(self):
+        pair = reconciliation_pair(40, 0.4, 2, seed=11)
+        # Same degree multiset even after relabeling (up to the perturbation).
+        assert pair.alice.num_vertices == pair.bob.num_vertices
+
+    def test_planted_separation_degrees(self):
+        base = planted_separated_graph(200, 0.4, 12, degree_gap=3, seed=3)
+        ordered = sorted((base.degree(v) for v in base.vertices()), reverse=True)
+        for index in range(12):
+            assert ordered[index] - ordered[index + 1] >= 3
+
+    def test_planted_separation_invalid_params(self):
+        with pytest.raises(ParameterError):
+            planted_separated_graph(10, 0.2, 0, 2, seed=1)
+        with pytest.raises(ParameterError):
+            planted_separated_graph(10, 0.2, 2, 0, seed=1)
+
+
+class TestLabeledReconciliation:
+    def test_known_d(self):
+        pair = reconciliation_pair(100, 0.3, 8, seed=3, relabel_alice=False)
+        result = reconcile_labeled_graphs(pair.alice, pair.bob, 10, seed=4)
+        assert result.success and result.recovered == pair.alice
+
+    def test_unknown_d(self):
+        pair = reconciliation_pair(100, 0.3, 8, seed=5, relabel_alice=False)
+        result = reconcile_labeled_graphs(pair.alice, pair.bob, None, seed=6)
+        assert result.success and result.recovered == pair.alice
+        assert result.num_rounds == 2
+
+    def test_identical_graphs(self):
+        graph = gnp_random_graph(50, 0.2, 7)
+        result = reconcile_labeled_graphs(graph, graph.copy(), 2, seed=8)
+        assert result.success and result.recovered == graph
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(ParameterError):
+            reconcile_labeled_graphs(Graph(3), Graph(4), 1, seed=1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_small_graphs(self, seed):
+        rng = random.Random(seed)
+        base = gnp_random_graph(30, 0.3, seed)
+        bob = perturb_edges(base, rng.randint(0, 5), rng)
+        difference = base.edge_difference(bob)
+        result = reconcile_labeled_graphs(base, bob, difference + 1, seed=seed)
+        assert result.success and result.recovered == base

@@ -1,0 +1,85 @@
+"""Tests for the seeded hashing primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing import SeededHasher, bytes_to_int, derive_seed, int_to_bytes
+
+
+class TestIntBytes:
+    def test_round_trip_small(self):
+        assert bytes_to_int(int_to_bytes(0)) == 0
+        assert bytes_to_int(int_to_bytes(255)) == 255
+        assert bytes_to_int(int_to_bytes(256)) == 256
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_round_trip_property(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+class TestSeededHasher:
+    def test_deterministic_across_instances(self):
+        assert SeededHasher(7).hash_int(123) == SeededHasher(7).hash_int(123)
+
+    def test_different_seeds_differ(self):
+        assert SeededHasher(7).hash_int(123) != SeededHasher(8).hash_int(123)
+
+    def test_output_width_respected(self):
+        hasher = SeededHasher(3, out_bits=16)
+        assert all(hasher.hash_int(i) < 2**16 for i in range(200))
+
+    def test_wide_output_supported(self):
+        hasher = SeededHasher(3, out_bits=256)
+        value = hasher.hash_int(5)
+        assert 0 <= value < 2**256
+        assert value.bit_length() > 128  # overwhelmingly likely for a wide hash
+
+    def test_hash_to_range(self):
+        hasher = SeededHasher(11)
+        values = {hasher.hash_to_range(i, 10) for i in range(1000)}
+        assert values == set(range(10))
+
+    def test_hash_to_range_invalid(self):
+        with pytest.raises(ValueError):
+            SeededHasher(11).hash_to_range(1, 0)
+
+    def test_hash_iterable_order_independent(self):
+        hasher = SeededHasher(5)
+        assert hasher.hash_iterable([1, 2, 3]) == hasher.hash_iterable([3, 1, 2])
+
+    def test_hash_iterable_detects_changes(self):
+        hasher = SeededHasher(5)
+        assert hasher.hash_iterable([1, 2, 3]) != hasher.hash_iterable([1, 2, 4])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=30))
+    def test_hash_iterable_permutation_invariant(self, values):
+        hasher = SeededHasher(9)
+        assert hasher.hash_iterable(values) == hasher.hash_iterable(list(reversed(values)))
+
+    def test_distribution_roughly_uniform(self):
+        hasher = SeededHasher(13, out_bits=8)
+        buckets = [0] * 4
+        for i in range(4000):
+            buckets[hasher.hash_int(i) % 4] += 1
+        assert max(buckets) - min(buckets) < 400

@@ -1,0 +1,80 @@
+"""Tests for the sets-of-sets workload generators."""
+
+import pytest
+
+from repro.core.setsofsets import minimum_matching_difference
+from repro.errors import ParameterError
+from repro.workloads import (
+    perturb_sets_of_sets,
+    random_sets_of_sets,
+    sets_of_sets_instance,
+    table1_instance,
+)
+
+
+class TestRandomSetsOfSets:
+    def test_shape(self):
+        parent = random_sets_of_sets(20, 8, 256, seed=1)
+        assert parent.num_children == 20
+        assert parent.max_child_size == 8
+
+    def test_jitter(self):
+        parent = random_sets_of_sets(20, 8, 256, seed=2, child_size_jitter=3)
+        sizes = {len(child) for child in parent}
+        assert len(sizes) > 1
+
+    def test_invalid_child_size(self):
+        with pytest.raises(ParameterError):
+            random_sets_of_sets(5, 0, 10, seed=1)
+        with pytest.raises(ParameterError):
+            random_sets_of_sets(5, 20, 10, seed=1)
+
+    def test_deterministic(self):
+        assert random_sets_of_sets(10, 5, 64, seed=3) == random_sets_of_sets(10, 5, 64, seed=3)
+
+
+class TestPerturbation:
+    def test_exact_change_count(self):
+        parent = random_sets_of_sets(30, 10, 512, seed=4)
+        perturbed, applied, touched = perturb_sets_of_sets(parent, 12, 512, seed=5)
+        assert applied == 12
+        assert touched <= 12
+        assert perturbed.num_children == parent.num_children
+
+    def test_changes_bounded_by_matching_difference(self):
+        parent = random_sets_of_sets(30, 10, 512, seed=6)
+        perturbed, applied, _ = perturb_sets_of_sets(parent, 8, 512, seed=7)
+        assert minimum_matching_difference(parent, perturbed) <= applied
+
+    def test_touched_children_limit(self):
+        parent = random_sets_of_sets(30, 10, 512, seed=8)
+        _, _, touched = perturb_sets_of_sets(
+            parent, 10, 512, seed=9, max_children_touched=3
+        )
+        assert touched <= 3
+
+    def test_zero_changes(self):
+        parent = random_sets_of_sets(10, 5, 64, seed=10)
+        perturbed, applied, touched = perturb_sets_of_sets(parent, 0, 64, seed=11)
+        assert applied == 0 and touched == 0 and perturbed == parent
+
+    def test_empty_parent_rejected(self):
+        from repro.core.setsofsets import SetOfSets
+
+        with pytest.raises(ParameterError):
+            perturb_sets_of_sets(SetOfSets.empty(), 1, 8, seed=1)
+
+
+class TestInstances:
+    def test_instance_consistency(self):
+        instance = sets_of_sets_instance(25, 10, 256, 9, seed=12, max_children_touched=4)
+        assert instance.planted_difference == 9
+        assert instance.differing_children <= 4
+        assert instance.max_child_size >= 10
+        assert minimum_matching_difference(instance.alice, instance.bob) <= 9
+
+    def test_table1_regime_is_dense(self):
+        instance = table1_instance(128, 16, 4, seed=13)
+        # h = Theta(u): children are around half the universe in size.
+        assert instance.max_child_size > 128 * 0.3
+        assert instance.alice.num_children == 16
