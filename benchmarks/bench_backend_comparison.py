@@ -1,0 +1,170 @@
+"""Cell-store backend comparison: pure-Python vs vectorized NumPy.
+
+Times the three IBLT primitives every protocol is built from --
+encode (batch insert of n keys), subtract, and decode (batch peeling) --
+at n in {10^3, 10^4, 10^5} per backend, asserting that both backends
+recover identical sets.  The acceptance bar for the vectorized backend is
+a >= 5x end-to-end (encode + subtract + decode) speedup over the reference
+backend at n = 10^5.
+
+Run under pytest-benchmark like the other benchmarks, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_comparison.py
+
+which also rewrites ``BENCH_backends.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+from repro.iblt import IBLT, IBLTParameters, NumpyCellStore
+
+SIZES = (1_000, 10_000, 100_000)
+KEY_BITS = 48
+SPEEDUP_FLOOR = 5.0  # acceptance bar at the largest size
+_UNIVERSE = 1 << (KEY_BITS - 1)
+
+
+def _instance(n: int, seed: int) -> tuple[list[int], list[int]]:
+    """Two key lists sharing all but ~n/100 keys (a realistic difference)."""
+    rng = random.Random(seed)
+    alice = rng.sample(range(_UNIVERSE), n)
+    difference = max(2, n // 100)
+    bob = alice[: n - difference // 2] + rng.sample(
+        range(_UNIVERSE, 2 * _UNIVERSE), difference - difference // 2
+    )
+    return alice, bob
+
+
+def _run_backend(backend: str, n: int, seed: int) -> dict:
+    """Encode both sides, subtract, decode; return timings and recovered sets."""
+    alice, bob = _instance(n, seed)
+    params = IBLTParameters.for_difference(
+        2 * max(2, n // 100), KEY_BITS, seed=seed
+    )
+    start = time.perf_counter()
+    alice_table = IBLT.from_items(params, alice, backend=backend)
+    bob_table = IBLT.from_items(params, bob, backend=backend)
+    encoded = time.perf_counter()
+    difference = alice_table.subtract(bob_table)
+    subtracted = time.perf_counter()
+    result = difference.try_decode()
+    decoded = time.perf_counter()
+    assert result.success, f"{backend} decode failed at n={n}"
+    return {
+        "backend": alice_table.backend,
+        "n": n,
+        "encode_s": encoded - start,
+        "subtract_s": subtracted - encoded,
+        "decode_s": decoded - subtracted,
+        "total_s": decoded - start,
+        "positive": result.positive,
+        "negative": result.negative,
+    }
+
+
+def compare(sizes=SIZES, seed: int = 20180611) -> list[dict]:
+    """Run both backends over every size; assert identical recovered sets."""
+    rows = []
+    for n in sizes:
+        python_run = _run_backend("python", n, seed)
+        numpy_run = _run_backend("numpy", n, seed)
+        assert python_run["positive"] == numpy_run["positive"]
+        assert python_run["negative"] == numpy_run["negative"]
+        rows.append(
+            {
+                "n": n,
+                "recovered": len(python_run["positive"]) + len(python_run["negative"]),
+                "python": {
+                    key: round(python_run[key], 6)
+                    for key in ("encode_s", "subtract_s", "decode_s", "total_s")
+                },
+                "numpy": {
+                    key: round(numpy_run[key], 6)
+                    for key in ("encode_s", "subtract_s", "decode_s", "total_s")
+                },
+                "speedup": round(python_run["total_s"] / numpy_run["total_s"], 2),
+                "numpy_resolved_backend": numpy_run["backend"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+import pytest
+
+needs_numpy = pytest.mark.skipif(
+    not NumpyCellStore.available(), reason="NumPy not installed"
+)
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@pytest.mark.parametrize("n", SIZES)
+def test_backend_encode_subtract_decode(benchmark, backend, n):
+    from conftest import run_once
+
+    if backend == "numpy" and not NumpyCellStore.available():
+        pytest.skip("NumPy not installed")
+    run = run_once(benchmark, _run_backend, backend, n, seed=n)
+    assert run["positive"] and run["n"] == n
+
+
+@needs_numpy
+def test_numpy_backend_speedup_floor(benchmark):
+    """The tentpole acceptance check: >= 5x end-to-end at the largest size."""
+    from conftest import run_once
+
+    rows = run_once(benchmark, compare, sizes=(SIZES[-1],))
+    assert rows[0]["numpy_resolved_backend"] == "numpy"
+    assert rows[0]["speedup"] >= SPEEDUP_FLOOR, rows
+
+
+def main() -> None:
+    if not NumpyCellStore.available():
+        sys.exit("NumPy is required for the backend comparison")
+    rows = compare()
+    for row in rows:
+        print(
+            f"n={row['n']:>7}  python={row['python']['total_s']:.3f}s  "
+            f"numpy={row['numpy']['total_s']:.3f}s  speedup={row['speedup']:.1f}x  "
+            f"recovered={row['recovered']}"
+        )
+    largest = rows[-1]
+    if largest["speedup"] < SPEEDUP_FLOOR:
+        sys.exit(
+            f"speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
+        )
+    output = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+    output.write_text(
+        json.dumps(
+            {
+                "benchmark": "bench_backend_comparison",
+                "description": (
+                    "IBLT encode+subtract+decode wall-clock per cell-store "
+                    "backend; identical recovered sets asserted per size"
+                ),
+                "key_bits": KEY_BITS,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "results": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,12 @@ Quickstart::
 """
 
 from repro.comm import ReconciliationResult, Transcript
+from repro.config import (
+    available_cell_backends,
+    cell_backend_names,
+    default_cell_backend,
+    set_default_cell_backend,
+)
 from repro.core.setrecon import (
     reconcile_known_d,
     reconcile_unknown_d,
@@ -62,6 +68,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ReconciliationResult",
     "Transcript",
+    "available_cell_backends",
+    "cell_backend_names",
+    "default_cell_backend",
+    "set_default_cell_backend",
     "reconcile_known_d",
     "reconcile_unknown_d",
     "reconcile_cpi",

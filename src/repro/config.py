@@ -1,0 +1,107 @@
+"""Library-wide configuration: the pluggable cell-store backend registry.
+
+Every IBLT stores its cells through a :class:`~repro.iblt.backends.CellStore`
+backend.  Backends register themselves here (keyed by name) and callers pick
+one in three ways, in decreasing precedence:
+
+1. explicitly, via the ``backend=`` keyword accepted by :class:`~repro.iblt.
+   table.IBLT` and threaded through every protocol entry point;
+2. process-wide, via :func:`set_default_cell_backend` or the
+   ``REPRO_CELL_BACKEND`` environment variable;
+3. automatically (``"auto"``): the highest-priority backend that is both
+   importable and able to represent the table's parameters.
+
+Selection is *graceful*: a backend that is unavailable (NumPy not installed)
+or that cannot represent the parameters (keys wider than 64 bits, e.g.
+serialized child IBLTs used as parent-table keys) silently falls back to the
+pure-Python reference backend, so callers never need to special-case wide
+keys.  Registration is open -- future backends (sharded, async, GPU) plug in
+with :func:`register_cell_backend` and a ``priority``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.iblt.backends import CellStore
+
+#: Environment variable consulted when no explicit or process-wide default is set.
+BACKEND_ENV_VAR = "REPRO_CELL_BACKEND"
+
+#: Sentinel name meaning "pick the best available backend for these parameters".
+AUTO_BACKEND = "auto"
+
+_registry: dict[str, type["CellStore"]] = {}
+_default_backend: str | None = None
+
+
+def register_cell_backend(cls: type["CellStore"]) -> type["CellStore"]:
+    """Register a cell-store backend class under ``cls.name`` (decorator-friendly)."""
+    name = cls.name
+    if not name or name == AUTO_BACKEND:
+        raise ParameterError(f"invalid backend name {name!r}")
+    _registry[name] = cls
+    return cls
+
+
+def cell_backend_names() -> list[str]:
+    """Names of all registered backends (available or not)."""
+    return sorted(_registry)
+
+
+def available_cell_backends() -> list[str]:
+    """Names of registered backends whose dependencies are importable."""
+    return sorted(name for name, cls in _registry.items() if cls.available())
+
+
+def cell_backend_class(name: str) -> type["CellStore"]:
+    """Look up a registered backend class by name."""
+    try:
+        return _registry[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown cell backend {name!r}; registered: {cell_backend_names()}"
+        ) from None
+
+
+def set_default_cell_backend(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _default_backend
+    if name is not None and name != AUTO_BACKEND:
+        cell_backend_class(name)  # validate eagerly
+    _default_backend = name
+
+
+def default_cell_backend() -> str:
+    """The effective default backend name (may be :data:`AUTO_BACKEND`)."""
+    if _default_backend is not None:
+        return _default_backend
+    return os.environ.get(BACKEND_ENV_VAR) or AUTO_BACKEND
+
+
+def resolve_cell_backend(name: str | None, params) -> type["CellStore"]:
+    """Resolve a backend request to a concrete class for ``params``.
+
+    ``name=None`` means "use the process default".  Unknown names raise
+    :class:`~repro.errors.ParameterError`; known-but-unusable backends
+    (missing dependency, unsupported parameters) fall back to the
+    highest-priority backend that does work, so wide-key tables degrade to
+    the pure-Python reference implementation transparently.
+    """
+    requested = name if name is not None else default_cell_backend()
+    if requested != AUTO_BACKEND:
+        cls = cell_backend_class(requested)
+        if cls.available() and cls.supports(params):
+            return cls
+    candidates = sorted(
+        (cls for cls in _registry.values() if cls.available() and cls.supports(params)),
+        key=lambda cls: cls.priority,
+        reverse=True,
+    )
+    if not candidates:  # pragma: no cover - python backend always qualifies
+        raise ParameterError("no registered cell backend supports these parameters")
+    return candidates[0]

@@ -36,6 +36,7 @@ def reconcile_known_d(
     seed: int,
     *,
     num_hashes: int = 4,
+    backend: str | None = None,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
     """One-round IBLT set reconciliation with a known difference bound.
@@ -53,6 +54,9 @@ def reconcile_known_d(
         Shared seed (public coins).
     num_hashes:
         IBLT hash-function count.
+    backend:
+        Cell-store backend for the IBLT (see :mod:`repro.config`); ``None``
+        uses the process default.
     transcript:
         Optional existing transcript to append to (used when this protocol is
         a subroutine of a larger one).
@@ -72,8 +76,8 @@ def reconcile_known_d(
         max(1, difference_bound), key_bits, derive_seed(seed, "setrecon"), num_hashes
     )
 
-    # Alice: encode and send.
-    alice_table = IBLT.from_items(params, alice)
+    # Alice: encode and send (whole set in one batch insert).
+    alice_table = IBLT.from_items(params, alice, backend=backend)
     alice_hash = _set_hash(seed, alice)
     transcript.send(
         "alice",
@@ -82,9 +86,9 @@ def reconcile_known_d(
         payload=(alice_table, alice_hash, len(alice)),
     )
 
-    # Bob: delete his elements and decode the remainder.
+    # Bob: delete his elements (one batch) and decode the remainder.
     difference_table = alice_table.copy()
-    difference_table.delete_all(bob)
+    difference_table.delete_batch(bob)
     decode = difference_table.try_decode()
     if not decode.success:
         return ReconciliationResult(
@@ -112,6 +116,7 @@ def reconcile_unknown_d(
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     safety_factor: float = 2.0,
     num_hashes: int = 4,
+    backend: str | None = None,
 ) -> ReconciliationResult:
     """Two-round IBLT set reconciliation without a difference bound (Cor 3.2).
 
@@ -143,6 +148,7 @@ def reconcile_unknown_d(
         universe_size,
         seed,
         num_hashes=num_hashes,
+        backend=backend,
         transcript=transcript,
     )
     result.details["estimated_difference"] = estimate

@@ -65,11 +65,14 @@ def _recover_against(
     scheme: ChildEncodingScheme,
     alice_key: int,
     candidates: list[frozenset[int]],
+    backend: str | None = None,
 ) -> frozenset[int] | None:
     """Decode one of Alice's child encodings against candidate children."""
-    alice_table, alice_hash = scheme.decode(alice_key)
+    alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
     for candidate in candidates:
-        candidate_table = IBLT.from_items(scheme.child_params, candidate)
+        candidate_table = IBLT.from_items(
+            scheme.child_params, candidate, backend=backend
+        )
         decode = alice_table.subtract(candidate_table).try_decode()
         if not decode.success:
             continue
@@ -92,6 +95,7 @@ def reconcile_cascading(
     differing_children_bound: int | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
     level_slack: float = 3.0,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
@@ -110,6 +114,9 @@ def reconcile_cascading(
     differing_children_bound:
         Bound ``d_hat`` on differing child sets; defaults to
         ``min(difference_bound, s)`` with ``s`` the larger parent size.
+    backend:
+        Cell-store backend for every table built here (the wide-keyed parent
+        tables fall back to the pure-Python store; see :mod:`repro.config`).
     level_slack:
         Multiplier applied to the per-level capacity budget (the proof's 9/4
         constant rounded up).
@@ -143,9 +150,8 @@ def reconcile_cascading(
             derive_seed(seed, "cascade-parent", level),
             num_hashes,
         )
-        table = IBLT(parent_params)
-        for child in alice:
-            table.insert(scheme.encode(child))
+        table = IBLT(parent_params, backend=backend)
+        table.insert_batch(scheme.encode_all(alice, backend=backend))
         level_tables.append(table)
 
     explicit_scheme = ExplicitChildScheme(universe_size, max_child_size)
@@ -157,9 +163,8 @@ def reconcile_cascading(
             derive_seed(seed, "cascade-t-star"),
             num_hashes,
         )
-        t_star = IBLT(t_star_params)
-        for child in alice:
-            t_star.insert(explicit_scheme.encode(child))
+        t_star = IBLT(t_star_params, backend=backend)
+        t_star.insert_batch(explicit_scheme.encode(child) for child in alice)
 
     verification = parent_hash(alice, seed)
     total_bits = sum(table.size_bits for table in level_tables) + WORD_BITS
@@ -181,13 +186,15 @@ def reconcile_cascading(
         level = level_index + 1
         work = alice_table.copy()
         encoding_to_child: dict[int, frozenset[int]] = {}
+        deletions: list[int] = []
         for child in bob_children:
-            key = scheme.encode(child)
+            key = scheme.encode(child, backend=backend)
             encoding_to_child[key] = child
             if level == 1 or child not in differing_bob:
-                work.delete(key)
+                deletions.append(key)
         for child in recovered_children:
-            work.delete(scheme.encode(child))
+            deletions.append(scheme.encode(child, backend=backend))
+        work.delete_batch(deletions)
         decode = work.try_decode()  # partial results are still useful on failure
 
         for key in decode.negative:
@@ -196,19 +203,21 @@ def reconcile_cascading(
                 differing_bob.add(child)
         candidates = sorted(differing_bob, key=sorted)
         for key in decode.positive:
-            recovered = _recover_against(scheme, key, candidates)
+            recovered = _recover_against(scheme, key, candidates, backend=backend)
             if recovered is not None:
                 recovered_children.add(recovered)
 
     if t_star is not None:
         work = t_star.copy()
-        for child in bob_children:
-            # Children in D_B stay in the table so only Alice's unrecovered
-            # children remain to extract (keeps T* within its O(d/h) budget).
-            if child not in differing_bob:
-                work.delete(explicit_scheme.encode(child))
-        for child in recovered_children:
-            work.delete(explicit_scheme.encode(child))
+        # Children in D_B stay in the table so only Alice's unrecovered
+        # children remain to extract (keeps T* within its O(d/h) budget).
+        deletions = [
+            explicit_scheme.encode(child)
+            for child in bob_children
+            if child not in differing_bob
+        ]
+        deletions.extend(explicit_scheme.encode(child) for child in recovered_children)
+        work.delete_batch(deletions)
         decode = work.try_decode()
         for key in decode.positive:
             recovered_children.add(explicit_scheme.decode(key))
@@ -244,6 +253,7 @@ def reconcile_cascading_unknown(
     max_bound: int | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
     level_slack: float = 3.0,
 ) -> ReconciliationResult:
     """Repeated-doubling variant for unknown ``d`` (Corollary 3.8)."""
@@ -264,6 +274,7 @@ def reconcile_cascading_unknown(
             attempt_seed,
             child_hash_bits=child_hash_bits,
             num_hashes=num_hashes,
+            backend=backend,
             level_slack=level_slack,
             transcript=transcript,
         )

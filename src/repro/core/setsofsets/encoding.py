@@ -86,21 +86,34 @@ class ChildEncodingScheme:
         """Width of a full child encoding (serialized child IBLT + hash)."""
         return self.child_params.size_bits + self.hash_bits
 
-    def encode(self, child: Iterable[int]) -> int:
-        """Encode a child set into a fixed-width integer key."""
+    def encode(self, child: Iterable[int], backend: str | None = None) -> int:
+        """Encode a child set into a fixed-width integer key.
+
+        ``backend`` picks the cell store used to build the child IBLT (the
+        encoding itself is backend-independent: identical bits either way).
+        """
         child = list(child)
-        table = IBLT.from_items(self.child_params, child)
+        table = IBLT.from_items(self.child_params, child, backend=backend)
         serialized = table.serialize()
         return (serialized << self.hash_bits) | child_set_hash(
             child, self.seed, self.hash_bits
         )
 
-    def decode(self, key: int) -> tuple[IBLT, int]:
+    def encode_all(
+        self, children: Iterable[Iterable[int]], backend: str | None = None
+    ) -> list[int]:
+        """Encode many child sets (the batch form protocols feed to
+        :meth:`~repro.iblt.table.IBLT.insert_batch`)."""
+        return [self.encode(child, backend=backend) for child in children]
+
+    def decode(self, key: int, backend: str | None = None) -> tuple[IBLT, int]:
         """Split a key back into ``(child IBLT, child hash)``."""
         if key < 0 or key.bit_length() > self.key_bits:
             raise CapacityError("encoded child key does not match the scheme")
         child_hash = key & ((1 << self.hash_bits) - 1)
-        table = IBLT.deserialize(self.child_params, key >> self.hash_bits)
+        table = IBLT.deserialize(
+            self.child_params, key >> self.hash_bits, backend=backend
+        )
         return table, child_hash
 
     def hash_of(self, child: Iterable[int]) -> int:

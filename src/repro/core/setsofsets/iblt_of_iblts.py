@@ -46,15 +46,18 @@ def _recover_child(
     scheme: ChildEncodingScheme,
     alice_key: int,
     candidate_children: list[frozenset[int]],
+    backend: str | None = None,
 ) -> frozenset[int] | None:
     """Try to decode one of Alice's child encodings against candidate children.
 
     Returns Alice's recovered child set, or ``None`` if no candidate decodes
     to a set matching the encoding's hash.
     """
-    alice_table, alice_hash = scheme.decode(alice_key)
+    alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
     for candidate in candidate_children:
-        candidate_table = IBLT.from_items(scheme.child_params, candidate)
+        candidate_table = IBLT.from_items(
+            scheme.child_params, candidate, backend=backend
+        )
         decode = alice_table.subtract(candidate_table).try_decode()
         if not decode.success:
             continue
@@ -76,6 +79,7 @@ def reconcile_iblt_of_iblts(
     differing_children_bound: int | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
     fallback_to_all_children: bool = True,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
@@ -97,6 +101,10 @@ def reconcile_iblt_of_iblts(
         to ``difference_bound``.
     child_hash_bits:
         Width of the per-child identification hash (the paper's O(log s)).
+    backend:
+        Cell-store backend for every table the protocol builds (parent
+        tables with wide keys fall back to the pure-Python store
+        automatically; see :mod:`repro.config`).
     fallback_to_all_children:
         When True, a child encoding that fails to decode against Bob's
         differing children is retried against his remaining children.  This
@@ -121,10 +129,9 @@ def reconcile_iblt_of_iblts(
         num_hashes,
     )
 
-    # Alice encodes every child and transmits the parent table.
-    alice_table = IBLT(parent_params)
-    for child in alice:
-        alice_table.insert(scheme.encode(child))
+    # Alice encodes every child and transmits the parent table (batch insert).
+    alice_table = IBLT(parent_params, backend=backend)
+    alice_table.insert_batch(scheme.encode_all(alice, backend=backend))
     verification = parent_hash(alice, seed)
     transcript.send(
         "alice",
@@ -135,12 +142,11 @@ def reconcile_iblt_of_iblts(
 
     # Bob removes his encodings and decodes the differing ones.
     bob_children = bob.sorted_children()
-    bob_encoding_to_child: dict[int, frozenset[int]] = {}
+    bob_encoding_to_child = {
+        scheme.encode(child, backend=backend): child for child in bob_children
+    }
     difference_table = alice_table.copy()
-    for child in bob_children:
-        key = scheme.encode(child)
-        bob_encoding_to_child[key] = child
-        difference_table.delete(key)
+    difference_table.delete_batch(list(bob_encoding_to_child))
     decode = difference_table.try_decode()
     if not decode.success:
         return ReconciliationResult(
@@ -166,9 +172,11 @@ def reconcile_iblt_of_iblts(
 
     recovered_children: list[frozenset[int]] = []
     for alice_key in decode.positive:
-        recovered = _recover_child(scheme, alice_key, differing_bob_children)
+        recovered = _recover_child(
+            scheme, alice_key, differing_bob_children, backend=backend
+        )
         if recovered is None and fallback_to_all_children:
-            recovered = _recover_child(scheme, alice_key, other_children)
+            recovered = _recover_child(scheme, alice_key, other_children, backend=backend)
         if recovered is None:
             return ReconciliationResult(
                 False, None, transcript, details={"failure": "child-iblt-decode"}
@@ -198,6 +206,7 @@ def reconcile_iblt_of_iblts_unknown(
     max_bound: int | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
 ) -> ReconciliationResult:
     """Repeated-doubling variant for unknown ``d`` (Corollary 3.6).
 
@@ -222,6 +231,7 @@ def reconcile_iblt_of_iblts_unknown(
             attempt_seed,
             child_hash_bits=child_hash_bits,
             num_hashes=num_hashes,
+            backend=backend,
             transcript=transcript,
         )
         if result.success:

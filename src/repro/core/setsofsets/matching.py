@@ -11,23 +11,20 @@ benchmarks, never by the protocols themselves (which only receive bounds).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.setsofsets.types import SetOfSets
 
-try:  # scipy is an optional test-time dependency; fall back to a greedy bound.
-    from scipy.optimize import linear_sum_assignment
-except ImportError:  # pragma: no cover - scipy is installed in the dev environment
-    linear_sum_assignment = None
 
-
-def _difference_matrix(alice: SetOfSets, bob: SetOfSets) -> tuple[np.ndarray, list, list]:
+def _difference_matrix(
+    alice: SetOfSets, bob: SetOfSets
+) -> tuple[list[list[int]], list, list]:
+    # Plain lists keep this module importable without NumPy; the matrices are
+    # s x s for parents of s children, far too small to need vectorizing.
     alice_children = alice.sorted_children()
     bob_children = bob.sorted_children()
-    matrix = np.zeros((len(alice_children), len(bob_children)), dtype=np.int64)
-    for i, a_child in enumerate(alice_children):
-        for j, b_child in enumerate(bob_children):
-            matrix[i, j] = len(a_child ^ b_child)
+    matrix = [
+        [len(a_child ^ b_child) for b_child in bob_children]
+        for a_child in alice_children
+    ]
     return matrix, alice_children, bob_children
 
 
@@ -42,35 +39,72 @@ def minimum_matching_difference(alice: SetOfSets, bob: SetOfSets) -> int:
     size = max(len(alice_children), len(bob_children))
     if size == 0:
         return 0
-    padded = np.zeros((size, size), dtype=np.int64)
+    padded = [[0] * size for _ in range(size)]
     for i in range(size):
         for j in range(size):
             if i < len(alice_children) and j < len(bob_children):
-                padded[i, j] = matrix[i, j]
+                padded[i][j] = matrix[i][j]
             elif i < len(alice_children):
-                padded[i, j] = len(alice_children[i])
+                padded[i][j] = len(alice_children[i])
             elif j < len(bob_children):
-                padded[i, j] = len(bob_children[j])
-    if linear_sum_assignment is not None:
-        rows, cols = linear_sum_assignment(padded)
-        return int(padded[rows, cols].sum())
-    return _greedy_matching_cost(padded)
+                padded[i][j] = len(bob_children[j])
+    return _hungarian_cost(padded)
 
 
-def _greedy_matching_cost(padded: np.ndarray) -> int:
-    """Greedy upper bound on the matching cost (used only without scipy)."""
-    size = padded.shape[0]
-    used_cols: set[int] = set()
-    total = 0
-    order = sorted(range(size), key=lambda row: int(padded[row].min()))
-    for row in order:
-        best_col = min(
-            (col for col in range(size) if col not in used_cols),
-            key=lambda col: int(padded[row, col]),
-        )
-        used_cols.add(best_col)
-        total += int(padded[row, best_col])
-    return total
+def _hungarian_cost(cost: list[list[int]]) -> int:
+    """Exact minimum-cost perfect matching on a square matrix (O(n^3)).
+
+    The classic potentials formulation of the Hungarian algorithm.  The
+    matrices here are s x s for parents of s children, so a dependency-free
+    exact solver is both affordable and deterministic (unlike a greedy
+    bound, it is symmetric in the two parents).
+    """
+    size = len(cost)
+    infinity = float("inf")
+    row_potential = [0] * (size + 1)
+    col_potential = [0] * (size + 1)
+    col_match = [0] * (size + 1)  # col_match[j] = row assigned to column j
+    col_parent = [0] * (size + 1)
+    for row in range(1, size + 1):
+        col_match[0] = row
+        current_col = 0
+        min_reduced = [infinity] * (size + 1)
+        visited = [False] * (size + 1)
+        while True:
+            visited[current_col] = True
+            current_row = col_match[current_col]
+            delta = infinity
+            next_col = -1
+            for col in range(1, size + 1):
+                if visited[col]:
+                    continue
+                reduced = (
+                    cost[current_row - 1][col - 1]
+                    - row_potential[current_row]
+                    - col_potential[col]
+                )
+                if reduced < min_reduced[col]:
+                    min_reduced[col] = reduced
+                    col_parent[col] = current_col
+                if min_reduced[col] < delta:
+                    delta = min_reduced[col]
+                    next_col = col
+            for col in range(size + 1):
+                if visited[col]:
+                    row_potential[col_match[col]] += delta
+                    col_potential[col] -= delta
+                else:
+                    min_reduced[col] -= delta
+            current_col = next_col
+            if col_match[current_col] == 0:
+                break
+        while current_col:  # augment along the found path
+            parent = col_parent[current_col]
+            col_match[current_col] = col_match[parent]
+            current_col = parent
+    return sum(
+        cost[col_match[col] - 1][col - 1] for col in range(1, size + 1)
+    )
 
 
 def relaxed_difference(alice: SetOfSets, bob: SetOfSets) -> int:
@@ -83,13 +117,13 @@ def relaxed_difference(alice: SetOfSets, bob: SetOfSets) -> int:
     matrix, alice_children, bob_children = _difference_matrix(alice, bob)
     total = 0
     if len(bob_children):
-        for i, child in enumerate(alice_children):
-            total += int(matrix[i].min()) if len(bob_children) else len(child)
+        for i, _child in enumerate(alice_children):
+            total += min(matrix[i])
     else:
         total += sum(len(child) for child in alice_children)
     if len(alice_children):
-        for j, child in enumerate(bob_children):
-            total += int(matrix[:, j].min()) if len(alice_children) else len(child)
+        for j, _child in enumerate(bob_children):
+            total += min(matrix[i][j] for i in range(len(alice_children)))
     else:
         total += sum(len(child) for child in bob_children)
     return total

@@ -85,6 +85,7 @@ def reconcile_multiround(
     differing_children_bound: int | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     estimate_safety: float = 2.0,
     transcript: Transcript | None = None,
@@ -103,6 +104,9 @@ def reconcile_multiround(
     differing_children_bound:
         Bound ``d_hat`` on differing children; defaults to
         ``min(d, max(s_A, s_B))``.
+    backend:
+        Cell-store backend for the hash tables and per-child IBLTs (see
+        :mod:`repro.config`); the 48-bit child hashes vectorize directly.
     estimator_factory:
         Factory for the per-child set-difference estimators; defaults to
         small L0 sketches sized for ``h``.
@@ -128,14 +132,11 @@ def reconcile_multiround(
     def hash_of(child) -> int:
         return child_set_hash(child, hash_seed, child_hash_bits)
 
-    # ---- Round 1: Alice sends the IBLT of her child hashes.
+    # ---- Round 1: Alice sends the IBLT of her child hashes (one batch).
     hash_params = _hash_iblt_params(d_hat, child_hash_bits, seed, num_hashes)
-    alice_hash_table = IBLT(hash_params)
-    alice_hash_to_child = {}
-    for child in alice:
-        child_hash = hash_of(child)
-        alice_hash_to_child[child_hash] = child
-        alice_hash_table.insert(child_hash)
+    alice_hash_table = IBLT(hash_params, backend=backend)
+    alice_hash_to_child = {hash_of(child): child for child in alice}
+    alice_hash_table.insert_batch(list(alice_hash_to_child))
     verification = parent_hash(alice, seed)
     transcript.send(
         "alice",
@@ -145,12 +146,9 @@ def reconcile_multiround(
     )
 
     # ---- Round 2: Bob replies with his hash IBLT and per-child estimators.
-    bob_hash_table = IBLT(hash_params)
-    bob_hash_to_child = {}
-    for child in bob:
-        child_hash = hash_of(child)
-        bob_hash_to_child[child_hash] = child
-        bob_hash_table.insert(child_hash)
+    bob_hash_table = IBLT(hash_params, backend=backend)
+    bob_hash_to_child = {hash_of(child): child for child in bob}
+    bob_hash_table.insert_batch(list(bob_hash_to_child))
     hash_difference = alice_hash_table.subtract(bob_hash_table)
     hash_decode = hash_difference.try_decode()
     if not hash_decode.success:
@@ -214,7 +212,7 @@ def reconcile_multiround(
                 _ChildPayload(
                     best_hash,
                     hash_of(child),
-                    IBLT.from_items(child_params, child),
+                    IBLT.from_items(child_params, child, backend=backend),
                     None,
                 )
             )
@@ -233,7 +231,7 @@ def reconcile_multiround(
         base_child = bob_hash_to_child.get(payload.target_hash, frozenset())
         recovered: frozenset[int] | None = None
         if payload.iblt is not None:
-            base_table = IBLT.from_items(payload.iblt.params, base_child)
+            base_table = IBLT.from_items(payload.iblt.params, base_child, backend=backend)
             decode = payload.iblt.subtract(base_table).try_decode()
             if decode.success:
                 recovered = frozenset(
@@ -273,6 +271,7 @@ def reconcile_multiround_unknown(
     *,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
+    backend: str | None = None,
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     estimate_safety: float = 2.0,
     hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
@@ -316,6 +315,7 @@ def reconcile_multiround_unknown(
         differing_children_bound=d_hat,
         child_hash_bits=child_hash_bits,
         num_hashes=num_hashes,
+        backend=backend,
         estimator_factory=estimator_factory,
         estimate_safety=estimate_safety,
         transcript=transcript,

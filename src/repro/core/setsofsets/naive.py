@@ -30,6 +30,7 @@ def reconcile_naive(
     seed: int,
     *,
     num_hashes: int = 4,
+    backend: str | None = None,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
     """One-round naive protocol for known ``d_hat`` (Theorem 3.3).
@@ -59,9 +60,8 @@ def reconcile_naive(
         num_hashes,
     )
 
-    alice_table = IBLT(params)
-    for child in alice:
-        alice_table.insert(scheme.encode(child))
+    alice_table = IBLT(params, backend=backend)
+    alice_table.insert_batch(scheme.encode(child) for child in alice)
     verification = parent_hash(alice, seed)
     transcript.send(
         "alice",
@@ -71,8 +71,7 @@ def reconcile_naive(
     )
 
     difference = alice_table.copy()
-    for child in bob:
-        difference.delete(scheme.encode(child))
+    difference.delete_batch(scheme.encode(child) for child in bob)
     decode = difference.try_decode()
     if not decode.success:
         return ReconciliationResult(
@@ -103,6 +102,7 @@ def reconcile_naive_unknown(
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     safety_factor: float = 2.0,
     num_hashes: int = 4,
+    backend: str | None = None,
 ) -> ReconciliationResult:
     """Two-round naive protocol for unknown ``d_hat`` (Theorem 3.4).
 
@@ -138,6 +138,7 @@ def reconcile_naive_unknown(
         max_child_size,
         seed,
         num_hashes=num_hashes,
+        backend=backend,
         transcript=transcript,
     )
     result.details["estimated_differing_children"] = estimate

@@ -202,6 +202,7 @@ def reconcile_multisets_of_multisets(
     element_multiplicity_bound: int | None = None,
     parent_multiplicity_bound: int | None = None,
     protocol: Callable[..., ReconciliationResult] | None = None,
+    backend: str | None = None,
     **protocol_kwargs,
 ) -> ReconciliationResult:
     """Reconcile two multisets of multisets (one-way, Bob recovers Alice's).
@@ -222,7 +223,13 @@ def reconcile_multisets_of_multisets(
         The underlying set-of-sets protocol; defaults to the cascading
         protocol of Theorem 3.7.  It must accept
         ``(alice, bob, difference_bound, universe_size, max_child_size, seed)``.
+    backend:
+        Cell-store backend forwarded to the underlying protocol (only when
+        set, so custom protocols without a ``backend`` parameter keep
+        working); see :mod:`repro.config`.
     """
+    if backend is not None:
+        protocol_kwargs = dict(protocol_kwargs, backend=backend)
     if element_multiplicity_bound is None:
         element_multiplicity_bound = max(
             alice.max_element_multiplicity, bob.max_element_multiplicity

@@ -19,6 +19,7 @@ def reconcile_tables(
     seed: int,
     *,
     protocol: str | Callable[..., ReconciliationResult] = "cascading",
+    backend: str | None = None,
     **protocol_kwargs,
 ) -> ReconciliationResult:
     """One-way reconciliation of two binary tables (Bob recovers Alice's).
@@ -36,6 +37,9 @@ def reconcile_tables(
         Which set-of-sets protocol to use: ``"cascading"`` (Theorem 3.7,
         default), ``"naive"`` (Theorem 3.3), or any callable following the
         ``(alice, bob, d, u, h, seed, ...)`` convention.
+    backend:
+        IBLT cell-store backend forwarded to the protocol when set (see
+        :mod:`repro.config`).
 
     Returns
     -------
@@ -44,6 +48,8 @@ def reconcile_tables(
     """
     if alice.columns != bob.columns:
         raise ParameterError("tables must share the same columns")
+    if backend is not None:
+        protocol_kwargs = dict(protocol_kwargs, backend=backend)
     universe = alice.num_columns
     max_child = max(
         1,

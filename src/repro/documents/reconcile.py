@@ -28,6 +28,7 @@ def reconcile_collections(
     seed: int,
     *,
     protocol: Callable[..., ReconciliationResult] | None = None,
+    backend: str | None = None,
     **protocol_kwargs,
 ) -> ReconciliationResult:
     """One-way reconciliation of the signature sets of two collections.
@@ -46,7 +47,12 @@ def reconcile_collections(
         Theorem 3.5, which the paper singles out for this application.  Must
         follow the ``(alice, bob, d, u, seed, ...)`` convention of
         :func:`reconcile_iblt_of_iblts`.
+    backend:
+        IBLT cell-store backend forwarded to the protocol when set (see
+        :mod:`repro.config`).
     """
+    if backend is not None:
+        protocol_kwargs = dict(protocol_kwargs, backend=backend)
     if (
         alice.shingle_size != bob.shingle_size
         or alice.seed != bob.seed

@@ -105,6 +105,21 @@ class StrataEstimator(SetDifferenceEstimator):
         else:
             self._strata[stratum].delete(representative)
 
+    def update_all(self, elements, side: int) -> None:
+        """Batch form of :meth:`update`: group by stratum, then one batch
+        insert/delete per stratum IBLT (hits the cell store's scatter path)."""
+        self._validate_side(side)
+        grouped: dict[int, list[int]] = {}
+        for element in elements:
+            grouped.setdefault(self._stratum_of(element), []).append(
+                self._representative(element)
+            )
+        for stratum, representatives in grouped.items():
+            if side == 1:
+                self._strata[stratum].insert_batch(representatives)
+            else:
+                self._strata[stratum].delete_batch(representatives)
+
     def merge(self, other: "StrataEstimator") -> "StrataEstimator":
         self._check_compatible(other)
         merged = StrataEstimator(

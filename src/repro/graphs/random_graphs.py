@@ -11,7 +11,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-import numpy as np
+try:  # NumPy accelerates G(n, p) sampling; a pure fallback keeps it optional.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on NumPy-free installs
+    np = None
 
 from repro.errors import ParameterError
 from repro.graphs.graph import Graph
@@ -22,18 +25,30 @@ def gnp_random_graph(num_vertices: int, edge_probability: float, seed: int) -> G
 
     Edge indicators are generated with numpy over the upper triangle, which
     keeps generation fast enough for the few-thousand-vertex graphs used in
-    the benchmarks.
+    the benchmarks.  Without NumPy a pure-Python fallback samples the same
+    distribution; it is deterministic per seed but draws from a *different*
+    random stream, so the concrete realization for a given seed depends on
+    whether NumPy is installed.  Both parties of a simulation share one
+    process, so reconciliation is unaffected -- only workload realizations
+    recorded across differently-equipped machines would differ.
     """
     if not 0.0 <= edge_probability <= 1.0:
         raise ParameterError("edge_probability must lie in [0, 1]")
     graph = Graph(num_vertices)
     if num_vertices < 2 or edge_probability == 0.0:
         return graph
-    rng = np.random.default_rng(seed)
-    row_indices, col_indices = np.triu_indices(num_vertices, k=1)
-    mask = rng.random(row_indices.shape[0]) < edge_probability
-    for u, v in zip(row_indices[mask], col_indices[mask]):
-        graph.add_edge(int(u), int(v))
+    if np is not None:
+        rng = np.random.default_rng(seed)
+        row_indices, col_indices = np.triu_indices(num_vertices, k=1)
+        mask = rng.random(row_indices.shape[0]) < edge_probability
+        for u, v in zip(row_indices[mask], col_indices[mask]):
+            graph.add_edge(int(u), int(v))
+        return graph
+    fallback_rng = random.Random(seed)
+    for u in range(num_vertices - 1):
+        for v in range(u + 1, num_vertices):
+            if fallback_rng.random() < edge_probability:
+                graph.add_edge(u, v)
     return graph
 
 

@@ -15,9 +15,17 @@ primitives here are:
 * :class:`~repro.hashing.tabulation.TabulationHash` -- 3-wise independent
   tabulation hashing, used as a fast alternative key hash.
 * helpers for checksums and for mapping set elements to field elements.
+
+The IBLT inner-loop hashes (:class:`~repro.hashing.family.HashFamily` bucket
+choices and :class:`~repro.hashing.checksum.Checksum` values) are built on
+the 64-bit mixing core of :mod:`repro.hashing.mix` and expose matched batch
+APIs (``cells_for_many`` / ``cells_for_array``, ``of_keys`` /
+``of_keys_array``) so the vectorized cell-store backends can hash whole key
+arrays at once while agreeing bit for bit with the scalar path.
 """
 
 from repro.hashing.prf import SeededHasher, derive_seed, int_to_bytes, bytes_to_int
+from repro.hashing.mix import HAS_NUMPY, fingerprint64, mix64
 from repro.hashing.family import HashFamily
 from repro.hashing.pairwise import PairwiseHash
 from repro.hashing.tabulation import TabulationHash
@@ -32,4 +40,7 @@ __all__ = [
     "derive_seed",
     "int_to_bytes",
     "bytes_to_int",
+    "mix64",
+    "fingerprint64",
+    "HAS_NUMPY",
 ]

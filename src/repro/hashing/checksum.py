@@ -6,14 +6,27 @@ collide with high probability; the paper uses Theta(log u) bits.  The same
 primitive doubles as the whole-set hash protocols attach to guard against
 undetected checksum failures ("we often ward against checksum failures by
 augmenting the set recovery process with a hash of each of the sets").
+
+Checksums are derived from the shared 64-bit mixing core
+(:mod:`repro.hashing.mix`), so they come in matched scalar and batch forms:
+:meth:`Checksum.of_key` for one key, :meth:`Checksum.of_keys` for a list,
+and :meth:`Checksum.of_keys_array` for a NumPy ``uint64`` array.  All three
+agree bit for bit, which lets the vectorized cell-store backend verify pure
+cells on whole arrays while the pure-Python backend checks one cell at a
+time -- and still produce identical tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from functools import cached_property
+from typing import Iterable, Sequence
 
-from repro.hashing.prf import SeededHasher, derive_seed
+from repro.hashing.mix import HAS_NUMPY, MASK64, fingerprint64, mix64, mix64_array
+from repro.hashing.prf import derive_seed
+
+if HAS_NUMPY:
+    import numpy as _np
 
 
 @dataclass(frozen=True)
@@ -33,13 +46,56 @@ class Checksum:
     seed: int
     bits: int = 32
 
-    def _hasher(self) -> SeededHasher:
-        return SeededHasher(derive_seed(self.seed, "checksum"), self.bits)
+    @cached_property
+    def _word_seeds(self) -> tuple[int, ...]:
+        """One derived 64-bit seed per output word (usually just one)."""
+        num_words = max(1, (self.bits + 63) // 64)
+        return tuple(
+            derive_seed(self.seed, "checksum", index) & MASK64
+            for index in range(num_words)
+        )
+
+    @cached_property
+    def _mask(self) -> int:
+        return (1 << self.bits) - 1
 
     def of_key(self, key: int) -> int:
         """Checksum of a single key."""
-        return self._hasher().hash_int(key)
+        fingerprint = fingerprint64(key)
+        if self.bits <= 64:
+            return mix64(fingerprint ^ self._word_seeds[0]) & self._mask
+        combined = 0
+        for word_seed in self._word_seeds:
+            combined = (combined << 64) | mix64(fingerprint ^ word_seed)
+        return combined & self._mask
+
+    def of_keys(self, keys: Sequence[int]) -> list[int]:
+        """Checksums of many keys (scalar reference path, any key width)."""
+        return [self.of_key(key) for key in keys]
 
     def of_set(self, values: Iterable[int]) -> int:
         """Order-independent checksum of a collection of keys (XOR-combined)."""
-        return self._hasher().hash_iterable(values)
+        combined = 0
+        for value in values:
+            combined ^= self.of_key(value)
+        return combined
+
+    if HAS_NUMPY:
+
+        @cached_property
+        def _np_seed(self):
+            return _np.uint64(self._word_seeds[0])
+
+        @cached_property
+        def _np_mask(self):
+            return _np.uint64(self._mask if self.bits <= 64 else MASK64)
+
+        def of_keys_array(self, keys) -> "_np.ndarray":
+            """Vectorized checksums of a ``uint64`` key array.
+
+            Only defined for ``bits <= 64`` (the vectorized cell stores
+            guarantee this); agrees element-wise with :meth:`of_key`.
+            """
+            if self.bits > 64:
+                raise ValueError("of_keys_array requires bits <= 64")
+            return mix64_array(keys ^ self._np_seed) & self._np_mask

@@ -5,6 +5,17 @@ parties agree on.  :class:`HashFamily` derives them from a single seed.  The
 family also provides the *partitioned* bucket mapping recommended by the
 paper ("one can use a partitioned hash table, with each hash function having
 m/k cells"), which guarantees that the k cells a key maps to are distinct.
+
+Bucket indices come from the shared 64-bit mixing core
+(:mod:`repro.hashing.mix`) and are exposed in three matched forms:
+
+* :meth:`HashFamily.cells_for` -- one key at a time (scalar reference path);
+* :meth:`HashFamily.cells_for_many` -- a list of keys, one row per key;
+* :meth:`HashFamily.cells_for_array` -- a NumPy ``uint64`` key array mapped
+  to a ``(num_hashes, n)`` index matrix in a handful of vector operations.
+
+All three agree exactly, which is what lets the pluggable cell-store
+backends (:mod:`repro.iblt.backends`) produce bit-identical tables.
 """
 
 from __future__ import annotations
@@ -12,7 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ParameterError
-from repro.hashing.prf import SeededHasher, derive_seed
+from repro.hashing.mix import HAS_NUMPY, MASK64, fingerprint64, mix64, mix64_array
+from repro.hashing.prf import derive_seed
+
+if HAS_NUMPY:
+    import numpy as _np
 
 
 @dataclass
@@ -33,7 +48,7 @@ class HashFamily:
     seed: int
     num_hashes: int
     num_cells: int
-    _hashers: list[SeededHasher] = field(init=False, repr=False, default_factory=list)
+    _seeds: list[int] = field(init=False, repr=False, default_factory=list)
     _region_bounds: list[tuple[int, int]] = field(
         init=False, repr=False, default_factory=list
     )
@@ -43,8 +58,8 @@ class HashFamily:
             raise ParameterError("num_hashes must be positive")
         if self.num_cells < self.num_hashes:
             raise ParameterError("num_cells must be at least num_hashes")
-        self._hashers = [
-            SeededHasher(derive_seed(self.seed, "hash-family", index), 128)
+        self._seeds = [
+            derive_seed(self.seed, "hash-family", index) & MASK64
             for index in range(self.num_hashes)
         ]
         base = self.num_cells // self.num_hashes
@@ -56,16 +71,28 @@ class HashFamily:
             bounds.append((start, size))
             start += size
         self._region_bounds = bounds
+        if HAS_NUMPY:
+            self._np_seeds = [_np.uint64(seed) for seed in self._seeds]
+            self._np_starts = [_np.int64(start) for start, _ in bounds]
+            self._np_sizes = [_np.uint64(size) for _, size in bounds]
 
     def cells_for(self, key: int) -> list[int]:
         """Return the ``k`` distinct cell indices for ``key``.
 
         One cell per partition region, so the indices are always distinct.
         """
+        fingerprint = fingerprint64(key)
         cells: list[int] = []
-        for hasher, (start, size) in zip(self._hashers, self._region_bounds):
-            cells.append(start + hasher.hash_to_range(key, size))
+        for seed, (start, size) in zip(self._seeds, self._region_bounds):
+            cells.append(start + mix64(fingerprint ^ seed) % size)
         return cells
+
+    def cells_for_many(self, keys) -> list[list[int]]:
+        """Cell indices for many keys (scalar reference path, any key width).
+
+        Returns one row of ``k`` indices per key, matching :meth:`cells_for`.
+        """
+        return [self.cells_for(key) for key in keys]
 
     def region_of(self, cell_index: int) -> int:
         """Return which hash function's region a cell index belongs to."""
@@ -75,3 +102,19 @@ class HashFamily:
             if start <= cell_index < start + size:
                 return region
         raise ParameterError("cell index out of range")  # pragma: no cover
+
+    if HAS_NUMPY:
+
+        def cells_for_array(self, keys) -> "_np.ndarray":
+            """Vectorized bucket mapping for a ``uint64`` key array.
+
+            Returns an ``(num_hashes, n)`` ``int64`` matrix whose column ``j``
+            equals ``cells_for(keys[j])``.  Callers guarantee the keys fit in
+            64 bits (the vectorized cell stores enforce this).
+            """
+            out = _np.empty((self.num_hashes, keys.shape[0]), dtype=_np.int64)
+            for index in range(self.num_hashes):
+                mixed = mix64_array(keys ^ self._np_seeds[index])
+                out[index] = (mixed % self._np_sizes[index]).astype(_np.int64)
+                out[index] += self._np_starts[index]
+            return out

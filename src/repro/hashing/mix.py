@@ -1,0 +1,87 @@
+"""64-bit mixing primitives shared by the scalar and vectorized hash paths.
+
+The IBLT inner loops (bucket choice and per-key checksums) are the hot path
+of every protocol in this library.  Deriving those values from keyed BLAKE2b
+one key at a time is robust but slow, and -- crucially -- impossible to
+vectorize.  This module defines the mixing function both paths use instead:
+
+* :func:`mix64` -- the splitmix64 finalizer, a bijective avalanche mixer on
+  64-bit words, computed with plain Python integers;
+* :func:`mix64_array` -- the *same* function on a NumPy ``uint64`` array,
+  element for element identical to :func:`mix64`;
+* :func:`fingerprint64` -- folds an arbitrarily wide key to the 64-bit word
+  the mixers consume.  Keys that already fit in 64 bits are used as-is (so
+  the scalar and vectorized paths agree without any hashing); wider keys
+  (e.g. serialized child IBLTs used as parent-table keys, Section 3.2) are
+  folded through BLAKE2b once per key.
+
+Cross-backend determinism rests on this file: every cell-store backend
+(:mod:`repro.iblt.backends`) derives bucket indices and checksums from these
+functions, so the same seed yields bit-identical tables no matter which
+backend computed them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+MASK64 = (1 << 64) - 1
+
+_MULT_A = 0xBF58476D1CE4E5B9
+_MULT_B = 0x94D049BB133111EB
+
+try:  # NumPy is optional; every caller falls back to the scalar path.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on NumPy-free installs
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+
+def mix64(value: int) -> int:
+    """Splitmix64 finalizer: a bijective avalanche mixer on 64-bit words."""
+    value &= MASK64
+    value ^= value >> 30
+    value = (value * _MULT_A) & MASK64
+    value ^= value >> 27
+    value = (value * _MULT_B) & MASK64
+    return value ^ (value >> 31)
+
+
+def fingerprint64(key: int) -> int:
+    """Fold a non-negative key into the 64-bit word the mixers consume.
+
+    Keys below ``2**64`` are returned unchanged, which is what makes the
+    scalar and vectorized hash paths agree exactly.  Wider keys are folded
+    with one BLAKE2b call (regardless of how many hash functions later
+    consume the fingerprint, so wide-key hashing pays a single digest).
+    """
+    if key >> 64 == 0:
+        return key
+    data = key.to_bytes((key.bit_length() + 7) // 8, "big")
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8, person=b"repro-fp64").digest(), "big"
+    )
+
+
+if HAS_NUMPY:
+    _NP_MULT_A = _np.uint64(_MULT_A)
+    _NP_MULT_B = _np.uint64(_MULT_B)
+    _NP_S30 = _np.uint64(30)
+    _NP_S27 = _np.uint64(27)
+    _NP_S31 = _np.uint64(31)
+
+    def mix64_array(values):
+        """Vectorized :func:`mix64` over a ``uint64`` array (input not modified)."""
+        z = values.astype(_np.uint64, copy=True)
+        z ^= z >> _NP_S30
+        z *= _NP_MULT_A
+        z ^= z >> _NP_S27
+        z *= _NP_MULT_B
+        z ^= z >> _NP_S31
+        return z
+
+else:  # pragma: no cover - exercised on NumPy-free installs
+
+    def mix64_array(values):
+        raise RuntimeError("mix64_array requires NumPy")

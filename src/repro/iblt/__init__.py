@@ -7,13 +7,19 @@ of every efficient protocol in this library.  This package provides:
   subtraction of two tables, signed peeling decode with checksum-verified
   pure cells, and canonical fixed-width serialization (so that a child IBLT
   can itself be a key of a parent IBLT -- the "IBLT of IBLTs" construction of
-  Section 3.2).
+  Section 3.2).  ``insert_batch``/``delete_batch`` feed whole key
+  collections to the cell store in one scatter, and ``subtract``/``merge``
+  combine tables cell-wise through it.
 * :class:`~repro.iblt.table.IBLTParameters` -- the shared configuration both
   parties must agree on (cells, hash count, key width, seed).
+* :mod:`repro.iblt.backends` -- pluggable cell-store backends: a pure-Python
+  reference store and a vectorized NumPy store, selected through the
+  :mod:`repro.config` registry and producing bit-identical tables.
 * :mod:`repro.iblt.sizing` -- recommended table sizes for a target difference
   bound, following the peeling thresholds referenced by Theorem 2.1.
 """
 
+from repro.iblt.backends import CellStore, NumpyCellStore, PythonCellStore
 from repro.iblt.table import IBLT, IBLTParameters, DecodeResult
 from repro.iblt.sizing import cells_for_difference, PEELING_THRESHOLDS
 
@@ -21,6 +27,9 @@ __all__ = [
     "IBLT",
     "IBLTParameters",
     "DecodeResult",
+    "CellStore",
+    "PythonCellStore",
+    "NumpyCellStore",
     "cells_for_difference",
     "PEELING_THRESHOLDS",
 ]

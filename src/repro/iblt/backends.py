@@ -1,0 +1,340 @@
+"""Pluggable cell-store backends for the IBLT.
+
+An IBLT is three parallel per-cell accumulators -- ``count``, ``key_xor``
+and ``check_xor`` -- plus a scatter pattern derived from the hash family.
+Everything else (peeling logic, serialization, protocol plumbing) is generic
+over *how* those accumulators are stored and updated.  This module defines
+that seam:
+
+* :class:`CellStore` -- the abstract backend interface.  A backend owns the
+  three accumulators and implements batch scatter updates, batch pure-cell
+  scans, in-place combination, and snapshot/load for serialization.
+* :class:`PythonCellStore` -- the reference implementation over plain Python
+  lists.  Handles keys of any width; always available.
+* :class:`NumpyCellStore` -- vectorized implementation over NumPy ``int64``
+  count and ``uint64`` XOR arrays.  Batch inserts hash whole key arrays
+  through :meth:`~repro.hashing.family.HashFamily.cells_for_array` and
+  scatter with ``ufunc.at``; the peeler's pure-cell scan is a couple of
+  vector comparisons.  Requires keys and checksums of at most 64 bits, so
+  tables whose keys are serialized child IBLTs (Section 3.2) transparently
+  fall back to :class:`PythonCellStore` via the registry
+  (:mod:`repro.config`).
+
+Both backends derive every bucket index and checksum from the same 64-bit
+mixing core (:mod:`repro.hashing.mix`), so a given parameter set and key
+sequence produces bit-identical cell contents -- and therefore identical
+serialized tables and decode results -- regardless of backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Sequence
+
+from repro.config import register_cell_backend
+from repro.errors import CapacityError, ParameterError
+from repro.hashing import Checksum, HashFamily
+from repro.hashing.mix import HAS_NUMPY
+
+if HAS_NUMPY:
+    import numpy as _np
+
+
+def _validate_key_scalar(key: int, key_bits: int) -> None:
+    """Shared single-key validation (exact error parity across backends)."""
+    if not isinstance(key, int):
+        raise ParameterError("IBLT keys must be Python integers")
+    if key < 0:
+        raise ParameterError("IBLT keys must be non-negative")
+    if key.bit_length() > key_bits:
+        raise CapacityError(
+            f"key of {key.bit_length()} bits exceeds key_bits={key_bits}"
+        )
+
+
+class CellStore(ABC):
+    """Storage backend for the per-cell ``(count, key_xor, check_xor)`` triples."""
+
+    #: Registry name; also reported by :attr:`repro.iblt.table.IBLT.backend`.
+    name: ClassVar[str]
+    #: True when batch operations run over whole arrays rather than loops.
+    vectorized: ClassVar[bool]
+    #: Auto-selection preference; higher wins (see :mod:`repro.config`).
+    priority: ClassVar[int]
+
+    def __init__(self, num_cells: int) -> None:
+        self.num_cells = num_cells
+
+    # -- capability probes ----------------------------------------------------------
+
+    @classmethod
+    def available(cls) -> bool:
+        """True when the backend's dependencies are importable."""
+        return True
+
+    @classmethod
+    def supports(cls, params) -> bool:
+        """True when the backend can represent tables with these parameters."""
+        return True
+
+    # -- mutation -------------------------------------------------------------------
+
+    @abstractmethod
+    def apply(self, cells: Sequence[int], key: int, check: int, delta: int) -> None:
+        """Scatter one key (with its checksum) into its cells with ``delta``."""
+
+    @abstractmethod
+    def prepare_keys(self, keys, key_bits: int):
+        """Validate a key batch and return the representation ``apply_batch`` takes."""
+
+    @abstractmethod
+    def coerce_keys(self, keys: Sequence[int]):
+        """Like :meth:`prepare_keys` for keys already known valid (peeling)."""
+
+    @abstractmethod
+    def apply_batch(self, keys, deltas, family: HashFamily, checksum: Checksum) -> None:
+        """Scatter a prepared key batch; ``deltas`` is one int or one per key."""
+
+    @abstractmethod
+    def combine(self, other: "CellStore", sign: int) -> None:
+        """In-place cell-wise ``self += sign * other`` (counts add, XORs fold)."""
+
+    # -- inspection -----------------------------------------------------------------
+
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """True when every cell is all-zero."""
+
+    @abstractmethod
+    def pure_cells(self, checksum: Checksum) -> tuple[list[int], list[int]]:
+        """Scan for candidate pure cells (count of +-1, checksum-verified).
+
+        Returns the cell keys and matching signs in ascending cell order;
+        keys may repeat when one key is pure in several cells.
+        """
+
+    @abstractmethod
+    def snapshot(self) -> tuple[list[int], list[int], list[int]]:
+        """Cell contents as ``(counts, key_xors, check_xors)`` Python lists."""
+
+    @abstractmethod
+    def load(self, counts: list[int], key_xors: list[int], check_xors: list[int]) -> None:
+        """Replace the cell contents wholesale (deserialization)."""
+
+    @abstractmethod
+    def copy(self) -> "CellStore":
+        """Independent deep copy."""
+
+
+@register_cell_backend
+class PythonCellStore(CellStore):
+    """Reference backend over plain Python lists (any key width)."""
+
+    name = "python"
+    vectorized = False
+    priority = 0
+
+    def __init__(self, num_cells: int) -> None:
+        super().__init__(num_cells)
+        self._counts = [0] * num_cells
+        self._key_xor = [0] * num_cells
+        self._check_xor = [0] * num_cells
+
+    def apply(self, cells, key, check, delta):
+        counts, key_xor, check_xor = self._counts, self._key_xor, self._check_xor
+        for cell in cells:
+            counts[cell] += delta
+            key_xor[cell] ^= key
+            check_xor[cell] ^= check
+
+    def prepare_keys(self, keys, key_bits):
+        keys = list(keys)
+        for key in keys:
+            _validate_key_scalar(key, key_bits)
+        return keys
+
+    def coerce_keys(self, keys):
+        return keys
+
+    def apply_batch(self, keys, deltas, family, checksum):
+        counts, key_xor, check_xor = self._counts, self._key_xor, self._check_xor
+        if isinstance(deltas, int):
+            deltas = [deltas] * len(keys)
+        checks = checksum.of_keys(keys)
+        cell_rows = family.cells_for_many(keys)
+        for key, delta, check, cells in zip(keys, deltas, checks, cell_rows):
+            for cell in cells:
+                counts[cell] += delta
+                key_xor[cell] ^= key
+                check_xor[cell] ^= check
+
+    def combine(self, other, sign):
+        if isinstance(other, PythonCellStore):  # read directly, skip the copies
+            other_counts = other._counts
+            other_keys = other._key_xor
+            other_checks = other._check_xor
+        else:
+            other_counts, other_keys, other_checks = other.snapshot()
+        counts, key_xor, check_xor = self._counts, self._key_xor, self._check_xor
+        for cell in range(self.num_cells):
+            counts[cell] += sign * other_counts[cell]
+            key_xor[cell] ^= other_keys[cell]
+            check_xor[cell] ^= other_checks[cell]
+
+    def is_empty(self):
+        return (
+            all(count == 0 for count in self._counts)
+            and all(key == 0 for key in self._key_xor)
+            and all(check == 0 for check in self._check_xor)
+        )
+
+    def pure_cells(self, checksum):
+        keys: list[int] = []
+        signs: list[int] = []
+        key_xor, check_xor = self._key_xor, self._check_xor
+        for cell, count in enumerate(self._counts):
+            if count == 1 or count == -1:
+                key = key_xor[cell]
+                if check_xor[cell] == checksum.of_key(key):
+                    keys.append(key)
+                    signs.append(count)
+        return keys, signs
+
+    def snapshot(self):
+        return list(self._counts), list(self._key_xor), list(self._check_xor)
+
+    def load(self, counts, key_xors, check_xors):
+        self._counts = list(counts)
+        self._key_xor = list(key_xors)
+        self._check_xor = list(check_xors)
+
+    def copy(self):
+        clone = PythonCellStore.__new__(PythonCellStore)
+        clone.num_cells = self.num_cells
+        clone._counts = list(self._counts)
+        clone._key_xor = list(self._key_xor)
+        clone._check_xor = list(self._check_xor)
+        return clone
+
+
+@register_cell_backend
+class NumpyCellStore(CellStore):
+    """Vectorized backend over NumPy arrays (keys and checksums <= 64 bits)."""
+
+    name = "numpy"
+    vectorized = True
+    priority = 10
+
+    def __init__(self, num_cells: int) -> None:
+        super().__init__(num_cells)
+        self._counts = _np.zeros(num_cells, dtype=_np.int64)
+        self._key_xor = _np.zeros(num_cells, dtype=_np.uint64)
+        self._check_xor = _np.zeros(num_cells, dtype=_np.uint64)
+
+    @classmethod
+    def available(cls):
+        return HAS_NUMPY
+
+    @classmethod
+    def supports(cls, params):
+        return HAS_NUMPY and params.key_bits <= 64 and params.checksum_bits <= 64
+
+    def apply(self, cells, key, check, delta):
+        counts, key_xor, check_xor = self._counts, self._key_xor, self._check_xor
+        key_word = _np.uint64(key)
+        check_word = _np.uint64(check)
+        for cell in cells:
+            counts[cell] += delta
+            key_xor[cell] ^= key_word
+            check_xor[cell] ^= check_word
+
+    def prepare_keys(self, keys, key_bits):
+        keys = list(keys)
+        # np.asarray would silently truncate floats (1.5 -> 1) and, on
+        # NumPy 1.x, wrap negative ints into uint64 -- both would break the
+        # exact-parity guarantee, so check types and signs explicitly.
+        for key in keys:
+            if not isinstance(key, int):
+                raise ParameterError("IBLT keys must be Python integers")
+        if keys and min(keys) < 0:
+            raise ParameterError("IBLT keys must be non-negative")
+        try:
+            array = _np.asarray(keys, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            # A >64-bit key somewhere: re-raise with exact parity.
+            for key in keys:
+                _validate_key_scalar(key, key_bits)
+            raise  # pragma: no cover - scalar validation always raises first
+        if key_bits < 64 and array.size:
+            oversized = array >> _np.uint64(key_bits)
+            if oversized.any():
+                offender = int(array[_np.nonzero(oversized)[0][0]])
+                _validate_key_scalar(offender, key_bits)
+        return array
+
+    def coerce_keys(self, keys):
+        return _np.asarray(keys, dtype=_np.uint64)
+
+    def apply_batch(self, keys, deltas, family, checksum):
+        array = keys if isinstance(keys, _np.ndarray) else self.coerce_keys(keys)
+        if array.size == 0:
+            return
+        num_hashes = family.num_hashes
+        # One flat scatter per accumulator: ufunc.at needs the value array to
+        # match the (flattened) index array exactly, so tile per hash row.
+        cells = family.cells_for_array(array).reshape(-1)
+        checks = checksum.of_keys_array(array)
+        if isinstance(deltas, int):
+            _np.add.at(self._counts, cells, _np.int64(deltas))
+        else:
+            delta_array = _np.asarray(deltas, dtype=_np.int64)
+            _np.add.at(self._counts, cells, _np.tile(delta_array, num_hashes))
+        _np.bitwise_xor.at(self._key_xor, cells, _np.tile(array, num_hashes))
+        _np.bitwise_xor.at(self._check_xor, cells, _np.tile(checks, num_hashes))
+
+    def combine(self, other, sign):
+        if isinstance(other, NumpyCellStore):
+            other_counts = other._counts
+            other_keys = other._key_xor
+            other_checks = other._check_xor
+        else:
+            counts, keys, checks = other.snapshot()
+            other_counts = _np.asarray(counts, dtype=_np.int64)
+            other_keys = _np.asarray(keys, dtype=_np.uint64)
+            other_checks = _np.asarray(checks, dtype=_np.uint64)
+        if sign == 1:
+            self._counts += other_counts
+        else:
+            self._counts -= other_counts
+        self._key_xor ^= other_keys
+        self._check_xor ^= other_checks
+
+    def is_empty(self):
+        return not (
+            self._counts.any() or self._key_xor.any() or self._check_xor.any()
+        )
+
+    def pure_cells(self, checksum):
+        counts = self._counts
+        candidates = _np.nonzero((counts == 1) | (counts == -1))[0]
+        if candidates.size == 0:
+            return [], []
+        keys = self._key_xor[candidates]
+        verified = self._check_xor[candidates] == checksum.of_keys_array(keys)
+        return keys[verified].tolist(), counts[candidates][verified].tolist()
+
+    def snapshot(self):
+        return self._counts.tolist(), self._key_xor.tolist(), self._check_xor.tolist()
+
+    def load(self, counts, key_xors, check_xors):
+        self._counts = _np.asarray(counts, dtype=_np.int64)
+        self._key_xor = _np.asarray(key_xors, dtype=_np.uint64)
+        self._check_xor = _np.asarray(check_xors, dtype=_np.uint64)
+
+    def copy(self):
+        clone = NumpyCellStore.__new__(NumpyCellStore)
+        clone.num_cells = self.num_cells
+        clone._counts = self._counts.copy()
+        clone._key_xor = self._key_xor.copy()
+        clone._check_xor = self._check_xor.copy()
+        return clone

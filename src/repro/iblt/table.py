@@ -8,20 +8,36 @@ negative; a table can therefore represent the *signed difference* of two
 sets, which is how set reconciliation uses it (insert Alice's elements,
 delete Bob's, peel what remains).
 
+Cell storage is delegated to a pluggable backend (:mod:`repro.iblt.backends`,
+selected through the :mod:`repro.config` registry): a pure-Python reference
+store, or a vectorized NumPy store that hashes and scatters whole key arrays
+at once.  :meth:`IBLT.insert_batch` and
+:meth:`IBLT.delete_batch` feed the backend whole key batches in one scatter;
+:meth:`IBLT.subtract` and :meth:`IBLT.merge` combine tables cell-wise through
+the backend (``CellStore.combine``); the single-key methods remain for
+incremental callers.  Backends produce bit-identical tables for the same parameters and
+keys, so the backend choice is invisible to protocols (and to
+serialization).
+
 Peeling repeatedly extracts "pure" cells (count of +1 or -1 whose key
 checksum matches the cell checksum) until the table is empty or stuck.  The
-two failure modes of the paper are surfaced distinctly: a peeling failure
-leaves the table non-empty and is always detected; a checksum failure is
-caught when the final table is not structurally empty or by the caller's
-whole-set hash.
+peeler works in rounds: each round asks the backend for every currently pure
+cell in one scan (vectorized on the NumPy backend), then removes all the
+recovered keys in one batch update.  The two failure modes of the paper are
+surfaced distinctly: a peeling failure leaves the table non-empty and is
+always detected; a checksum failure is caught when the final table is not
+structurally empty or by the caller's whole-set hash.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 
+from repro.config import resolve_cell_backend
 from repro.errors import CapacityError, DecodeError, ParameterError
 from repro.hashing import Checksum, HashFamily, derive_seed
+from repro.iblt import backends as _backends  # also registers the built-in backends
 from repro.iblt.sizing import cells_for_difference
 
 
@@ -47,6 +63,10 @@ class IBLTParameters:
         Width used for the cell count in the serialized form.  Counts are
         stored in two's complement, so values in
         ``[-2**(count_bits-1), 2**(count_bits-1))`` are representable.
+
+    The cell-store backend is deliberately *not* part of the parameters: two
+    tables built with different backends but equal parameters hold identical
+    cell contents and combine freely.
     """
 
     num_cells: int
@@ -125,13 +145,23 @@ class DecodeResult:
 
 
 class IBLT:
-    """An Invertible Bloom Lookup Table over fixed-width integer keys."""
+    """An Invertible Bloom Lookup Table over fixed-width integer keys.
 
-    def __init__(self, params: IBLTParameters) -> None:
+    Parameters
+    ----------
+    params:
+        Shared table configuration.
+    backend:
+        Cell-store backend name (``"python"``, ``"numpy"``, or ``"auto"``);
+        ``None`` uses the process default (see :mod:`repro.config`).  A
+        backend that cannot represent ``params`` -- e.g. the NumPy store for
+        keys wider than 64 bits -- silently falls back to the pure-Python
+        reference store.
+    """
+
+    def __init__(self, params: IBLTParameters, backend: str | None = None) -> None:
         self.params = params
-        self._counts = [0] * params.num_cells
-        self._key_xor = [0] * params.num_cells
-        self._check_xor = [0] * params.num_cells
+        self._store = resolve_cell_backend(backend, params)(params.num_cells)
         self._family = HashFamily(
             derive_seed(params.seed, "iblt-buckets"),
             params.num_hashes,
@@ -141,42 +171,41 @@ class IBLT:
             derive_seed(params.seed, "iblt-checksum"), params.checksum_bits
         )
 
+    @property
+    def backend(self) -> str:
+        """Name of the cell-store backend this table resolved to."""
+        return self._store.name
+
     # -- construction helpers ------------------------------------------------------
 
     @classmethod
-    def from_items(cls, params: IBLTParameters, items) -> "IBLT":
+    def from_items(
+        cls, params: IBLTParameters, items, backend: str | None = None
+    ) -> "IBLT":
         """Build a table with every item of ``items`` inserted ("encode a set")."""
-        table = cls(params)
-        for item in items:
-            table.insert(item)
+        table = cls(params, backend=backend)
+        table.insert_batch(items)
         return table
 
     def copy(self) -> "IBLT":
-        """Deep copy of the table (shares the immutable parameters)."""
-        clone = IBLT(self.params)
-        clone._counts = list(self._counts)
-        clone._key_xor = list(self._key_xor)
-        clone._check_xor = list(self._check_xor)
+        """Deep copy of the table (shares the immutable parameters and hashers)."""
+        clone = IBLT.__new__(IBLT)
+        clone.params = self.params
+        clone._family = self._family
+        clone._checksum = self._checksum
+        clone._store = self._store.copy()
         return clone
 
     # -- mutation -------------------------------------------------------------------
 
     def _validate_key(self, key: int) -> None:
-        if key < 0:
-            raise ParameterError("IBLT keys must be non-negative")
-        if key.bit_length() > self.params.key_bits:
-            raise CapacityError(
-                f"key of {key.bit_length()} bits exceeds key_bits="
-                f"{self.params.key_bits}"
-            )
+        _backends._validate_key_scalar(key, self.params.key_bits)
 
     def _update(self, key: int, delta: int) -> None:
         self._validate_key(key)
-        check = self._checksum.of_key(key)
-        for cell in self._family.cells_for(key):
-            self._counts[cell] += delta
-            self._key_xor[cell] ^= key
-            self._check_xor[cell] ^= check
+        self._store.apply(
+            self._family.cells_for(key), key, self._checksum.of_key(key), delta
+        )
 
     def insert(self, key: int) -> None:
         """Add a key to the table."""
@@ -186,15 +215,42 @@ class IBLT:
         """Remove a key from the table (counts may go negative)."""
         self._update(key, -1)
 
+    def _update_batch(self, keys, delta: int) -> None:
+        prepared = self._store.prepare_keys(keys, self.params.key_bits)
+        self._store.apply_batch(prepared, delta, self._family, self._checksum)
+
+    def insert_batch(self, keys) -> None:
+        """Insert a whole batch of keys through the backend's scatter path."""
+        self._update_batch(keys, +1)
+
+    def delete_batch(self, keys) -> None:
+        """Delete a whole batch of keys through the backend's scatter path."""
+        self._update_batch(keys, -1)
+
+    #: Chunk size for the streaming insert_all/delete_all wrappers: large
+    #: enough to amortize the vectorized scatter, small enough to keep the
+    #: memory of unbounded iterables constant.
+    _STREAM_CHUNK = 1 << 16
+
+    def _update_all(self, keys, delta: int) -> None:
+        iterator = iter(keys)
+        while chunk := list(islice(iterator, self._STREAM_CHUNK)):
+            self._update_batch(chunk, delta)
+
     def insert_all(self, keys) -> None:
-        """Insert every key of an iterable."""
-        for key in keys:
-            self.insert(key)
+        """Insert every key of an iterable.
+
+        Routed through :meth:`insert_batch` in bounded chunks, so arbitrary
+        (even unbounded) iterables stream in constant memory while still
+        getting the backend's batch scatter path.  On a validation error,
+        chunks before the offending one remain applied.
+        """
+        self._update_all(keys, +1)
 
     def delete_all(self, keys) -> None:
-        """Delete every key of an iterable."""
-        for key in keys:
-            self.delete(key)
+        """Delete every key of an iterable (streaming counterpart of
+        :meth:`delete_batch`; see :meth:`insert_all`)."""
+        self._update_all(keys, -1)
 
     # -- combination ----------------------------------------------------------------
 
@@ -208,41 +264,26 @@ class IBLT:
         If ``self`` encodes Alice's set and ``other`` encodes Bob's, the
         result encodes the signed symmetric difference and can be decoded to
         recover it (the "combine Alice and Bob's IBLTs" operation of
-        Section 2).
+        Section 2).  Backends may differ between the operands; the result
+        keeps ``self``'s backend.
         """
         self._check_compatible(other)
         result = self.copy()
-        for cell in range(self.params.num_cells):
-            result._counts[cell] -= other._counts[cell]
-            result._key_xor[cell] ^= other._key_xor[cell]
-            result._check_xor[cell] ^= other._check_xor[cell]
+        result._store.combine(other._store, -1)
         return result
 
     def merge(self, other: "IBLT") -> "IBLT":
         """Return a new table representing the sum ``self + other``."""
         self._check_compatible(other)
         result = self.copy()
-        for cell in range(self.params.num_cells):
-            result._counts[cell] += other._counts[cell]
-            result._key_xor[cell] ^= other._key_xor[cell]
-            result._check_xor[cell] ^= other._check_xor[cell]
+        result._store.combine(other._store, +1)
         return result
 
     # -- inspection -----------------------------------------------------------------
 
     def is_structurally_empty(self) -> bool:
         """True if every cell is all-zero (no keys remain, barring cancellation)."""
-        return (
-            all(count == 0 for count in self._counts)
-            and all(key == 0 for key in self._key_xor)
-            and all(check == 0 for check in self._check_xor)
-        )
-
-    def _is_pure(self, cell: int) -> bool:
-        """A cell is pure when it holds exactly one key (checksum-verified)."""
-        if self._counts[cell] not in (1, -1):
-            return False
-        return self._check_xor[cell] == self._checksum.of_key(self._key_xor[cell])
+        return self._store.is_empty()
 
     # -- decoding -------------------------------------------------------------------
 
@@ -250,31 +291,35 @@ class IBLT:
         """Peel the table and report what was recovered.
 
         The table itself is not modified; peeling happens on a working copy.
+        Peeling proceeds in rounds: every currently pure cell is found in one
+        backend scan, then all recovered keys are removed in one batch
+        update.  The round structure is identical across backends, so decode
+        results are too.
         """
         work = self.copy()
+        store, family, checksum = work._store, work._family, work._checksum
         positive: set[int] = set()
         negative: set[int] = set()
-        pending = [cell for cell in range(work.params.num_cells) if work._is_pure(cell)]
-        while pending:
-            cell = pending.pop()
-            if not work._is_pure(cell):
-                continue
-            key = work._key_xor[cell]
-            sign = work._counts[cell]
-            if sign == 1:
-                positive.add(key)
-            else:
-                negative.add(key)
-            # Remove the key from every cell it hashes to (including this one).
-            check = work._checksum.of_key(key)
-            for touched in work._family.cells_for(key):
-                work._counts[touched] -= sign
-                work._key_xor[touched] ^= key
-                work._check_xor[touched] ^= check
-                if work._is_pure(touched):
-                    pending.append(touched)
-        success = work.is_structurally_empty()
-        if not success:
+        # A successful peel removes at least one key per round and never more
+        # rounds than keys; the cap only guards degenerate adversarial states.
+        for _ in range(4 * work.params.num_cells + 16):
+            keys, signs = store.pure_cells(checksum)
+            if not keys:
+                break
+            # One key can be pure in several cells; remove it exactly once
+            # (first cell wins, which fixes the order deterministically).
+            chosen: dict[int, int] = {}
+            for key, sign in zip(keys, signs):
+                if key not in chosen:
+                    chosen[key] = sign
+            deltas = []
+            for key, sign in chosen.items():
+                (positive if sign == 1 else negative).add(key)
+                deltas.append(-sign)
+            store.apply_batch(
+                store.coerce_keys(list(chosen)), deltas, family, checksum
+            )
+        if not store.is_empty():
             # A failed peel must not report partial sets that overlap; we keep
             # what was recovered (useful to the cascading protocol) but flag it.
             return DecodeResult(False, positive, negative)
@@ -302,41 +347,49 @@ class IBLT:
         The encoding packs cells from index 0 upward, each as
         ``count (two's complement) || key_xor || check_xor``.  Because the
         width is fully determined by the parameters, a serialized table can be
-        used as a fixed-width key of a *parent* IBLT (Section 3.2).
+        used as a fixed-width key of a *parent* IBLT (Section 3.2).  The
+        encoding is backend-independent: equal contents serialize equally.
         """
         params = self.params
+        counts, key_xors, check_xors = self._store.snapshot()
         count_limit = 1 << params.count_bits
         half = count_limit >> 1
         encoded = 0
         for cell in range(params.num_cells):
-            count = self._counts[cell]
+            count = counts[cell]
             if not -half <= count < half:
                 raise CapacityError(
                     f"cell count {count} does not fit in {params.count_bits} bits"
                 )
             encoded = (encoded << params.count_bits) | (count % count_limit)
-            encoded = (encoded << params.key_bits) | self._key_xor[cell]
-            encoded = (encoded << params.checksum_bits) | self._check_xor[cell]
+            encoded = (encoded << params.key_bits) | key_xors[cell]
+            encoded = (encoded << params.checksum_bits) | check_xors[cell]
         return encoded
 
     @classmethod
-    def deserialize(cls, params: IBLTParameters, encoded: int) -> "IBLT":
+    def deserialize(
+        cls, params: IBLTParameters, encoded: int, backend: str | None = None
+    ) -> "IBLT":
         """Inverse of :meth:`serialize`."""
         if encoded < 0 or encoded.bit_length() > params.size_bits:
             raise ParameterError("encoded value does not match the parameters")
-        table = cls(params)
+        table = cls(params, backend=backend)
         count_limit = 1 << params.count_bits
         half = count_limit >> 1
         key_mask = (1 << params.key_bits) - 1
         check_mask = (1 << params.checksum_bits) - 1
+        counts = [0] * params.num_cells
+        key_xors = [0] * params.num_cells
+        check_xors = [0] * params.num_cells
         for cell in range(params.num_cells - 1, -1, -1):
-            table._check_xor[cell] = encoded & check_mask
+            check_xors[cell] = encoded & check_mask
             encoded >>= params.checksum_bits
-            table._key_xor[cell] = encoded & key_mask
+            key_xors[cell] = encoded & key_mask
             encoded >>= params.key_bits
             raw_count = encoded & (count_limit - 1)
             encoded >>= params.count_bits
-            table._counts[cell] = raw_count - count_limit if raw_count >= half else raw_count
+            counts[cell] = raw_count - count_limit if raw_count >= half else raw_count
+        table._store.load(counts, key_xors, check_xors)
         return table
 
     def __eq__(self, other: object) -> bool:
@@ -344,14 +397,12 @@ class IBLT:
             return NotImplemented
         return (
             self.params == other.params
-            and self._counts == other._counts
-            and self._key_xor == other._key_xor
-            and self._check_xor == other._check_xor
+            and self._store.snapshot() == other._store.snapshot()
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        occupied = sum(1 for count in self._counts if count != 0)
+        occupied = sum(1 for count in self._store.snapshot()[0] if count != 0)
         return (
             f"IBLT(cells={self.params.num_cells}, key_bits={self.params.key_bits}, "
-            f"occupied={occupied})"
+            f"occupied={occupied}, backend={self._store.name})"
         )
