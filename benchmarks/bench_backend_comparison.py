@@ -16,7 +16,6 @@ which also rewrites ``BENCH_backends.json`` at the repository root.
 
 from __future__ import annotations
 
-import json
 import random
 import sys
 import time
@@ -26,6 +25,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.reporting import write_benchmark_record
 from repro.iblt import IBLT, IBLTParameters, NumpyCellStore
 
 SIZES = (1_000, 10_000, 100_000)
@@ -147,21 +147,16 @@ def main() -> None:
             f"speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
         )
     output = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
-    output.write_text(
-        json.dumps(
-            {
-                "benchmark": "bench_backend_comparison",
-                "description": (
-                    "IBLT encode+subtract+decode wall-clock per cell-store "
-                    "backend; identical recovered sets asserted per size"
-                ),
-                "key_bits": KEY_BITS,
-                "speedup_floor": SPEEDUP_FLOOR,
-                "results": rows,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_benchmark_record(
+        output,
+        benchmark="bench_backend_comparison",
+        description=(
+            "IBLT encode+subtract+decode wall-clock per cell-store "
+            "backend; identical recovered sets asserted per size"
+        ),
+        key_bits=KEY_BITS,
+        speedup_floor=SPEEDUP_FLOOR,
+        results=rows,
     )
     print(f"wrote {output}")
 

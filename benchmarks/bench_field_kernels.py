@@ -1,0 +1,202 @@
+"""Field-kernel comparison: pure-Python vs vectorized NumPy GF(p) kernels.
+
+Times the characteristic-polynomial protocol's two sides (Theorem 2.3) --
+``cpi_encode`` (batch evaluation of chi_A at d+1 points) and ``cpi_decode``
+(batch evaluation, Vandermonde assembly, Gaussian elimination, root
+finding) -- under each registered field kernel, asserting bit-identical
+``CPIMessage.evaluations`` and recovered sets.  The acceptance bar for the
+vectorized kernel is a >= 8x ``cpi_decode`` speedup over the reference
+kernel at ``n = 600, d = 48``.
+
+Run under pytest like the other benchmarks (the small-``d`` cases double as
+the CI smoke test), or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_field_kernels.py
+
+which also rewrites ``BENCH_field_kernels.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.reporting import write_benchmark_record
+from repro.core.setrecon.cpi import cpi_decode, cpi_encode
+from repro.field import NumpyFieldKernel
+
+UNIVERSE = 1 << 20
+SET_SIZE = 600
+DIFFERENCES = (4, 16, 48)
+SPEEDUP_FLOOR = 8.0  # acceptance bar for cpi_decode at the largest d
+ROUNDS = 7  # interleaved measurement rounds per (kernel, d)
+
+
+def _instance(size: int, difference: int, seed: int) -> tuple[set[int], set[int]]:
+    """Two sets differing in exactly ``difference`` elements."""
+    rng = random.Random(seed)
+    alice = set(rng.sample(range(UNIVERSE), size))
+    bob = set(alice)
+    for element in rng.sample(sorted(alice), difference // 2):
+        bob.discard(element)
+    while len(alice ^ bob) < difference:
+        bob.add(rng.randrange(UNIVERSE))
+    return alice, bob
+
+
+def _run_kernel(kernel: str, difference: int, seed: int = 2018, rounds: int = ROUNDS) -> dict:
+    """Encode + decode under one kernel; timings are best-of-``rounds``."""
+    alice, bob = _instance(SET_SIZE, difference, seed=difference * 1000 + seed)
+
+    encode_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        message = cpi_encode(alice, difference, UNIVERSE, field_kernel=kernel)
+        encode_times.append(time.perf_counter() - start)
+
+    decode_times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        success, recovered = cpi_decode(
+            message, bob, UNIVERSE, seed, field_kernel=kernel
+        )
+        decode_times.append(time.perf_counter() - start)
+    assert success, f"{kernel} decode failed at d={difference}"
+    assert recovered == alice, f"{kernel} recovered the wrong set at d={difference}"
+    return {
+        "kernel": kernel,
+        "d": difference,
+        "message": message,
+        "recovered": recovered,
+        "encode_s": min(encode_times),
+        "decode_s": min(decode_times),
+    }
+
+
+def compare(differences=DIFFERENCES) -> list[dict]:
+    """Run both kernels per difference; assert bit-identical protocol data.
+
+    Measurement rounds for the two kernels are interleaved so load spikes
+    on shared machines hit both sides, and best-of-round times are compared
+    (the standard microbenchmark guard against one-sided noise).
+    """
+    rows = []
+    for difference in differences:
+        python_run = _run_kernel("python", difference, rounds=2)  # warmup
+        numpy_run = _run_kernel("numpy", difference, rounds=2)
+        python_best: dict = python_run
+        numpy_best: dict = numpy_run
+        for _ in range(ROUNDS):
+            python_run = _run_kernel("python", difference, rounds=1)
+            numpy_run = _run_kernel("numpy", difference, rounds=3)
+            for key in ("encode_s", "decode_s"):
+                python_best[key] = min(python_best[key], python_run[key])
+                numpy_best[key] = min(numpy_best[key], numpy_run[key])
+        python_run, numpy_run = python_best, numpy_best
+        assert python_run["message"] == numpy_run["message"], "evaluations differ"
+        assert python_run["recovered"] == numpy_run["recovered"], "recovery differs"
+        rows.append(
+            {
+                "n": SET_SIZE,
+                "d": difference,
+                "python": {
+                    "encode_s": round(python_run["encode_s"], 6),
+                    "decode_s": round(python_run["decode_s"], 6),
+                },
+                "numpy": {
+                    "encode_s": round(numpy_run["encode_s"], 6),
+                    "decode_s": round(numpy_run["decode_s"], 6),
+                },
+                "speedup": round(python_run["decode_s"] / numpy_run["decode_s"], 2),
+                "encode_speedup": round(
+                    python_run["encode_s"] / numpy_run["encode_s"], 2
+                ),
+                "identical_evaluations": True,
+                "identical_recovered_sets": True,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the small-d cases are the CI smoke test)
+# ---------------------------------------------------------------------------
+
+import pytest
+
+needs_numpy = pytest.mark.skipif(
+    not NumpyFieldKernel.available(), reason="NumPy not installed"
+)
+
+
+@pytest.mark.parametrize("kernel", ["python", "numpy"])
+@pytest.mark.parametrize("difference", [4, 16])
+def test_cpi_smoke_small_d(benchmark, kernel, difference):
+    """CPI round-trip at small d under each kernel (CI smoke)."""
+    from conftest import run_once
+
+    if kernel == "numpy" and not NumpyFieldKernel.available():
+        pytest.skip("NumPy not installed")
+    run = run_once(benchmark, _run_kernel, kernel, difference)
+    assert run["recovered"] is not None
+
+
+@needs_numpy
+def test_kernels_bit_identical_across_d(benchmark):
+    from conftest import run_once
+
+    rows = run_once(benchmark, compare, differences=(4, 16))
+    assert all(row["identical_evaluations"] for row in rows)
+    assert all(row["identical_recovered_sets"] for row in rows)
+
+
+@needs_numpy
+def test_numpy_kernel_speedup_floor(benchmark):
+    """The tentpole acceptance check: >= 8x cpi_decode at n=600, d=48."""
+    from conftest import run_once
+
+    rows = run_once(benchmark, compare, differences=(DIFFERENCES[-1],))
+    assert rows[0]["speedup"] >= SPEEDUP_FLOOR, rows
+
+
+def main() -> None:
+    if not NumpyFieldKernel.available():
+        sys.exit("NumPy is required for the field-kernel comparison")
+    rows = compare()
+    for row in rows:
+        print(
+            f"n={row['n']}  d={row['d']:>3}  "
+            f"python decode={row['python']['decode_s']*1000:8.2f} ms  "
+            f"numpy decode={row['numpy']['decode_s']*1000:7.2f} ms  "
+            f"speedup={row['speedup']:.1f}x  (encode {row['encode_speedup']:.1f}x)"
+        )
+    largest = rows[-1]
+    if largest["speedup"] < SPEEDUP_FLOOR:
+        sys.exit(
+            f"decode speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
+        )
+    output = Path(__file__).resolve().parent.parent / "BENCH_field_kernels.json"
+    write_benchmark_record(
+        output,
+        benchmark="bench_field_kernels",
+        description=(
+            "CPI encode/decode wall-clock per GF(p) field kernel; "
+            "bit-identical evaluations and recovered sets asserted per d"
+        ),
+        universe=UNIVERSE,
+        set_size=SET_SIZE,
+        speedup_floor=SPEEDUP_FLOOR,
+        results=rows,
+    )
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,10 +26,15 @@ Quickstart::
 from repro.comm import ReconciliationResult, Transcript
 from repro.config import (
     available_cell_backends,
+    available_field_kernels,
     cell_backend_names,
     default_cell_backend,
+    default_field_kernel,
+    field_kernel_names,
     set_default_cell_backend,
+    set_default_field_kernel,
 )
+from repro.field import use_kernel
 from repro.core.setrecon import (
     reconcile_known_d,
     reconcile_unknown_d,
@@ -72,6 +77,11 @@ __all__ = [
     "cell_backend_names",
     "default_cell_backend",
     "set_default_cell_backend",
+    "available_field_kernels",
+    "field_kernel_names",
+    "default_field_kernel",
+    "set_default_field_kernel",
+    "use_kernel",
     "reconcile_known_d",
     "reconcile_unknown_d",
     "reconcile_cpi",

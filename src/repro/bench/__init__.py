@@ -9,7 +9,14 @@ experiment can also be run standalone, e.g.::
 """
 
 from repro.bench.runner import ProtocolMeasurement, measure_protocol, summarize
-from repro.bench.reporting import format_table, print_table
+from repro.bench.reporting import (
+    BENCHMARK_RECORDS,
+    format_table,
+    headline_speedups,
+    load_benchmark_record,
+    print_table,
+    write_benchmark_record,
+)
 
 __all__ = [
     "ProtocolMeasurement",
@@ -17,4 +24,8 @@ __all__ = [
     "summarize",
     "format_table",
     "print_table",
+    "BENCHMARK_RECORDS",
+    "headline_speedups",
+    "load_benchmark_record",
+    "write_benchmark_record",
 ]

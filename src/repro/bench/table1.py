@@ -26,7 +26,11 @@ from repro.workloads.sets_of_sets import SetsOfSetsInstance, table1_instance
 
 @dataclass(frozen=True)
 class Table1Config:
-    """Workload parameters for the Table 1 regime."""
+    """Workload parameters for the Table 1 regime.
+
+    ``backend`` / ``field_kernel`` select the IBLT cell store and the GF(p)
+    kernel for every protocol run (``None`` keeps the process defaults).
+    """
 
     universe_size: int = 2048
     num_children: int = 64
@@ -34,6 +38,8 @@ class Table1Config:
     children_touched: int = 4
     repeats: int = 3
     seed: int = 2018
+    backend: str | None = None
+    field_kernel: str | None = None
 
 
 def run_table1(config: Table1Config | None = None) -> list[ProtocolMeasurement]:
@@ -81,6 +87,8 @@ def run_table1(config: Table1Config | None = None) -> list[ProtocolMeasurement]:
             instance.max_child_size,
             seed,
             differing_children_bound=instance.differing_children,
+            backend=config.backend,
+            field_kernel=config.field_kernel,
         )
 
     def run_multiround(seed: int):
@@ -93,6 +101,8 @@ def run_table1(config: Table1Config | None = None) -> list[ProtocolMeasurement]:
             instance.max_child_size,
             seed,
             differing_children_bound=instance.differing_children,
+            backend=config.backend,
+            field_kernel=config.field_kernel,
         )
 
     runners = [

@@ -15,12 +15,19 @@ protocol of Theorem 3.9 uses it for the child sets with very small
 differences.  The cost is cubic-in-``d`` interpolation (Gaussian elimination)
 plus ``O(n d)`` evaluation time, matching the simpler of the two evaluation
 strategies discussed under Theorem 2.3.
+
+Every field-heavy step (batch evaluation, system assembly, elimination,
+root finding) runs through the pluggable field kernels of
+:mod:`repro.field.kernels`; pass ``field_kernel=`` to pin one, or leave it
+``None`` for the process default (vectorized NumPy when usable).  Messages,
+transcripts and recovered sets are bit-identical across kernels.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Set
 
 from repro.comm import ReconciliationResult, Transcript
@@ -28,7 +35,9 @@ from repro.comm.sizing import bits_for_field_elements, bits_for_value
 from repro.core.setrecon.difference import apply_difference
 from repro.errors import ParameterError
 from repro.field import PrimeField, Polynomial, find_roots
-from repro.field.linalg import solve_linear_system
+from repro.field.gfp import prime_field
+from repro.field.kernels import kernel_for, use_kernel
+from repro.field.linalg import rational_interpolation_system, solve_linear_system
 from repro.field.prime import prime_at_least
 from repro.hashing import derive_seed
 
@@ -63,17 +72,21 @@ class CPIMessage:
         )
 
 
+@lru_cache(maxsize=4096)
 def field_for_universe(universe_size: int, difference_bound: int) -> PrimeField:
     """The prime field shared by both parties.
 
     The modulus must exceed every universe element and every evaluation
     point; evaluation points are placed just above the universe so they can
     never coincide with set elements (keeping ``chi_B`` nonzero there).
+    Memoized: the multiround protocol derives the same field for every one
+    of its per-child CPI exchanges, and re-running the probable-prime search
+    each time dominated small decodes.
     """
     if universe_size <= 0:
         raise ParameterError("universe_size must be positive")
     modulus = prime_at_least(universe_size + difference_bound + 2)
-    return PrimeField(modulus)
+    return prime_field(modulus)
 
 
 def evaluation_points(universe_size: int, count: int) -> list[int]:
@@ -82,15 +95,24 @@ def evaluation_points(universe_size: int, count: int) -> list[int]:
 
 
 def cpi_encode(
-    elements: Set[int], difference_bound: int, universe_size: int
+    elements: Set[int],
+    difference_bound: int,
+    universe_size: int,
+    *,
+    field_kernel: str | None = None,
 ) -> CPIMessage:
-    """Alice's side: evaluate her characteristic polynomial at ``d + 1`` points."""
+    """Alice's side: evaluate her characteristic polynomial at ``d + 1`` points.
+
+    All ``d + 1`` evaluations are produced by one batched pass over the set
+    (:meth:`~repro.field.poly.Polynomial.evaluate_from_roots_many`).
+    """
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
     field = field_for_universe(universe_size, difference_bound)
     points = evaluation_points(universe_size, difference_bound + 1)
+    kernel = kernel_for(field.modulus, field_kernel)
     evaluations = tuple(
-        Polynomial.evaluate_from_roots(field, elements, point) for point in points
+        Polynomial.evaluate_from_roots_many(field, elements, points, kernel=kernel)
     )
     return CPIMessage(len(elements), evaluations, difference_bound, field.modulus)
 
@@ -100,6 +122,8 @@ def cpi_decode(
     bob: Set[int],
     universe_size: int,
     seed: int = 0,
+    *,
+    field_kernel: str | None = None,
 ) -> tuple[bool, set[int] | None]:
     """Bob's side: interpolate the rational function and recover Alice's set.
 
@@ -107,12 +131,14 @@ def cpi_decode(
     exceeded the bound (or, pathologically, the linear system degenerated);
     the caller can retry with a larger bound.
     """
-    field = PrimeField(message.prime)
-    points = evaluation_points(universe_size, message.difference_bound + 1)
+    bound = message.difference_bound
     bob_list = list(bob)
     size_delta = message.set_size - len(bob_list)
-    bound = message.difference_bound
 
+    # Short-circuits that need no field arithmetic at all come first: the
+    # multiround protocol probes many children whose size difference already
+    # exceeds the per-child bound, and used to pay a primality check plus a
+    # full evaluation pass before noticing.
     if abs(size_delta) > bound:
         return False, None
 
@@ -121,82 +147,92 @@ def cpi_decode(
     m_bar = bound if (bound - size_delta) % 2 == 0 else bound + 1
     if m_bar < abs(size_delta):
         m_bar = abs(size_delta)
-    if m_bar > len(points):
+    if m_bar > bound + 1:
         return False, None
     deg_num = (m_bar + size_delta) // 2
     deg_den = (m_bar - size_delta) // 2
 
-    bob_evaluations = [
-        Polynomial.evaluate_from_roots(field, bob_list, point) for point in points
-    ]
+    field = prime_field(message.prime)
+    kernel = kernel_for(field.modulus, field_kernel)
+    points = evaluation_points(universe_size, bound + 1)
 
-    if m_bar == 0:
-        numerator = Polynomial.one(field)
-        denominator = Polynomial.one(field)
-    else:
-        # Build the linear system for the non-leading coefficients of the
-        # monic numerator P (degree deg_num) and denominator Q (degree deg_den):
-        #   P(z_i) - f_i * Q(z_i) = 0   with  f_i = chi_A(z_i) / chi_B(z_i).
-        matrix: list[list[int]] = []
-        rhs: list[int] = []
-        for i in range(m_bar):
-            z = field.element(points[i])
-            f = field.div(message.evaluations[i], bob_evaluations[i])
-            row = []
-            power = 1
-            for _ in range(deg_num):
-                row.append(power)
-                power = field.mul(power, z)
-            power = 1
-            for _ in range(deg_den):
-                row.append(field.neg(field.mul(f, power)))
-                power = field.mul(power, z)
-            matrix.append(row)
-            rhs.append(
-                field.sub(field.mul(f, field.pow(z, deg_den)), field.pow(z, deg_num))
+    with use_kernel(field_kernel):
+        bob_evaluations = Polynomial.evaluate_from_roots_many(
+            field, bob_list, points, kernel=kernel
+        )
+
+        if m_bar == 0:
+            numerator = Polynomial.one(field)
+            denominator = Polynomial.one(field)
+        else:
+            # Linear system for the non-leading coefficients of the monic
+            # numerator P (degree deg_num) and denominator Q (degree deg_den):
+            #   P(z_i) - f_i * Q(z_i) = 0   with  f_i = chi_A(z_i) / chi_B(z_i).
+            matrix, rhs = rational_interpolation_system(
+                field,
+                points[:m_bar],
+                message.evaluations[:m_bar],
+                bob_evaluations[:m_bar],
+                deg_num,
+                deg_den,
+                kernel=kernel,
             )
-        solution = solve_linear_system(field, matrix, rhs)
-        if solution is None:
+            solution = solve_linear_system(field, matrix, rhs, kernel=kernel)
+            if solution is None:
+                return False, None
+            # Kernel solutions are canonical residues and the forced leading
+            # 1 keeps the tuples trimmed, so skip from_coefficients here.
+            numerator = Polynomial(field, tuple(solution[:deg_num]) + (1,))
+            denominator = Polynomial(field, tuple(solution[deg_num:]) + (1,))
+
+        common = numerator.gcd(denominator)
+        if common.degree > 0:
+            numerator = (numerator // common).monic()
+            denominator = (denominator // common).monic()
+
+        rng = random.Random(derive_seed(seed, "cpi-roots"))
+        alice_only = (
+            find_roots(numerator, rng, kernel=kernel) if numerator.degree > 0 else []
+        )
+        # The denominator's roots must be elements Bob holds, so instead of a
+        # second Cantor-Zassenhaus factorisation we batch-evaluate it over
+        # Bob's set and read the zeros off.  If any root lies outside Bob's
+        # set, fewer than ``degree`` zeros show up and decoding fails exactly
+        # as it would have after a full factorisation.
+        if denominator.degree > 0:
+            denom_values = denominator.evaluate_many(bob_list, kernel=kernel)
+            bob_only = [
+                element
+                for element, value in zip(bob_list, denom_values)
+                if value == 0
+            ]
+        else:
+            bob_only = []
+
+        # The recovered factors must split completely into distinct roots that
+        # are genuine universe elements, and the denominator roots must be
+        # Bob's (guaranteed for bob_only, which was read off Bob's set).
+        if len(alice_only) != numerator.degree or len(bob_only) != denominator.degree:
             return False, None
-        numerator = Polynomial.from_coefficients(
-            field, list(solution[:deg_num]) + [1]
-        )
-        denominator = Polynomial.from_coefficients(
-            field, list(solution[deg_num:]) + [1]
-        )
+        if any(root >= universe_size for root in alice_only + bob_only):
+            return False, None
+        bob_set = bob if isinstance(bob, (set, frozenset)) else set(bob_list)
+        if bob_set & set(alice_only):
+            return False, None
 
-    common = numerator.gcd(denominator)
-    if common.degree > 0:
-        numerator = (numerator // common).monic()
-        denominator = (denominator // common).monic()
-
-    rng = random.Random(derive_seed(seed, "cpi-roots"))
-    alice_only = find_roots(numerator, rng) if numerator.degree > 0 else []
-    bob_only = find_roots(denominator, rng) if denominator.degree > 0 else []
-
-    # The recovered factors must split completely into distinct roots that are
-    # genuine universe elements, and the denominator roots must be Bob's.
-    if len(alice_only) != numerator.degree or len(bob_only) != denominator.degree:
-        return False, None
-    if any(root >= universe_size for root in alice_only + bob_only):
-        return False, None
-    bob_set = set(bob_list)
-    if not set(bob_only) <= bob_set or bob_set & set(alice_only):
-        return False, None
-
-    recovered = apply_difference(bob_set, alice_only, bob_only)
-    if len(recovered) != message.set_size:
-        return False, None
-    # Spare-point verification: check the reconstruction against the last
-    # evaluation Alice sent (it is unused when m_bar < d + 1, and a harmless
-    # re-check otherwise).
-    check_point = points[-1]
-    if (
-        Polynomial.evaluate_from_roots(field, recovered, check_point)
-        != message.evaluations[-1]
-    ):
-        return False, None
-    return True, recovered
+        recovered = apply_difference(bob_set, alice_only, bob_only)
+        if len(recovered) != message.set_size:
+            return False, None
+        # Spare-point verification: check the reconstruction against the last
+        # evaluation Alice sent (it is unused when m_bar < d + 1, and a harmless
+        # re-check otherwise).
+        check_point = points[-1]
+        check_value = Polynomial.evaluate_from_roots_many(
+            field, recovered, [check_point], kernel=kernel
+        )[0]
+        if check_value != message.evaluations[-1]:
+            return False, None
+        return True, recovered
 
 
 def reconcile_cpi(
@@ -206,13 +242,18 @@ def reconcile_cpi(
     universe_size: int,
     seed: int = 0,
     *,
+    field_kernel: str | None = None,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
     """One-round characteristic-polynomial reconciliation (Theorem 2.3)."""
     transcript = transcript if transcript is not None else Transcript()
-    message = cpi_encode(alice, difference_bound, universe_size)
+    message = cpi_encode(
+        alice, difference_bound, universe_size, field_kernel=field_kernel
+    )
     transcript.send("alice", "CPI evaluations", message.size_bits, payload=message)
-    success, recovered = cpi_decode(message, bob, universe_size, seed)
+    success, recovered = cpi_decode(
+        message, bob, universe_size, seed, field_kernel=field_kernel
+    )
     return ReconciliationResult(
         success,
         recovered,

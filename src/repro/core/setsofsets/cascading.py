@@ -26,6 +26,7 @@ from repro.core.setsofsets.encoding import (
 )
 from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
+from repro.field.kernels import use_kernel
 from repro.hashing import derive_seed
 from repro.iblt import IBLT, IBLTParameters
 
@@ -96,6 +97,7 @@ def reconcile_cascading(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     backend: str | None = None,
+    field_kernel: str | None = None,
     level_slack: float = 3.0,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
@@ -117,6 +119,11 @@ def reconcile_cascading(
     backend:
         Cell-store backend for every table built here (the wide-keyed parent
         tables fall back to the pure-Python store; see :mod:`repro.config`).
+    field_kernel:
+        Scoped GF(p) kernel selection (see :mod:`repro.field.kernels`),
+        matching the other set-of-sets entry points.  The cascade itself is
+        pure-IBLT, so this only affects field arithmetic performed by custom
+        encoding schemes or estimators running under this call.
     level_slack:
         Multiplier applied to the per-level capacity budget (the proof's 9/4
         constant rounded up).
@@ -126,6 +133,37 @@ def reconcile_cascading(
     if max_child_size <= 0:
         raise ParameterError("max_child_size must be positive")
     transcript = transcript if transcript is not None else Transcript()
+    with use_kernel(field_kernel):
+        return _reconcile_cascading_body(
+            alice,
+            bob,
+            difference_bound,
+            universe_size,
+            max_child_size,
+            seed,
+            differing_children_bound,
+            child_hash_bits,
+            num_hashes,
+            backend,
+            level_slack,
+            transcript,
+        )
+
+
+def _reconcile_cascading_body(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    difference_bound: int,
+    universe_size: int,
+    max_child_size: int,
+    seed: int,
+    differing_children_bound: int | None,
+    child_hash_bits: int,
+    num_hashes: int,
+    backend: str | None,
+    level_slack: float,
+    transcript: Transcript,
+) -> ReconciliationResult:
     difference_bound = max(1, difference_bound)
     d_hat = (
         differing_children_bound
@@ -254,6 +292,7 @@ def reconcile_cascading_unknown(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     backend: str | None = None,
+    field_kernel: str | None = None,
     level_slack: float = 3.0,
 ) -> ReconciliationResult:
     """Repeated-doubling variant for unknown ``d`` (Corollary 3.8)."""
@@ -275,6 +314,7 @@ def reconcile_cascading_unknown(
             child_hash_bits=child_hash_bits,
             num_hashes=num_hashes,
             backend=backend,
+            field_kernel=field_kernel,
             level_slack=level_slack,
             transcript=transcript,
         )

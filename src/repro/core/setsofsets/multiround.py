@@ -86,6 +86,7 @@ def reconcile_multiround(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     backend: str | None = None,
+    field_kernel: str | None = None,
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     estimate_safety: float = 2.0,
     transcript: Transcript | None = None,
@@ -107,6 +108,9 @@ def reconcile_multiround(
     backend:
         Cell-store backend for the hash tables and per-child IBLTs (see
         :mod:`repro.config`); the 48-bit child hashes vectorize directly.
+    field_kernel:
+        GF(p) kernel for the per-child characteristic-polynomial payloads
+        (see :mod:`repro.field.kernels`); ``None`` uses the process default.
     estimator_factory:
         Factory for the per-child set-difference estimators; defaults to
         small L0 sketches sized for ``h``.
@@ -219,7 +223,12 @@ def reconcile_multiround(
         else:
             payloads.append(
                 _ChildPayload(
-                    best_hash, hash_of(child), None, cpi_encode(child, bound, universe_size)
+                    best_hash,
+                    hash_of(child),
+                    None,
+                    cpi_encode(
+                        child, bound, universe_size, field_kernel=field_kernel
+                    ),
                 )
             )
     round3_bits = sum(payload.size_bits(child_hash_bits) for payload in payloads)
@@ -238,7 +247,13 @@ def reconcile_multiround(
                     apply_difference(base_child, decode.positive, decode.negative)
                 )
         else:
-            success, result = cpi_decode(payload.cpi, set(base_child), universe_size, seed)
+            success, result = cpi_decode(
+                payload.cpi,
+                set(base_child),
+                universe_size,
+                seed,
+                field_kernel=field_kernel,
+            )
             if success:
                 recovered = frozenset(result)
         if recovered is None or hash_of(recovered) != payload.own_hash:
@@ -272,6 +287,7 @@ def reconcile_multiround_unknown(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     backend: str | None = None,
+    field_kernel: str | None = None,
     estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     estimate_safety: float = 2.0,
     hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
@@ -316,6 +332,7 @@ def reconcile_multiround_unknown(
         child_hash_bits=child_hash_bits,
         num_hashes=num_hashes,
         backend=backend,
+        field_kernel=field_kernel,
         estimator_factory=estimator_factory,
         estimate_safety=estimate_safety,
         transcript=transcript,

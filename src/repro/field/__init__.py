@@ -14,20 +14,43 @@ over a prime field GF(p) with ``p`` larger than the element universe:
 * :mod:`repro.field.roots` -- root finding for polynomials over GF(p) via
   Cantor-Zassenhaus equal-degree splitting (used to extract the reconciled
   set elements from the interpolated characteristic-polynomial ratio).
+* :mod:`repro.field.kernels` -- the pluggable batched-arithmetic backends
+  (pure-Python reference and vectorized NumPy) every hot path above runs
+  through; see :mod:`repro.config` for selection.
 """
 
 from repro.field.prime import is_probable_prime, next_prime
-from repro.field.gfp import PrimeField
+from repro.field.gfp import PrimeField, prime_field
+from repro.field.kernels import (
+    FieldKernel,
+    NumpyFieldKernel,
+    PythonFieldKernel,
+    kernel_for,
+    use_kernel,
+)
 from repro.field.poly import Polynomial
-from repro.field.linalg import solve_nullspace_vector, gaussian_elimination
+from repro.field.linalg import (
+    gaussian_elimination,
+    rational_interpolation_system,
+    solve_linear_system,
+    solve_nullspace_vector,
+)
 from repro.field.roots import find_roots
 
 __all__ = [
     "is_probable_prime",
     "next_prime",
     "PrimeField",
+    "prime_field",
+    "FieldKernel",
+    "PythonFieldKernel",
+    "NumpyFieldKernel",
+    "kernel_for",
+    "use_kernel",
     "Polynomial",
     "solve_nullspace_vector",
+    "solve_linear_system",
     "gaussian_elimination",
+    "rational_interpolation_system",
     "find_roots",
 ]

@@ -8,6 +8,7 @@ protocols share a single validated modulus.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
@@ -87,3 +88,15 @@ class PrimeField:
     def uniform_nonzero(self, rng) -> int:
         """Draw a uniform nonzero field element."""
         return rng.randrange(1, self.modulus)
+
+
+@functools.lru_cache(maxsize=4096)
+def prime_field(modulus: int) -> PrimeField:
+    """A memoized :class:`PrimeField` for ``modulus``.
+
+    Construction runs a Miller-Rabin primality check, which the multiround
+    protocol's many small CPI decodes would otherwise repeat for the same
+    modulus on every call.  :class:`PrimeField` is frozen, so sharing one
+    instance per modulus is safe.
+    """
+    return PrimeField(modulus)

@@ -4,6 +4,12 @@ The rational-function interpolation step of the characteristic-polynomial
 protocol (Theorem 2.3) reduces to finding a nonzero vector in the nullspace
 of a small linear system over GF(p); the paper notes this costs ``O(d^3)``
 via Gaussian elimination, which is exactly what we implement.
+
+Every entry point takes an optional ``kernel`` (see
+:mod:`repro.field.kernels`): the reference kernel reproduces the classic
+row-by-row elimination, the NumPy kernel eliminates whole columns per pivot
+with vectorized modular arithmetic.  Both return bit-identical reduced
+matrices (same pivot choice, exact arithmetic).
 """
 
 from __future__ import annotations
@@ -12,10 +18,13 @@ from typing import Sequence
 
 from repro.errors import ParameterError
 from repro.field.gfp import PrimeField
+from repro.field.kernels import FieldKernel, kernel_for
 
 
 def gaussian_elimination(
-    field: PrimeField, matrix: Sequence[Sequence[int]]
+    field: PrimeField,
+    matrix: Sequence[Sequence[int]],
+    kernel: FieldKernel | None = None,
 ) -> tuple[list[list[int]], list[int]]:
     """Reduce ``matrix`` to reduced row echelon form over ``field``.
 
@@ -25,46 +34,15 @@ def gaussian_elimination(
         The reduced matrix (as a new list of lists of canonical residues) and
         the list of pivot column indices, one per nonzero row.
     """
-    rows = [[field.element(entry) for entry in row] for row in matrix]
-    if not rows:
-        return [], []
-    num_cols = len(rows[0])
-    if any(len(row) != num_cols for row in rows):
-        raise ParameterError("matrix rows must all have the same length")
-
-    pivot_columns: list[int] = []
-    pivot_row = 0
-    for col in range(num_cols):
-        if pivot_row >= len(rows):
-            break
-        # Find a row with a nonzero entry in this column.
-        chosen = None
-        for candidate in range(pivot_row, len(rows)):
-            if rows[candidate][col] != 0:
-                chosen = candidate
-                break
-        if chosen is None:
-            continue
-        rows[pivot_row], rows[chosen] = rows[chosen], rows[pivot_row]
-        # Normalise the pivot row.
-        inv = field.inv(rows[pivot_row][col])
-        rows[pivot_row] = [field.mul(inv, entry) for entry in rows[pivot_row]]
-        # Eliminate the column from every other row.
-        for other in range(len(rows)):
-            if other == pivot_row or rows[other][col] == 0:
-                continue
-            factor = rows[other][col]
-            rows[other] = [
-                field.sub(entry, field.mul(factor, pivot_entry))
-                for entry, pivot_entry in zip(rows[other], rows[pivot_row])
-            ]
-        pivot_columns.append(col)
-        pivot_row += 1
-    return rows, pivot_columns
+    if kernel is None:
+        kernel = kernel_for(field.modulus)
+    return kernel.gaussian_elimination(field.modulus, matrix)
 
 
 def solve_nullspace_vector(
-    field: PrimeField, matrix: Sequence[Sequence[int]]
+    field: PrimeField,
+    matrix: Sequence[Sequence[int]],
+    kernel: FieldKernel | None = None,
 ) -> list[int] | None:
     """Return a nonzero vector ``v`` with ``matrix @ v = 0`` over GF(p).
 
@@ -77,7 +55,7 @@ def solve_nullspace_vector(
     if not matrix:
         return None
     num_cols = len(matrix[0])
-    rref, pivot_columns = gaussian_elimination(field, matrix)
+    rref, pivot_columns = gaussian_elimination(field, matrix, kernel)
     free_columns = [col for col in range(num_cols) if col not in pivot_columns]
     if not free_columns:
         return None
@@ -98,6 +76,7 @@ def solve_linear_system(
     field: PrimeField,
     matrix: Sequence[Sequence[int]],
     rhs: Sequence[int],
+    kernel: FieldKernel | None = None,
 ) -> list[int] | None:
     """Solve ``matrix @ x = rhs`` over GF(p); return ``None`` if inconsistent.
 
@@ -106,17 +85,32 @@ def solve_linear_system(
     """
     if len(matrix) != len(rhs):
         raise ParameterError("matrix and right-hand side sizes disagree")
-    if not matrix:
-        return []
-    num_cols = len(matrix[0])
-    augmented = [list(row) + [value] for row, value in zip(matrix, rhs)]
-    rref, pivot_columns = gaussian_elimination(field, augmented)
-    for row in rref:
-        if all(entry == 0 for entry in row[:num_cols]) and row[num_cols] != 0:
-            return None
-    solution = [0] * num_cols
-    for row, pivot_col in zip(rref, pivot_columns):
-        if pivot_col == num_cols:
-            return None
-        solution[pivot_col] = row[num_cols]
-    return solution
+    if kernel is None:
+        kernel = kernel_for(field.modulus)
+    return kernel.solve_linear_system(field.modulus, matrix, rhs)
+
+
+def rational_interpolation_system(
+    field: PrimeField,
+    points: Sequence[int],
+    numer_evals: Sequence[int],
+    denom_evals: Sequence[int],
+    deg_num: int,
+    deg_den: int,
+    kernel: FieldKernel | None = None,
+) -> tuple[list[list[int]], list[int]]:
+    """Assemble the Vandermonde-style system of the CPI interpolation step.
+
+    Row ``i`` encodes ``P(z_i) - f_i Q(z_i) = 0`` for the *monic* numerator
+    ``P`` (degree ``deg_num``) and denominator ``Q`` (degree ``deg_den``),
+    where ``f_i = numer_evals[i] / denom_evals[i]`` is the evaluation ratio
+    ``chi_A(z_i) / chi_B(z_i)``; the right-hand side carries the two forced
+    leading terms.  Ratios are produced with one batched inversion
+    (Montgomery's trick) and the powers with a batched Vandermonde build on
+    the vectorized kernel.
+    """
+    if kernel is None:
+        kernel = kernel_for(field.modulus)
+    return kernel.assemble_rational_system(
+        field.modulus, points, numer_evals, denom_evals, deg_num, deg_den
+    )

@@ -9,6 +9,10 @@ Coefficients are stored low-degree first (``coeffs[i]`` multiplies ``x**i``)
 and are always canonical residues of the owning :class:`PrimeField`.  The
 zero polynomial is represented by an empty coefficient list and has degree
 ``-1`` by convention.
+
+Products and long divisions route through the active field kernel
+(:mod:`repro.field.kernels`), so large-degree arithmetic is vectorized when
+NumPy is available while staying bit-identical to the reference kernel.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import ParameterError
 from repro.field.gfp import PrimeField
+from repro.field.kernels import FieldKernel, kernel_for
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,34 @@ class Polynomial:
             acc = field.mul(acc, field.sub(point, root))
         return acc
 
+    @staticmethod
+    def evaluate_from_roots_many(
+        field: PrimeField,
+        roots: Iterable[int],
+        points: Sequence[int],
+        kernel: FieldKernel | None = None,
+    ) -> list[int]:
+        """Evaluate ``prod (z - r)`` at every ``z`` in ``points`` in one batch.
+
+        This is the CPI hot path: both parties evaluate their characteristic
+        polynomial at all ``d + 1`` shared points, which the scalar method
+        turns into ``O(n d)`` interpreted field operations.  The batch form
+        hands the whole set to the active field kernel (one difference
+        matrix plus a balanced product tree on the NumPy kernel), returning
+        bit-identical values.
+        """
+        if kernel is None:
+            kernel = kernel_for(field.modulus)
+        return kernel.evaluate_from_roots_many(field.modulus, roots, points)
+
+    def evaluate_many(
+        self, points: Sequence[int], kernel: FieldKernel | None = None
+    ) -> list[int]:
+        """Batched Horner evaluation of this polynomial at many points."""
+        if kernel is None:
+            kernel = kernel_for(self.field.modulus)
+        return kernel.poly_eval_many(self.field.modulus, self.coeffs, points)
+
     # -- basic queries -------------------------------------------------------------
 
     @property
@@ -134,16 +167,11 @@ class Polynomial:
         self._check_same_field(other)
         if self.is_zero() or other.is_zero():
             return Polynomial.zero(self.field)
-        field = self.field
-        product = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
-        for i, a in enumerate(self.coeffs):
-            if a == 0:
-                continue
-            for j, b in enumerate(other.coeffs):
-                if b == 0:
-                    continue
-                product[i + j] = field.add(product[i + j], field.mul(a, b))
-        return Polynomial.from_coefficients(field, product)
+        kernel = kernel_for(self.field.modulus)
+        product = kernel.poly_mul(self.field.modulus, self.coeffs, other.coeffs)
+        # Kernel outputs are canonical residues, so skip the re-reduction of
+        # from_coefficients on this hot path.
+        return Polynomial(self.field, tuple(product))
 
     def scale(self, scalar: int) -> "Polynomial":
         """Multiply every coefficient by a field scalar."""
@@ -157,25 +185,13 @@ class Polynomial:
         self._check_same_field(divisor)
         if divisor.is_zero():
             raise ZeroDivisionError("polynomial division by zero")
-        field = self.field
-        remainder = list(self.coeffs)
-        quotient = [0] * max(0, len(self.coeffs) - len(divisor.coeffs) + 1)
-        inv_lead = field.inv(divisor.leading_coefficient())
-        for shift in range(len(quotient) - 1, -1, -1):
-            coeff_index = shift + divisor.degree
-            if coeff_index >= len(remainder):
-                continue
-            factor = field.mul(remainder[coeff_index], inv_lead)
-            if factor == 0:
-                continue
-            quotient[shift] = factor
-            for i, div_coeff in enumerate(divisor.coeffs):
-                remainder[shift + i] = field.sub(
-                    remainder[shift + i], field.mul(factor, div_coeff)
-                )
+        kernel = kernel_for(self.field.modulus)
+        quotient, remainder = kernel.poly_divmod(
+            self.field.modulus, self.coeffs, divisor.coeffs
+        )
         return (
-            Polynomial.from_coefficients(field, quotient),
-            Polynomial.from_coefficients(field, remainder),
+            Polynomial(self.field, tuple(quotient)),
+            Polynomial(self.field, tuple(remainder)),
         )
 
     def __floordiv__(self, other: "Polynomial") -> "Polynomial":
@@ -193,10 +209,9 @@ class Polynomial:
     def gcd(self, other: "Polynomial") -> "Polynomial":
         """Monic greatest common divisor via the Euclidean algorithm."""
         self._check_same_field(other)
-        a, b = self, other
-        while not b.is_zero():
-            a, b = b, a % b
-        return a.monic() if not a.is_zero() else a
+        kernel = kernel_for(self.field.modulus)
+        divisor = kernel.poly_gcd(self.field.modulus, self.coeffs, other.coeffs)
+        return Polynomial(self.field, tuple(divisor))
 
     def pow_mod(self, exponent: int, modulus_poly: "Polynomial") -> "Polynomial":
         """Compute ``self**exponent mod modulus_poly`` by square-and-multiply."""

@@ -5,9 +5,16 @@ element universe (Theorem 2.3) and the fingerprint protocols of Section 4
 need a prime of size roughly ``n^{2d+3}`` (Theorem 4.3).  Miller-Rabin with a
 fixed witness set is deterministic for 64-bit inputs and overwhelmingly
 reliable beyond that, which is ample for a reproduction library.
+
+:func:`prime_at_least` is memoized: the multiround protocol (Theorem 3.9)
+runs one tiny CPI exchange per differing child, and every exchange used to
+re-run the Miller-Rabin search for the same handful of universe-derived
+moduli.
 """
 
 from __future__ import annotations
+
+import functools
 
 _SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
@@ -55,8 +62,14 @@ def next_prime(value: int) -> int:
     return candidate
 
 
+@functools.lru_cache(maxsize=4096)
 def prime_at_least(value: int) -> int:
-    """Return the smallest prime greater than or equal to ``value``."""
+    """Return the smallest prime greater than or equal to ``value``.
+
+    Memoized: protocols derive their field modulus from the universe size
+    and difference bound, so the same few arguments recur constantly in
+    multiround / cascading inner loops.
+    """
     if value <= 2:
         return 2
     if is_probable_prime(value):

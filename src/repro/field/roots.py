@@ -10,7 +10,10 @@ We find roots with the standard Cantor-Zassenhaus strategy:
    ``gcd(g, (x + a)^((p-1)/2) - 1)``.
 
 Degrees are small (at most the difference bound ``d``), so this is fast even
-in pure Python.
+in pure Python.  When a vectorized field kernel is active (see
+:mod:`repro.field.kernels`) the whole factorisation runs inside the kernel
+-- level-batched modular exponentiation plus closed-form quadratics -- and
+returns the identical root set, the roots of a polynomial being intrinsic.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import random
 
 from repro.errors import ParameterError
 from repro.field.gfp import PrimeField
+from repro.field.kernels import FieldKernel, kernel_for
 from repro.field.poly import Polynomial
 
 
@@ -63,7 +67,24 @@ def _split_roots(poly: Polynomial, rng: random.Random, roots: list[int]) -> None
     _split_roots(complementary, rng, roots)
 
 
-def find_roots(poly: Polynomial, rng: random.Random | None = None) -> list[int]:
+def _find_roots_reference(poly: Polynomial, rng: random.Random) -> list[int]:
+    """The classic recursive Cantor-Zassenhaus path (reference semantics)."""
+    monic = poly.monic()
+    if monic.degree == 0:
+        return []
+    linear_part = _linear_factor_product(monic)
+    roots: list[int] = []
+    if linear_part.degree >= 1:
+        _split_roots(linear_part.monic(), rng, roots)
+    roots.sort()
+    return roots
+
+
+def find_roots(
+    poly: Polynomial,
+    rng: random.Random | None = None,
+    kernel: FieldKernel | None = None,
+) -> list[int]:
     """Return all roots in GF(p) of ``poly`` (each distinct root once).
 
     Parameters
@@ -74,20 +95,20 @@ def find_roots(poly: Polynomial, rng: random.Random | None = None) -> list[int]:
         Randomness source for the Cantor-Zassenhaus splits.  Passing a seeded
         ``random.Random`` keeps the whole protocol deterministic; the default
         uses a fixed seed so results are reproducible.
+    kernel:
+        Field kernel override; defaults to the active kernel for the
+        polynomial's modulus.  The returned roots are identical for every
+        kernel (only the factorisation strategy differs).
     """
     if poly.is_zero():
         raise ParameterError("cannot find roots of the zero polynomial")
     if rng is None:
         rng = random.Random(0x5EED)
-    monic = poly.monic()
-    if monic.degree == 0:
-        return []
-    linear_part = _linear_factor_product(monic)
-    roots: list[int] = []
-    if linear_part.degree >= 1:
-        _split_roots(linear_part.monic(), rng, roots)
-    roots.sort()
-    return roots
+    if kernel is None:
+        kernel = kernel_for(poly.field.modulus)
+    if kernel.vectorized:
+        return kernel.find_distinct_roots(poly.field.modulus, poly.coeffs, rng)
+    return _find_roots_reference(poly, rng)
 
 
 def roots_with_multiplicity(poly: Polynomial, rng: random.Random | None = None) -> dict[int, int]:

@@ -1,8 +1,20 @@
 """Tests for the experiment harness (measurement and reporting)."""
 
-from repro.bench import format_table, measure_protocol, summarize
+from pathlib import Path
+
+from repro.bench import (
+    BENCHMARK_RECORDS,
+    format_table,
+    headline_speedups,
+    load_benchmark_record,
+    measure_protocol,
+    summarize,
+    write_benchmark_record,
+)
 from repro.bench.table1 import Table1Config, run_table1
 from repro.comm import ReconciliationResult, Transcript
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 
 def _fake_result(success=True, bits=100):
@@ -48,6 +60,40 @@ class TestReporting:
 
     def test_format_empty(self):
         assert "(no rows)" in format_table([])
+
+
+class TestBenchmarkTrajectory:
+    def test_roundtrip_record(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        write_benchmark_record(
+            path,
+            benchmark="demo",
+            description="demo record",
+            extra_field=3,
+            results=[{"n": 10, "speedup": 4.5}],
+        )
+        record = load_benchmark_record(path)
+        assert record["benchmark"] == "demo"
+        assert record["extra_field"] == 3
+        assert record["results"][0]["speedup"] == 4.5
+
+    def test_headline_speedups_skips_missing(self, tmp_path):
+        assert headline_speedups(tmp_path) == {}
+
+    def test_recorded_trajectories_meet_their_floors(self):
+        """Regress-check: the checked-in records must hold their floors."""
+        headline = headline_speedups(REPO_ROOT)
+        for name, filename in BENCHMARK_RECORDS.items():
+            path = REPO_ROOT / filename
+            if not path.exists():
+                continue
+            record = load_benchmark_record(path)
+            assert headline[name] >= record.get("speedup_floor", 1.0), (
+                name,
+                headline[name],
+            )
+        # Both trajectories are recorded in this repository.
+        assert {"cell_backend", "field_kernel"} <= set(headline)
 
 
 class TestTable1Experiment:

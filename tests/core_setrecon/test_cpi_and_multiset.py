@@ -97,6 +97,39 @@ class TestCPIProtocol:
         success, recovered = cpi_decode(message, set(), UNIVERSE)
         assert not success and recovered is None
 
+    def test_size_gap_short_circuit_precedes_field_work(self):
+        # The |size_delta| > bound rejection must fire before any field
+        # arithmetic: a message carrying a *composite* modulus would raise
+        # inside PrimeField construction if the field were built first.
+        from repro.core.setrecon.cpi import CPIMessage
+
+        bogus = CPIMessage(
+            set_size=50, evaluations=(1, 2, 3, 4), difference_bound=3, prime=4
+        )
+        assert cpi_decode(bogus, set(), UNIVERSE) == (False, None)
+
+    def test_field_for_universe_is_cached(self):
+        from repro.core.setrecon.cpi import field_for_universe
+
+        assert field_for_universe(UNIVERSE, 8) is field_for_universe(UNIVERSE, 8)
+        with pytest.raises(ParameterError):
+            field_for_universe(0, 1)
+        # Errors are not cached: the same bad call keeps raising.
+        with pytest.raises(ParameterError):
+            field_for_universe(0, 1)
+
+    @pytest.mark.parametrize("field_kernel", ["python", "numpy", None])
+    def test_explicit_kernel_selection(self, field_kernel):
+        from repro.field.kernels import NumpyFieldKernel
+
+        if field_kernel == "numpy" and not NumpyFieldKernel.available():
+            pytest.skip("NumPy not installed")
+        alice, bob = make_instance(90, 7, seed=21)
+        result = reconcile_cpi(
+            alice, bob, 8, UNIVERSE, seed=22, field_kernel=field_kernel
+        )
+        assert result.success and result.recovered == alice
+
     @settings(max_examples=20, deadline=None)
     @given(
         st.sets(st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=0, max_size=25),

@@ -38,6 +38,20 @@ class TestPrimality:
         assert prime_at_least(14) == 17
         assert prime_at_least(1) == 2
 
+    def test_prime_at_least_is_memoized(self):
+        # The multiround inner loop hits the same arguments repeatedly; the
+        # lru_cache must serve them without re-running Miller-Rabin.
+        prime_at_least.cache_clear()
+        assert prime_at_least(10**6) == prime_at_least(10**6)
+        assert prime_at_least.cache_info().hits >= 1
+
+    def test_prime_field_factory_is_memoized(self):
+        from repro.field import prime_field
+
+        assert prime_field(65537) is prime_field(65537)
+        with pytest.raises(ParameterError):
+            prime_field(65536)
+
     @given(st.integers(min_value=2, max_value=10**6))
     def test_next_prime_is_prime_and_greater(self, value):
         result = next_prime(value)
