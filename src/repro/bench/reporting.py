@@ -18,6 +18,7 @@ from typing import Mapping, Sequence
 BENCHMARK_RECORDS = {
     "cell_backend": "BENCH_backends.json",
     "field_kernel": "BENCH_field_kernels.json",
+    "setsofsets_encoding": "BENCH_setsofsets.json",
 }
 
 

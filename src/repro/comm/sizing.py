@@ -49,13 +49,25 @@ def bits_for_field_elements(count: int, modulus: int) -> int:
 def bits_for_naive_child_set(universe_size: int, max_child_size: int) -> int:
     """Width of a child set treated as a single item (naive protocol).
 
-    Theorem 3.3 charges ``min(h log u, u)`` bits per differing child set: a
-    child set of at most ``h`` elements can be sent either as an explicit
-    element list or as a ``u``-bit characteristic bitmap, whichever is smaller.
+    Theorem 3.3 charges ``O(min(h log u, u))`` bits per differing child set:
+    a child set of at most ``h`` elements can be sent either as a packed
+    element list or as a ``u``-bit characteristic bitmap, whichever is
+    smaller.  The packed list actually occupies ``h * (ceil(log2 u) + 1)``
+    bits -- each slot carries a presence bit on top of the element, so sets
+    of different sizes stay distinct -- and this function charges exactly
+    what :class:`repro.core.setsofsets.encoding.ExplicitChildScheme` packs
+    (``ExplicitChildScheme(u, h).key_bits``), so the naive protocol's
+    analytic accounting and its wire format agree bit for bit.
     """
-    explicit = bits_for_elements(max_child_size, universe_size)
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    if max_child_size < 0:
+        raise ParameterError("max_child_size must be non-negative")
+    if max_child_size == 0:
+        return 1
+    explicit = max_child_size * (bits_for_value(universe_size - 1) + 1)
     bitmap = universe_size
-    return max(1, min(explicit, bitmap))
+    return min(explicit, bitmap)
 
 
 def ceil_log2(value: int) -> int:

@@ -21,6 +21,7 @@ from repro.comm import ReconciliationResult, Transcript, WORD_BITS
 from repro.core.setrecon.difference import apply_difference, max_element_bits
 from repro.core.setsofsets.encoding import (
     ChildEncodingScheme,
+    ChildTableCache,
     ExplicitChildScheme,
     parent_hash,
 )
@@ -66,15 +67,17 @@ def _recover_against(
     scheme: ChildEncodingScheme,
     alice_key: int,
     candidates: list[frozenset[int]],
+    candidate_tables: ChildTableCache,
     backend: str | None = None,
 ) -> frozenset[int] | None:
-    """Decode one of Alice's child encodings against candidate children."""
+    """Decode one of Alice's child encodings against candidate children.
+
+    Candidate tables come from the per-level cache, so each candidate's
+    table is built once per level rather than once per (key, candidate).
+    """
     alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
     for candidate in candidates:
-        candidate_table = IBLT.from_items(
-            scheme.child_params, candidate, backend=backend
-        )
-        decode = alice_table.subtract(candidate_table).try_decode()
+        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
         if not decode.success:
             continue
         recovered = frozenset(
@@ -223,15 +226,21 @@ def _reconcile_cascading_body(
     for level_index, (scheme, alice_table) in enumerate(zip(schemes, level_tables)):
         level = level_index + 1
         work = alice_table.copy()
-        encoding_to_child: dict[int, frozenset[int]] = {}
-        deletions: list[int] = []
-        for child in bob_children:
-            key = scheme.encode(child, backend=backend)
-            encoding_to_child[key] = child
-            if level == 1 or child not in differing_bob:
-                deletions.append(key)
-        for child in recovered_children:
-            deletions.append(scheme.encode(child, backend=backend))
+        # All of Bob's encodings (and the already-recovered children's) are
+        # batch-built for this level's scheme in one flat pass each.
+        bob_keys = scheme.encode_all(bob_children, backend=backend)
+        encoding_to_child = dict(zip(bob_keys, bob_children))
+        deletions = [
+            key
+            for key, child in zip(bob_keys, bob_children)
+            if level == 1 or child not in differing_bob
+        ]
+        if recovered_children:
+            deletions.extend(
+                scheme.encode_all(
+                    sorted(recovered_children, key=sorted), backend=backend
+                )
+            )
         work.delete_batch(deletions)
         decode = work.try_decode()  # partial results are still useful on failure
 
@@ -240,8 +249,13 @@ def _reconcile_cascading_body(
             if child is not None:
                 differing_bob.add(child)
         candidates = sorted(differing_bob, key=sorted)
+        candidate_tables = ChildTableCache(scheme, backend=backend)
+        if decode.positive:
+            candidate_tables.add_children(candidates)
         for key in decode.positive:
-            recovered = _recover_against(scheme, key, candidates, backend=backend)
+            recovered = _recover_against(
+                scheme, key, candidates, candidate_tables, backend=backend
+            )
             if recovered is not None:
                 recovered_children.add(recovered)
 
@@ -295,7 +309,12 @@ def reconcile_cascading_unknown(
     field_kernel: str | None = None,
     level_slack: float = 3.0,
 ) -> ReconciliationResult:
-    """Repeated-doubling variant for unknown ``d`` (Corollary 3.8)."""
+    """Repeated-doubling variant for unknown ``d`` (Corollary 3.8).
+
+    As in :func:`~repro.core.setsofsets.iblt_of_iblts.reconcile_iblt_of_iblts_unknown`,
+    the final doubling is clamped to ``max_bound`` so the largest permitted
+    bound is always attempted.
+    """
     if max_bound is None:
         max_bound = 2 * max(1, alice.total_elements + bob.total_elements)
     transcript = Transcript()
@@ -323,7 +342,9 @@ def reconcile_cascading_unknown(
             result.details["final_difference_bound"] = bound
             return result
         transcript.send("bob", "retry request", WORD_BITS)
-        bound *= 2
+        if bound >= max_bound:
+            break
+        bound = min(2 * bound, max_bound)
     return ReconciliationResult(
         False,
         None,

@@ -4,8 +4,14 @@ Algorithm 1 represents each child set as a *(child IBLT, hash)* pair -- the
 "child encoding" -- and inserts those encodings as keys into a parent IBLT.
 This module provides:
 
-* canonical hashing of a child set (both parties compute identical hashes);
-* packing / unpacking of a child encoding into a fixed-width integer key;
+* canonical hashing of a child set (both parties compute identical hashes),
+  in scalar (:func:`child_set_hash`) and batch (:func:`child_set_hash_many`)
+  forms;
+* packing / unpacking of a child encoding into a fixed-width integer key --
+  :meth:`ChildEncodingScheme.encode_all` batches the whole parent set
+  through one :class:`~repro.iblt.multi.IBLTArray` pass;
+* a per-reconcile cache of candidate child tables for the decode side
+  (:class:`ChildTableCache`);
 * explicit (raw) encodings of whole child sets, used by the naive protocol
   of Theorem 3.3 and the ``T*`` table of Algorithm 2.
 """
@@ -17,7 +23,7 @@ from typing import Iterable
 
 from repro.errors import CapacityError, ParameterError
 from repro.hashing import SeededHasher, derive_seed, int_to_bytes
-from repro.iblt import IBLT, IBLTParameters
+from repro.iblt import IBLT, IBLTArray, IBLTParameters
 
 
 # ---------------------------------------------------------------------------
@@ -25,18 +31,31 @@ from repro.iblt import IBLT, IBLTParameters
 # ---------------------------------------------------------------------------
 
 
-def child_set_hash(child: Iterable[int], seed: int, bits: int) -> int:
-    """Canonical ``bits``-wide hash of a child set.
+def child_set_hash_many(
+    children: Iterable[Iterable[int]], seed: int, bits: int
+) -> list[int]:
+    """Canonical ``bits``-wide hashes of many child sets, in order.
 
-    The hash is computed over the sorted element list, so it is independent
+    Each hash is computed over the sorted element list, so it is independent
     of iteration order and identical for both parties.  The paper asks for an
     ``O(log s)``-bit pairwise-independent hash; 48 bits (the library default
     set by the protocols) keeps collision probability among ``O(s^2)`` pairs
-    negligible for any realistic ``s``.
+    negligible for any realistic ``s``.  The seeded hasher is derived once
+    for the whole batch, which matters when a protocol hashes thousands of
+    small children.
     """
     hasher = SeededHasher(derive_seed(seed, "child-set-hash"), bits)
-    payload = b"".join(int_to_bytes(element, 8) for element in sorted(child))
-    return hasher.hash_bytes(payload)
+    return [
+        hasher.hash_bytes(
+            b"".join(int_to_bytes(element, 8) for element in sorted(child))
+        )
+        for child in children
+    ]
+
+
+def child_set_hash(child: Iterable[int], seed: int, bits: int) -> int:
+    """Scalar form of :func:`child_set_hash_many` (identical hash values)."""
+    return child_set_hash_many([child], seed, bits)[0]
 
 
 def parent_hash(children: Iterable[Iterable[int]], seed: int, bits: int = 64) -> int:
@@ -48,8 +67,8 @@ def parent_hash(children: Iterable[Iterable[int]], seed: int, bits: int = 64) ->
     """
     hasher = SeededHasher(derive_seed(seed, "parent-hash"), bits)
     combined = 0
-    for child in children:
-        combined ^= child_set_hash(child, seed, bits)
+    for child_hash in child_set_hash_many(children, seed, bits):
+        combined ^= child_hash
     return hasher.hash_int(combined)
 
 
@@ -103,8 +122,21 @@ class ChildEncodingScheme:
         self, children: Iterable[Iterable[int]], backend: str | None = None
     ) -> list[int]:
         """Encode many child sets (the batch form protocols feed to
-        :meth:`~repro.iblt.table.IBLT.insert_batch`)."""
-        return [self.encode(child, backend=backend) for child in children]
+        :meth:`~repro.iblt.table.IBLT.insert_batch`).
+
+        All child IBLTs are materialized in one pass through
+        :class:`~repro.iblt.multi.IBLTArray` -- one flat hashing-and-scatter
+        over every ``(child_index, element)`` pair -- and the child hashes
+        through :func:`child_set_hash_many`.  The keys are bit-identical to
+        calling :meth:`encode` per child.
+        """
+        children = [list(child) for child in children]
+        array = IBLTArray(self.child_params, children, backend=backend)
+        hashes = child_set_hash_many(children, self.seed, self.hash_bits)
+        return [
+            (serialized << self.hash_bits) | child_hash
+            for serialized, child_hash in zip(array.serialize_all(), hashes)
+        ]
 
     def decode(self, key: int, backend: str | None = None) -> tuple[IBLT, int]:
         """Split a key back into ``(child IBLT, child hash)``."""
@@ -119,6 +151,49 @@ class ChildEncodingScheme:
     def hash_of(self, child: Iterable[int]) -> int:
         """The hash component alone (cheap lookup key)."""
         return child_set_hash(child, self.seed, self.hash_bits)
+
+
+class ChildTableCache:
+    """Per-reconcile cache of candidate child IBLTs for one encoding scheme.
+
+    Bob's decode loops subtract a candidate child's table from each of
+    Alice's decoded child encodings.  Rebuilding the candidate table inside
+    that doubly nested loop costs ``O(d_hat^2)`` redundant table builds; this
+    cache builds each candidate's table exactly once per reconcile call
+    (batched through :class:`~repro.iblt.multi.IBLTArray`) and hands out the
+    same table for every Alice key.  Tables handed out must not be mutated
+    (subtracting *from* them is fine: :meth:`IBLT.subtract` copies).
+    """
+
+    def __init__(self, scheme: ChildEncodingScheme, backend: str | None = None) -> None:
+        self._scheme = scheme
+        self._backend = backend
+        self._tables: dict[frozenset[int], IBLT] = {}
+
+    def add_children(self, children: Iterable[Iterable[int]]) -> None:
+        """Batch-build tables for any children not already cached."""
+        missing: list[frozenset[int]] = []
+        seen = set()
+        for child in children:
+            frozen = frozenset(child)
+            if frozen not in self._tables and frozen not in seen:
+                seen.add(frozen)
+                missing.append(frozen)
+        if not missing:
+            return
+        array = IBLTArray(self._scheme.child_params, missing, backend=self._backend)
+        for index, child in enumerate(missing):
+            self._tables[child] = array.table(index)
+
+    def get(self, child: Iterable[int]) -> IBLT:
+        """The candidate's table (built on first request if not yet cached)."""
+        frozen = frozenset(child)
+        if frozen not in self._tables:
+            self.add_children([frozen])
+        return self._tables[frozen]
+
+    def __len__(self) -> int:
+        return len(self._tables)
 
 
 # ---------------------------------------------------------------------------

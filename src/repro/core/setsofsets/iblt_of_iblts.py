@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from repro.comm import ReconciliationResult, Transcript, WORD_BITS
 from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.core.setsofsets.encoding import ChildEncodingScheme, parent_hash
+from repro.core.setsofsets.encoding import (
+    ChildEncodingScheme,
+    ChildTableCache,
+    parent_hash,
+)
 from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
 from repro.hashing import derive_seed
@@ -46,19 +50,19 @@ def _recover_child(
     scheme: ChildEncodingScheme,
     alice_key: int,
     candidate_children: list[frozenset[int]],
+    candidate_tables: ChildTableCache,
     backend: str | None = None,
 ) -> frozenset[int] | None:
     """Try to decode one of Alice's child encodings against candidate children.
 
     Returns Alice's recovered child set, or ``None`` if no candidate decodes
-    to a set matching the encoding's hash.
+    to a set matching the encoding's hash.  Candidate tables come from the
+    per-reconcile cache, so each candidate's table is built exactly once no
+    matter how many of Alice's keys it is tried against.
     """
     alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
     for candidate in candidate_children:
-        candidate_table = IBLT.from_items(
-            scheme.child_params, candidate, backend=backend
-        )
-        decode = alice_table.subtract(candidate_table).try_decode()
+        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
         if not decode.success:
             continue
         recovered = frozenset(
@@ -140,11 +144,12 @@ def reconcile_iblt_of_iblts(
         payload=(alice_table, verification),
     )
 
-    # Bob removes his encodings and decodes the differing ones.
+    # Bob removes his encodings (batch-built, one flat pass) and decodes the
+    # differing ones.
     bob_children = bob.sorted_children()
-    bob_encoding_to_child = {
-        scheme.encode(child, backend=backend): child for child in bob_children
-    }
+    bob_encoding_to_child = dict(
+        zip(scheme.encode_all(bob_children, backend=backend), bob_children)
+    )
     difference_table = alice_table.copy()
     difference_table.delete_batch(list(bob_encoding_to_child))
     decode = difference_table.try_decode()
@@ -170,13 +175,24 @@ def reconcile_iblt_of_iblts(
         else []
     )
 
+    # Candidate child tables are built once per reconcile call and shared
+    # across every one of Alice's keys; the fallback candidates are only
+    # built if some encoding actually needs them.
+    candidate_tables = ChildTableCache(scheme, backend=backend)
+    if decode.positive:
+        candidate_tables.add_children(differing_bob_children)
+
     recovered_children: list[frozenset[int]] = []
     for alice_key in decode.positive:
         recovered = _recover_child(
-            scheme, alice_key, differing_bob_children, backend=backend
+            scheme, alice_key, differing_bob_children, candidate_tables,
+            backend=backend,
         )
         if recovered is None and fallback_to_all_children:
-            recovered = _recover_child(scheme, alice_key, other_children, backend=backend)
+            candidate_tables.add_children(other_children)
+            recovered = _recover_child(
+                scheme, alice_key, other_children, candidate_tables, backend=backend
+            )
         if recovered is None:
             return ReconciliationResult(
                 False, None, transcript, details={"failure": "child-iblt-decode"}
@@ -213,7 +229,9 @@ def reconcile_iblt_of_iblts_unknown(
     Runs the known-``d`` protocol with ``d = 1, 2, 4, ...`` until Bob's
     reconstruction verifies against Alice's parent hash; Bob signals each
     failure with a one-word negative acknowledgement, giving ``O(log d)``
-    rounds overall.
+    rounds overall.  The final doubling is clamped to ``max_bound`` so the
+    largest permitted bound is always attempted (a true ``d`` between the
+    last power of two and ``max_bound`` would otherwise never be tried).
     """
     if max_bound is None:
         max_bound = 2 * max(1, alice.total_elements + bob.total_elements)
@@ -239,7 +257,9 @@ def reconcile_iblt_of_iblts_unknown(
             result.details["final_difference_bound"] = bound
             return result
         transcript.send("bob", "retry request", WORD_BITS)
-        bound *= 2
+        if bound >= max_bound:
+            break
+        bound = min(2 * bound, max_bound)
     return ReconciliationResult(
         False,
         None,

@@ -29,7 +29,11 @@ from typing import Callable
 from repro.comm import ReconciliationResult, Transcript, WORD_BITS
 from repro.core.setrecon.cpi import CPIMessage, cpi_decode, cpi_encode
 from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.core.setsofsets.encoding import child_set_hash, parent_hash
+from repro.core.setsofsets.encoding import (
+    child_set_hash,
+    child_set_hash_many,
+    parent_hash,
+)
 from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
 from repro.estimator import L0Estimator, SetDifferenceEstimator
@@ -136,10 +140,14 @@ def reconcile_multiround(
     def hash_of(child) -> int:
         return child_set_hash(child, hash_seed, child_hash_bits)
 
-    # ---- Round 1: Alice sends the IBLT of her child hashes (one batch).
+    # ---- Round 1: Alice sends the IBLT of her child hashes (one batch; the
+    # hashes of each whole parent set are computed in one batched pass).
     hash_params = _hash_iblt_params(d_hat, child_hash_bits, seed, num_hashes)
     alice_hash_table = IBLT(hash_params, backend=backend)
-    alice_hash_to_child = {hash_of(child): child for child in alice}
+    alice_children = alice.sorted_children()
+    alice_hashes = child_set_hash_many(alice_children, hash_seed, child_hash_bits)
+    alice_hash_to_child = dict(zip(alice_hashes, alice_children))
+    alice_child_to_hash = dict(zip(alice_children, alice_hashes))
     alice_hash_table.insert_batch(list(alice_hash_to_child))
     verification = parent_hash(alice, seed)
     transcript.send(
@@ -151,7 +159,10 @@ def reconcile_multiround(
 
     # ---- Round 2: Bob replies with his hash IBLT and per-child estimators.
     bob_hash_table = IBLT(hash_params, backend=backend)
-    bob_hash_to_child = {hash_of(child): child for child in bob}
+    bob_children = bob.sorted_children()
+    bob_hashes = child_set_hash_many(bob_children, hash_seed, child_hash_bits)
+    bob_hash_to_child = dict(zip(bob_hashes, bob_children))
+    bob_child_to_hash = dict(zip(bob_children, bob_hashes))
     bob_hash_table.insert_batch(list(bob_hash_to_child))
     hash_difference = alice_hash_table.subtract(bob_hash_table)
     hash_decode = hash_difference.try_decode()
@@ -166,7 +177,7 @@ def reconcile_multiround(
     for child in bob_differing:
         estimator = estimator_factory(estimator_seed)
         estimator.update_all(child, 1)
-        bob_estimators.append((hash_of(child), estimator))
+        bob_estimators.append((bob_child_to_hash[child], estimator))
     round2_bits = bob_hash_table.size_bits + sum(
         child_hash_bits + estimator.size_bits for _, estimator in bob_estimators
     )
@@ -204,18 +215,19 @@ def reconcile_multiround(
             best_estimate = len(child)
         bound = max(1, int(math.ceil(estimate_safety * best_estimate)) + 1)
         bound = min(bound, 2 * max_child_size) if max_child_size else bound
+        own_hash = alice_child_to_hash[child]
         if best_estimate >= cpi_threshold:
             child_params = IBLTParameters.for_difference(
                 bound,
                 element_bits,
-                derive_seed(seed, "multiround-child-iblt", hash_of(child)),
+                derive_seed(seed, "multiround-child-iblt", own_hash),
                 num_hashes=3,
                 checksum_bits=24,
             )
             payloads.append(
                 _ChildPayload(
                     best_hash,
-                    hash_of(child),
+                    own_hash,
                     IBLT.from_items(child_params, child, backend=backend),
                     None,
                 )
@@ -224,7 +236,7 @@ def reconcile_multiround(
             payloads.append(
                 _ChildPayload(
                     best_hash,
-                    hash_of(child),
+                    own_hash,
                     None,
                     cpi_encode(
                         child, bound, universe_size, field_kernel=field_kernel

@@ -9,6 +9,11 @@ elements -- an element ``x`` occurring ``k`` times becomes the pair
 ``(x, k)`` -- after which any set-of-sets protocol applies unchanged.  The
 universe grows accordingly, and a single multiplicity change counts as two
 encoded-element changes, which only affects constants.
+
+Because the encoded parent is an ordinary :class:`SetOfSets`, nested
+reconciliation routes through the batched child-sketch pipeline for free:
+the default cascading protocol builds every encoded child's sketch through
+:class:`~repro.iblt.multi.IBLTArray` in one flat pass per level.
 """
 
 from __future__ import annotations

@@ -15,18 +15,23 @@ of every efficient protocol in this library.  This package provides:
 * :mod:`repro.iblt.backends` -- pluggable cell-store backends: a pure-Python
   reference store and a vectorized NumPy store, selected through the
   :mod:`repro.config` registry and producing bit-identical tables.
+* :class:`~repro.iblt.multi.IBLTArray` -- batched construction of many
+  tables over shared parameters (all child sketches of a set-of-sets parent
+  in one flat hashing-and-scatter pass).
 * :mod:`repro.iblt.sizing` -- recommended table sizes for a target difference
   bound, following the peeling thresholds referenced by Theorem 2.1.
 """
 
 from repro.iblt.backends import CellStore, NumpyCellStore, PythonCellStore
 from repro.iblt.table import IBLT, IBLTParameters, DecodeResult
+from repro.iblt.multi import IBLTArray
 from repro.iblt.sizing import cells_for_difference, PEELING_THRESHOLDS
 
 __all__ = [
     "IBLT",
     "IBLTParameters",
     "DecodeResult",
+    "IBLTArray",
     "CellStore",
     "PythonCellStore",
     "NumpyCellStore",

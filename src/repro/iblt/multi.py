@@ -1,0 +1,204 @@
+"""Batched construction of many IBLTs sharing one parameter set.
+
+The set-of-sets protocols of Section 3 encode every child set of a parent
+into its own small IBLT, all built from the *same* :class:`IBLTParameters`
+(same seed, same cell count).  Built one at a time through
+:meth:`IBLT.from_items`, each child pays for its own hash-family derivation,
+backend resolution and per-table scatter -- a pure-Python ``O(n)`` loop that
+dominates encoding for parents with many small children.
+
+:class:`IBLTArray` materializes all ``s`` child tables in one pass instead:
+the children are flattened to ``(child_index, element)`` pairs, the whole
+flat element array is hashed once through the existing batch pipeline
+(:meth:`~repro.hashing.family.HashFamily.cells_for_array`,
+:meth:`~repro.hashing.checksum.Checksum.of_keys_array`), and the results are
+scattered into a single ``(s, num_cells)`` cell tensor -- three ``ufunc.at``
+calls for the entire parent set.  When the vectorized path is unavailable
+(no NumPy, or keys wider than 64 bits) the array falls back to building each
+row through the ordinary per-table path, so the contents are bit-identical
+either way: ``IBLTArray(params, children).table(i)`` always equals
+``IBLT.from_items(params, children[i])``.
+
+The many-balls-into-many-bins structure of this batch build (every element
+is a ball thrown into its child's row of bins) is exactly the regime the
+balls-and-bins literature analyzes; nothing here depends on those bounds,
+but they are why one flat scatter is safe: rows never interact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import CapacityError
+from repro.hashing.mix import HAS_NUMPY
+from repro.iblt.table import IBLT, IBLTParameters
+
+if HAS_NUMPY:
+    import numpy as _np
+
+
+class IBLTArray:
+    """A batch of IBLTs over shared parameters, built in one vectorized pass.
+
+    Parameters
+    ----------
+    params:
+        Shared table configuration; every row uses the same cell count, seed
+        and widths (this is what lets the rows share one flat hashing pass).
+    children:
+        A sequence of key collections, one per table.  Row ``i`` holds
+        exactly the contents of ``IBLT.from_items(params, children[i])``.
+    backend:
+        Cell-store backend name, with the same semantics as
+        :class:`~repro.iblt.table.IBLT`: the vectorized tensor path is used
+        when the resolved backend is vectorized and the parameters fit in 64
+        bits, and the per-row reference path otherwise.  Materialized tables
+        (:meth:`table`) resolve their stores through the same request.
+    """
+
+    def __init__(
+        self,
+        params: IBLTParameters,
+        children: Sequence[Iterable[int]],
+        backend: str | None = None,
+    ) -> None:
+        self.params = params
+        children = [
+            child if isinstance(child, (list, tuple)) else list(child)
+            for child in children
+        ]
+        self.num_tables = len(children)
+        # One template table supplies the shared hash family, checksum and
+        # resolved cell store; rows clone it instead of re-deriving seeds.
+        self._template = IBLT(params, backend=backend)
+        store = self._template._store
+        self._vectorized = (
+            HAS_NUMPY
+            and getattr(type(store), "vectorized", False)
+            and params.key_bits <= 64
+            and params.checksum_bits <= 64
+        )
+        if self._vectorized:
+            self._tables: list[IBLT] | None = None
+            self._build_tensor(children)
+        else:
+            self._counts = self._key_xor = self._check_xor = None
+            tables = []
+            for child in children:
+                table = self._template.copy()
+                table.insert_batch(child)
+                tables.append(table)
+            self._tables = tables
+
+    @property
+    def backend(self) -> str:
+        """Name of the cell-store backend the rows resolved to."""
+        return self._template.backend
+
+    @property
+    def vectorized(self) -> bool:
+        """True when the rows live in one ``(s, num_cells)`` cell tensor."""
+        return self._vectorized
+
+    # -- construction ----------------------------------------------------------------
+
+    def _build_tensor(self, children: list[list[int]]) -> None:
+        """Flatten to (child_index, element) pairs and scatter them all at once."""
+        params = self.params
+        num_cells = params.num_cells
+        flat: list[int] = []
+        lengths = []
+        for child in children:
+            flat.extend(child)
+            lengths.append(len(child))
+        store = self._template._store
+        keys = store.prepare_keys(flat, params.key_bits)  # validated uint64 array
+        total_cells = self.num_tables * num_cells
+        counts = _np.zeros(total_cells, dtype=_np.int64)
+        key_xor = _np.zeros(total_cells, dtype=_np.uint64)
+        check_xor = _np.zeros(total_cells, dtype=_np.uint64)
+        if keys.size:
+            family = self._template._family
+            checksum = self._template._checksum
+            # Row offset per flat key; broadcasting adds it to every hash row.
+            offsets = _np.repeat(
+                _np.arange(self.num_tables, dtype=_np.int64) * num_cells, lengths
+            )
+            cells = (family.cells_for_array(keys) + offsets).reshape(-1)
+            checks = checksum.of_keys_array(keys)
+            num_hashes = family.num_hashes
+            _np.add.at(counts, cells, _np.int64(1))
+            _np.bitwise_xor.at(key_xor, cells, _np.tile(keys, num_hashes))
+            _np.bitwise_xor.at(check_xor, cells, _np.tile(checks, num_hashes))
+        shape = (self.num_tables, num_cells)
+        self._counts = counts.reshape(shape)
+        self._key_xor = key_xor.reshape(shape)
+        self._check_xor = check_xor.reshape(shape)
+
+    # -- materialization -------------------------------------------------------------
+
+    def table(self, index: int) -> IBLT:
+        """Materialize row ``index`` as an independent :class:`IBLT`.
+
+        The returned table shares nothing mutable with the array, so callers
+        may subtract from or decode it freely.
+        """
+        if self._tables is not None:
+            return self._tables[index].copy()
+        table = self._template.copy()
+        table._store.load(
+            self._counts[index].tolist(),
+            self._key_xor[index].tolist(),
+            self._check_xor[index].tolist(),
+        )
+        return table
+
+    def tables(self) -> list[IBLT]:
+        """Materialize every row (see :meth:`table`)."""
+        return [self.table(index) for index in range(self.num_tables)]
+
+    # -- serialization ---------------------------------------------------------------
+
+    def serialize_all(self) -> list[int]:
+        """Canonical serializations of every row, in order.
+
+        Row ``i`` equals ``self.table(i).serialize()`` bit for bit; on the
+        tensor path the per-cell packing is one vectorized pass and only the
+        final fixed-width big-integer assembly runs per row.
+        """
+        if self._tables is not None:
+            return [table.serialize() for table in self._tables]
+        params = self.params
+        count_limit = 1 << params.count_bits
+        half = count_limit >> 1
+        counts = self._counts
+        if counts.size and not (
+            -half <= int(counts.min()) and int(counts.max()) < half
+        ):
+            raise CapacityError(
+                f"a cell count does not fit in {params.count_bits} bits"
+            )
+        # Pack each cell into one Python int (object dtype: cells can exceed
+        # 64 bits), matching IBLT.serialize's count || key_xor || check_xor.
+        packed = (
+            ((counts % count_limit).astype(object) << (params.key_bits + params.checksum_bits))
+            | (self._key_xor.astype(object) << params.checksum_bits)
+            | self._check_xor.astype(object)
+        )
+        cell_bits = params.cell_bits
+        serialized = []
+        for row in packed:
+            encoded = 0
+            for value in row:
+                encoded = (encoded << cell_bits) | value
+            serialized.append(encoded)
+        return serialized
+
+    def __len__(self) -> int:
+        return self.num_tables
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IBLTArray(tables={self.num_tables}, cells={self.params.num_cells}, "
+            f"backend={self.backend}, vectorized={self._vectorized})"
+        )

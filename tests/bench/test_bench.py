@@ -92,8 +92,10 @@ class TestBenchmarkTrajectory:
                 name,
                 headline[name],
             )
-        # Both trajectories are recorded in this repository.
-        assert {"cell_backend", "field_kernel"} <= set(headline)
+        # All three trajectories are recorded in this repository.
+        assert {"cell_backend", "field_kernel", "setsofsets_encoding"} <= set(
+            headline
+        )
 
 
 class TestTable1Experiment:

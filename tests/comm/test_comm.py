@@ -94,8 +94,21 @@ class TestSizing:
     def test_naive_child_set_uses_minimum(self):
         # Small universe: bitmap (u bits) wins over the packed list.
         assert bits_for_naive_child_set(16, 10) == 16
-        # Large universe: the packed list wins.
-        assert bits_for_naive_child_set(2**20, 5) == 5 * 20
+        # Large universe: the packed list wins; each slot carries a presence
+        # bit on top of the ceil(log2 u)-bit element.
+        assert bits_for_naive_child_set(2**20, 5) == 5 * 21
+
+    def test_naive_child_set_matches_explicit_scheme_width(self):
+        # The analytic accounting must charge exactly what the explicit
+        # child encoding occupies on the wire (the PR 3 accounting fix).
+        from repro.core.setsofsets.encoding import ExplicitChildScheme
+
+        for universe_size in (1, 2, 5, 16, 64, 1023, 1024, 2**20):
+            for max_child_size in (0, 1, 2, 7, 32, 200):
+                assert (
+                    bits_for_naive_child_set(universe_size, max_child_size)
+                    == ExplicitChildScheme(universe_size, max_child_size).key_bits
+                ), (universe_size, max_child_size)
 
     def test_ceil_log2(self):
         assert ceil_log2(1) == 0

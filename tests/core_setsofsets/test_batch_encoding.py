@@ -1,0 +1,202 @@
+"""Tests for the batched child-sketch pipeline and the PR 3 bugfixes.
+
+Covers:
+
+* ``ChildEncodingScheme.encode_all`` / ``child_set_hash_many`` bit-identity
+  with the scalar paths, on every backend;
+* the per-reconcile :class:`ChildTableCache` (candidate tables built once,
+  not once per (Alice key, candidate) pair);
+* the repeated-doubling clamp: the largest permitted bound is attempted even
+  when it is not a power of two times the initial bound.
+"""
+
+import random
+
+import pytest
+
+from repro.core.setsofsets import (
+    SetOfSets,
+    reconcile_cascading,
+    reconcile_cascading_unknown,
+    reconcile_iblt_of_iblts,
+    reconcile_iblt_of_iblts_unknown,
+)
+from repro.core.setsofsets.encoding import (
+    ChildEncodingScheme,
+    ChildTableCache,
+    child_set_hash,
+    child_set_hash_many,
+)
+from repro.iblt import IBLT, IBLTParameters, NumpyCellStore
+from repro.workloads import sets_of_sets_instance
+
+UNIVERSE = 512
+BACKENDS = ["python"] + (["numpy"] if NumpyCellStore.available() else [])
+
+PARAMS = IBLTParameters.for_difference(
+    4, 24, seed=31, num_hashes=3, checksum_bits=24, count_bits=16
+)
+SCHEME = ChildEncodingScheme(PARAMS, 48, seed=77)
+
+
+def random_children(count, seed=3):
+    rng = random.Random(seed)
+    return [
+        frozenset(rng.sample(range(1 << 20), rng.randrange(1, 9)))
+        for _ in range(count)
+    ]
+
+
+class TestBatchEncoding:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_encode_all_matches_scalar_encode(self, backend):
+        children = random_children(30)
+        assert SCHEME.encode_all(children, backend=backend) == [
+            SCHEME.encode(child, backend=backend) for child in children
+        ]
+
+    def test_encode_all_empty(self):
+        assert SCHEME.encode_all([]) == []
+
+    def test_child_set_hash_many_matches_scalar(self):
+        children = random_children(20, seed=9) + [frozenset()]
+        assert child_set_hash_many(children, 5, 48) == [
+            child_set_hash(child, 5, 48) for child in children
+        ]
+
+    @pytest.mark.skipif(
+        not NumpyCellStore.available(), reason="NumPy not installed"
+    )
+    def test_encode_all_identical_across_backends(self):
+        children = random_children(30, seed=15)
+        assert SCHEME.encode_all(children, backend="python") == SCHEME.encode_all(
+            children, backend="numpy"
+        )
+
+
+class TestChildTableCache:
+    def test_cached_tables_match_from_items(self):
+        children = random_children(10, seed=21)
+        cache = ChildTableCache(SCHEME)
+        cache.add_children(children)
+        for child in children:
+            assert cache.get(child) == IBLT.from_items(PARAMS, child)
+
+    def test_add_children_builds_each_table_once(self):
+        children = random_children(6, seed=23)
+        cache = ChildTableCache(SCHEME)
+        cache.add_children(children)
+        first = cache.get(children[0])
+        cache.add_children(children)  # second add is a no-op
+        assert cache.get(children[0]) is first
+        assert len(cache) == len(set(children))
+
+    def test_lazy_build_on_get(self):
+        cache = ChildTableCache(SCHEME)
+        child = frozenset({1, 2, 3})
+        assert cache.get(child) == IBLT.from_items(PARAMS, child)
+        assert len(cache) == 1
+
+
+class TestNoRedundantTableBuilds:
+    """The satellite bugfix: decode loops must not rebuild candidate tables
+    per (Alice key, candidate) pair via ``IBLT.from_items``."""
+
+    @pytest.fixture
+    def from_items_counter(self, monkeypatch):
+        calls = []
+        original = IBLT.from_items.__func__
+
+        def counting(cls, params, items, backend=None):
+            calls.append(params)
+            return original(cls, params, items, backend=backend)
+
+        monkeypatch.setattr(IBLT, "from_items", classmethod(counting))
+        return calls
+
+    def test_iblt_of_iblts_decode_loop(self, from_items_counter):
+        instance = sets_of_sets_instance(
+            24, 12, UNIVERSE, 12, seed=41, max_children_touched=6
+        )
+        result = reconcile_iblt_of_iblts(
+            instance.alice, instance.bob, instance.planted_difference, UNIVERSE,
+            seed=9, differing_children_bound=instance.differing_children + 1,
+        )
+        assert result.success and result.recovered == instance.alice
+        assert from_items_counter == []
+
+    def test_cascading_decode_loop(self, from_items_counter):
+        instance = sets_of_sets_instance(
+            24, 12, UNIVERSE, 12, seed=43, max_children_touched=6
+        )
+        result = reconcile_cascading(
+            instance.alice, instance.bob, instance.planted_difference, UNIVERSE,
+            instance.max_child_size, seed=9,
+        )
+        assert result.success and result.recovered == instance.alice
+        assert from_items_counter == []
+
+
+class TestDoublingClampToMaxBound:
+    """The satellite bugfix: ``bound *= 2`` must not jump past ``max_bound``
+    without the largest permitted bound ever being attempted."""
+
+    def test_iblt_of_iblts_succeeds_exactly_at_clamped_bound(self):
+        # Chosen (by search over seeds) so that bounds 1, 2 and 4 all fail
+        # and the clamped final attempt at max_bound=5 succeeds; before the
+        # clamp the doubling jumped 4 -> 8 > 5 and the run failed outright.
+        instance = sets_of_sets_instance(
+            24, 12, UNIVERSE, 24, seed=3, max_children_touched=8
+        )
+        result = reconcile_iblt_of_iblts_unknown(
+            instance.alice, instance.bob, UNIVERSE, seed=103, max_bound=5
+        )
+        assert result.success and result.recovered == instance.alice
+        assert result.details["final_difference_bound"] == 5
+        assert result.attempts == 4  # bounds 1, 2, 4, 5
+
+    def test_iblt_of_iblts_attempts_max_bound_before_giving_up(self):
+        # A difference far above max_bound: every attempt fails, but the
+        # attempt sequence must still end exactly at max_bound.
+        instance = sets_of_sets_instance(
+            16, 12, UNIVERSE, 48, seed=5, max_children_touched=12
+        )
+        result = reconcile_iblt_of_iblts_unknown(
+            instance.alice, instance.bob, UNIVERSE, seed=11, max_bound=5
+        )
+        assert not result.success
+        assert result.details["failure"] == "exceeded-max-bound"
+        assert result.attempts == 4  # bounds 1, 2, 4, 5 -- not 1, 2, 4
+
+    def test_cascading_succeeds_exactly_at_clamped_bound(self):
+        # Bounds 1, 2 and 4 fail; the clamped final attempt at 5 succeeds
+        # (before the clamp the doubling jumped 4 -> 8 > 5 and failed).
+        instance = sets_of_sets_instance(
+            16, 12, UNIVERSE, 48, seed=7, max_children_touched=12
+        )
+        result = reconcile_cascading_unknown(
+            instance.alice, instance.bob, UNIVERSE, instance.max_child_size,
+            seed=11, max_bound=5,
+        )
+        assert result.success and result.recovered == instance.alice
+        assert result.details["final_difference_bound"] == 5
+        assert result.attempts == 4  # bounds 1, 2, 4, 5
+
+    def test_cascading_attempts_max_bound_before_giving_up(self):
+        instance = sets_of_sets_instance(
+            16, 12, UNIVERSE, 80, seed=0, max_children_touched=16
+        )
+        result = reconcile_cascading_unknown(
+            instance.alice, instance.bob, UNIVERSE, instance.max_child_size,
+            seed=11, max_bound=5,
+        )
+        assert not result.success
+        assert result.details["failure"] == "exceeded-max-bound"
+        assert result.attempts == 4  # bounds 1, 2, 4, 5 -- not 1, 2, 4
+
+    def test_initial_bound_above_max_bound_attempts_nothing(self):
+        alice = SetOfSets([{1, 2}])
+        result = reconcile_iblt_of_iblts_unknown(
+            alice, alice, UNIVERSE, seed=1, initial_bound=8, max_bound=5
+        )
+        assert not result.success and result.attempts == 0

@@ -1,0 +1,103 @@
+"""Tests for the batched IBLTArray construction (repro.iblt.multi)."""
+
+import random
+
+import pytest
+
+from repro.errors import CapacityError, ParameterError
+from repro.iblt import IBLT, IBLTArray, IBLTParameters, NumpyCellStore
+
+BACKENDS = ["python"] + (["numpy"] if NumpyCellStore.available() else [])
+
+PARAMS = IBLTParameters.for_difference(
+    4, 24, seed=99, num_hashes=3, checksum_bits=24, count_bits=16
+)
+
+
+def random_children(count, seed=7, max_size=9, universe=1 << 20):
+    rng = random.Random(seed)
+    children = [
+        [rng.randrange(universe) for _ in range(rng.randrange(max_size))]
+        for _ in range(count)
+    ]
+    children.append([])  # empty child
+    return children
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMatchesPerTableConstruction:
+    def test_tables_equal_from_items(self, backend):
+        children = random_children(40)
+        array = IBLTArray(PARAMS, children, backend=backend)
+        for index, child in enumerate(children):
+            assert array.table(index) == IBLT.from_items(
+                PARAMS, child, backend=backend
+            )
+
+    def test_serialize_all_matches_per_table_serialize(self, backend):
+        children = random_children(40, seed=13)
+        array = IBLTArray(PARAMS, children, backend=backend)
+        assert array.serialize_all() == [
+            IBLT.from_items(PARAMS, child, backend=backend).serialize()
+            for child in children
+        ]
+        assert array.serialize_all() == [t.serialize() for t in array.tables()]
+
+    def test_duplicate_keys_inside_a_child(self, backend):
+        children = [[5, 5, 9], [9]]
+        array = IBLTArray(PARAMS, children, backend=backend)
+        for index, child in enumerate(children):
+            assert array.table(index) == IBLT.from_items(
+                PARAMS, child, backend=backend
+            )
+
+    def test_empty_array(self, backend):
+        array = IBLTArray(PARAMS, [], backend=backend)
+        assert len(array) == 0
+        assert array.serialize_all() == []
+        assert array.tables() == []
+
+    def test_materialized_tables_are_independent(self, backend):
+        array = IBLTArray(PARAMS, [[1, 2], [3]], backend=backend)
+        first = array.table(0)
+        first.insert(7)
+        assert array.table(0) == IBLT.from_items(PARAMS, [1, 2], backend=backend)
+
+    def test_rejects_invalid_keys(self, backend):
+        with pytest.raises(ParameterError):
+            IBLTArray(PARAMS, [[1], [-2]], backend=backend)
+        with pytest.raises(CapacityError):
+            IBLTArray(PARAMS, [[1 << 30]], backend=backend)
+
+
+@pytest.mark.skipif(not NumpyCellStore.available(), reason="NumPy not installed")
+class TestBackendSelection:
+    def test_numpy_backend_vectorizes(self):
+        array = IBLTArray(PARAMS, [[1]], backend="numpy")
+        assert array.vectorized and array.backend == "numpy"
+
+    def test_python_backend_uses_row_fallback(self):
+        array = IBLTArray(PARAMS, [[1]], backend="python")
+        assert not array.vectorized and array.backend == "python"
+
+    def test_wide_keys_fall_back_and_agree(self):
+        wide = IBLTParameters.for_difference(3, 100, seed=5, num_hashes=3)
+        children = [[1 << 80, 3], [2]]
+        array = IBLTArray(wide, children, backend="numpy")
+        assert not array.vectorized
+        assert array.serialize_all() == [
+            IBLT.from_items(wide, child).serialize() for child in children
+        ]
+
+    def test_cross_backend_bit_identity(self):
+        children = random_children(30, seed=21)
+        python_array = IBLTArray(PARAMS, children, backend="python")
+        numpy_array = IBLTArray(PARAMS, children, backend="numpy")
+        assert python_array.serialize_all() == numpy_array.serialize_all()
+
+    def test_rows_decode_like_single_tables(self):
+        children = [[1, 2, 3], [10, 11]]
+        array = IBLTArray(PARAMS, children, backend="numpy")
+        for index, child in enumerate(children):
+            positive, negative = array.table(index).decode()
+            assert positive == set(child) and negative == set()

@@ -1,0 +1,45 @@
+"""Property test pinning the sizing round-trip both protocol families rely on.
+
+The doubling protocols size a table with :func:`cells_for_difference` and
+later ask :func:`capacity_of` whether a received table could plausibly decode
+a given difference.  If the inverse ever under-reported (``capacity_of``
+falling below the ``d`` the table was sized for), a correctly sized table
+would be rejected; this is the same sizing regime as the balls-and-bins
+"hit every bin" bounds, where off-by-one slack errors are easy to introduce.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.iblt.sizing import PEELING_THRESHOLDS, capacity_of, cells_for_difference
+
+
+@settings(max_examples=400, deadline=None)
+@given(
+    difference=st.integers(min_value=0, max_value=2000),
+    num_hashes=st.sampled_from(sorted(PEELING_THRESHOLDS)),
+)
+def test_capacity_covers_the_difference_it_was_sized_for(difference, num_hashes):
+    cells = cells_for_difference(difference, num_hashes)
+    assert capacity_of(cells, num_hashes) >= difference
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    difference=st.integers(min_value=0, max_value=2000),
+    num_hashes=st.sampled_from(sorted(PEELING_THRESHOLDS)),
+)
+def test_cells_are_partitionable_and_bounded_below(difference, num_hashes):
+    cells = cells_for_difference(difference, num_hashes)
+    assert cells % num_hashes == 0
+    assert cells >= 2 * num_hashes
+
+
+def test_exhaustive_roundtrip_over_the_supported_range():
+    """The full grid the property test samples from, checked exhaustively."""
+    for num_hashes in sorted(PEELING_THRESHOLDS):
+        for difference in range(0, 2001):
+            cells = cells_for_difference(difference, num_hashes)
+            assert capacity_of(cells, num_hashes) >= difference, (
+                num_hashes,
+                difference,
+            )

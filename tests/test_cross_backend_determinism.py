@@ -4,8 +4,10 @@ The cell-store backends (:mod:`repro.iblt.backends`) must be observationally
 identical: for the same seed and inputs, a protocol run with the pure-Python
 store and one with the NumPy store must exchange byte-identical messages and
 return identical :class:`~repro.comm.ReconciliationResult`\\ s.  These tests
-pin that guarantee for the flat set-reconciliation protocol and the cascading
-set-of-sets protocol.
+pin that guarantee for the flat set-reconciliation protocol and the
+structured set-of-sets protocols (IBLT-of-IBLTs, cascading, multiround), all
+of which route their child encodings through the batched
+:class:`~repro.iblt.multi.IBLTArray` pipeline.
 """
 
 import random
@@ -14,6 +16,8 @@ import pytest
 
 from repro.core.setrecon.ibf import reconcile_known_d
 from repro.core.setsofsets.cascading import reconcile_cascading
+from repro.core.setsofsets.iblt_of_iblts import reconcile_iblt_of_iblts
+from repro.core.setsofsets.multiround import reconcile_multiround
 from repro.core.setsofsets.types import SetOfSets
 from repro.iblt import IBLT, NumpyCellStore
 
@@ -60,6 +64,33 @@ def run_cascading(backend):
     )
 
 
+def _structured_instance():
+    rng = random.Random(4321)
+    children = [
+        frozenset(rng.sample(range(1 << 16), 6)) for _ in range(32)
+    ]
+    bob_children = [set(child) for child in children]
+    bob_children[3].add(60000)
+    bob_children[11].discard(min(bob_children[11]))
+    alice = SetOfSets(children)
+    bob = SetOfSets(bob_children)
+    return alice, bob
+
+
+def run_iblt_of_iblts(backend):
+    alice, bob = _structured_instance()
+    return reconcile_iblt_of_iblts(
+        alice, bob, 6, 1 << 16, seed=66, backend=backend
+    )
+
+
+def run_multiround(backend):
+    alice, bob = _structured_instance()
+    return reconcile_multiround(
+        alice, bob, 6, 1 << 16, 7, seed=88, backend=backend
+    )
+
+
 class TestKnownD:
     def test_identical_results(self):
         py = run_known_d("python")
@@ -87,6 +118,38 @@ class TestCascading:
     def test_byte_identical_transcripts(self):
         py = run_cascading("python")
         np_result = run_cascading("numpy")
+        assert transcript_fingerprint(py.transcript) == transcript_fingerprint(
+            np_result.transcript
+        )
+
+
+class TestIBLTofIBLTs:
+    def test_identical_results(self):
+        py = run_iblt_of_iblts("python")
+        np_result = run_iblt_of_iblts("numpy")
+        assert py.success and np_result.success
+        assert py.recovered == np_result.recovered
+        assert py.details == np_result.details
+
+    def test_byte_identical_transcripts(self):
+        py = run_iblt_of_iblts("python")
+        np_result = run_iblt_of_iblts("numpy")
+        assert transcript_fingerprint(py.transcript) == transcript_fingerprint(
+            np_result.transcript
+        )
+
+
+class TestMultiround:
+    def test_identical_results(self):
+        py = run_multiround("python")
+        np_result = run_multiround("numpy")
+        assert py.success and np_result.success
+        assert py.recovered == np_result.recovered
+        assert py.details == np_result.details
+
+    def test_byte_identical_transcripts(self):
+        py = run_multiround("python")
+        np_result = run_multiround("numpy")
         assert transcript_fingerprint(py.transcript) == transcript_fingerprint(
             np_result.transcript
         )
