@@ -67,12 +67,28 @@ from repro.graphs import (
 )
 from repro.db import BinaryTable, reconcile_tables
 from repro.documents import DocumentCollection, reconcile_collections
+from repro import protocols
+from repro.protocols import (
+    InMemoryTransport,
+    ReconcileOptions,
+    SerializingTransport,
+    Session,
+    SocketTransport,
+    reconcile,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReconciliationResult",
     "Transcript",
+    "protocols",
+    "reconcile",
+    "ReconcileOptions",
+    "Session",
+    "InMemoryTransport",
+    "SerializingTransport",
+    "SocketTransport",
     "available_cell_backends",
     "cell_backend_names",
     "default_cell_backend",

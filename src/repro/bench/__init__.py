@@ -12,6 +12,7 @@ from repro.bench.runner import ProtocolMeasurement, measure_protocol, summarize
 from repro.bench.reporting import (
     BENCHMARK_RECORDS,
     format_table,
+    format_transcript_breakdown,
     headline_speedups,
     load_benchmark_record,
     print_table,
@@ -23,6 +24,7 @@ __all__ = [
     "measure_protocol",
     "summarize",
     "format_table",
+    "format_transcript_breakdown",
     "print_table",
     "BENCHMARK_RECORDS",
     "headline_speedups",

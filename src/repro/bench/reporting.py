@@ -49,6 +49,17 @@ def print_table(rows: Sequence[Mapping[str, object]], title: str | None = None) 
     print(format_table(rows, title))
 
 
+def format_transcript_breakdown(transcript, title: str | None = None) -> str:
+    """Per-round bits table for one protocol transcript.
+
+    Renders :meth:`repro.comm.transcript.Transcript.round_summary` -- the
+    same breakdown the session layer exposes -- through
+    :func:`format_table`, so benchmark reports can show where a protocol's
+    communication goes round by round.
+    """
+    return format_table(transcript.round_summary(), title)
+
+
 def write_benchmark_record(
     path: str | Path,
     *,

@@ -54,6 +54,8 @@ class Transcript:
             raise ParameterError("size_bits must be non-negative")
         if not sender:
             raise ParameterError("sender must be a non-empty string")
+        if not label:
+            raise ParameterError("label must be a non-empty string")
         if self.messages and self.messages[-1].sender == sender:
             round_index = self.messages[-1].round_index
         else:
@@ -85,6 +87,42 @@ class Transcript:
         for message in self.messages:
             totals[message.label] = totals.get(message.label, 0) + message.size_bits
         return totals
+
+    def by_sender(self) -> dict[str, list[Message]]:
+        """The messages grouped by sender, in transmission order."""
+        grouped: dict[str, list[Message]] = {}
+        for message in self.messages:
+            grouped.setdefault(message.sender, []).append(message)
+        return grouped
+
+    def bits_by_round(self) -> dict[int, int]:
+        """Total bits per round (the per-round breakdown of ``total_bits``)."""
+        totals: dict[int, int] = {}
+        for message in self.messages:
+            totals[message.round_index] = (
+                totals.get(message.round_index, 0) + message.size_bits
+            )
+        return totals
+
+    def round_summary(self) -> list[dict[str, object]]:
+        """One row per round -- ``{round, sender, bits, messages}`` -- ready for
+        :func:`repro.bench.reporting.format_table` and the session layer's
+        reporting hooks."""
+        rows: list[dict[str, object]] = []
+        for message in self.messages:
+            if rows and rows[-1]["round"] == message.round_index:
+                rows[-1]["bits"] = int(rows[-1]["bits"]) + message.size_bits
+                rows[-1]["messages"] = int(rows[-1]["messages"]) + 1
+            else:
+                rows.append(
+                    {
+                        "round": message.round_index,
+                        "sender": message.sender,
+                        "bits": message.size_bits,
+                        "messages": 1,
+                    }
+                )
+        return rows
 
     def extend(self, other: "Transcript") -> None:
         """Append another transcript's messages (re-numbering rounds)."""

@@ -245,18 +245,15 @@ def reconcile_cpi(
     field_kernel: str | None = None,
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
-    """One-round characteristic-polynomial reconciliation (Theorem 2.3)."""
-    transcript = transcript if transcript is not None else Transcript()
-    message = cpi_encode(
-        alice, difference_bound, universe_size, field_kernel=field_kernel
+    """One-round characteristic-polynomial reconciliation (Theorem 2.3).
+
+    Thin wrapper over the party state machines of
+    :mod:`repro.protocols.parties.setrecon` (in-memory session).
+    """
+    from repro.protocols.parties.setrecon import cpi_parties
+    from repro.protocols.session import run_session
+
+    alice_party, bob_party = cpi_parties(
+        alice, bob, difference_bound, universe_size, seed, field_kernel=field_kernel
     )
-    transcript.send("alice", "CPI evaluations", message.size_bits, payload=message)
-    success, recovered = cpi_decode(
-        message, bob, universe_size, seed, field_kernel=field_kernel
-    )
-    return ReconciliationResult(
-        success,
-        recovered,
-        transcript,
-        details={"difference_bound": difference_bound},
-    )
+    return run_session(alice_party, bob_party, transcript=transcript)

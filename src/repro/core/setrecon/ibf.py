@@ -6,26 +6,20 @@ elements, peels the remainder, and applies the recovered difference to his
 own set.  Unknown-``d`` protocol (two rounds): Bob first sends a set
 difference estimator, Alice queries it to obtain a bound, then the known-``d``
 protocol runs.
+
+The protocol logic lives in the party state machines of
+:mod:`repro.protocols.parties.setrecon`; the functions here are the
+backward-compatible entry points, running both parties over an in-memory
+session.  ``repro.reconcile(..., protocol="ibf")`` runs the same parties
+over any transport.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Set
+from typing import Callable, Set
 
-from repro.comm import ReconciliationResult, Transcript, WORD_BITS
-from repro.comm.sizing import bits_for_value
-from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.errors import ParameterError
-from repro.estimator import SetDifferenceEstimator, L0Estimator
-from repro.hashing import SeededHasher, derive_seed
-from repro.iblt import IBLT, IBLTParameters
-
-
-def _set_hash(seed: int, elements: Iterable[int]) -> int:
-    """Whole-set verification hash (guards against undetected checksum failures)."""
-    return SeededHasher(derive_seed(seed, "set-verification"), WORD_BITS).hash_iterable(
-        elements
-    )
+from repro.comm import ReconciliationResult, Transcript
+from repro.estimator import SetDifferenceEstimator
 
 
 def reconcile_known_d(
@@ -66,45 +60,12 @@ def reconcile_known_d(
     ReconciliationResult
         ``recovered`` is Bob's reconstruction of Alice's set.
     """
-    if difference_bound < 0:
-        raise ParameterError("difference_bound must be non-negative")
-    if universe_size <= 0:
-        raise ParameterError("universe_size must be positive")
-    transcript = transcript if transcript is not None else Transcript()
-    key_bits = max_element_bits(universe_size)
-    params = IBLTParameters.for_difference(
-        max(1, difference_bound), key_bits, derive_seed(seed, "setrecon"), num_hashes
-    )
+    from repro.protocols.parties.setrecon import SetReconContext, ibf_parties
+    from repro.protocols.session import run_session
 
-    # Alice: encode and send (whole set in one batch insert).
-    alice_table = IBLT.from_items(params, alice, backend=backend)
-    alice_hash = _set_hash(seed, alice)
-    transcript.send(
-        "alice",
-        "set IBLT",
-        alice_table.size_bits + bits_for_value(len(alice)) + WORD_BITS,
-        payload=(alice_table, alice_hash, len(alice)),
-    )
-
-    # Bob: delete his elements (one batch) and decode the remainder.
-    difference_table = alice_table.copy()
-    difference_table.delete_batch(bob)
-    decode = difference_table.try_decode()
-    if not decode.success:
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "iblt-peel"}
-        )
-    recovered = apply_difference(bob, decode.positive, decode.negative)
-    verified = _set_hash(seed, recovered) == alice_hash and len(recovered) == len(alice)
-    return ReconciliationResult(
-        verified,
-        recovered if verified else None,
-        transcript,
-        details={
-            "difference_found": decode.symmetric_difference_size(),
-            "failure": None if verified else "verification-hash",
-        },
-    )
+    ctx = SetReconContext(universe_size, seed, num_hashes, backend)
+    alice_party, bob_party = ibf_parties(alice, bob, difference_bound, ctx)
+    return run_session(alice_party, bob_party, transcript=transcript)
 
 
 def reconcile_unknown_d(
@@ -124,33 +85,16 @@ def reconcile_unknown_d(
     hers, queries the estimate, scales it by ``safety_factor`` and runs the
     known-``d`` protocol with that bound.
     """
-    if estimator_factory is None:
-        estimator_factory = L0Estimator
-    transcript = Transcript()
-    estimator_seed = derive_seed(seed, "setrecon-estimator")
+    from repro.protocols.parties.setrecon import SetReconContext, ibf_parties
+    from repro.protocols.session import run_session
 
-    bob_estimator = estimator_factory(estimator_seed)
-    bob_estimator.update_all(bob, 1)
-    transcript.send(
-        "bob", "difference estimator", bob_estimator.size_bits, payload=bob_estimator
-    )
-
-    alice_estimator = estimator_factory(estimator_seed)
-    alice_estimator.update_all(alice, 2)
-    merged = bob_estimator.merge(alice_estimator)
-    estimate = merged.query()
-    bound = max(1, int(round(safety_factor * estimate)) + 1)
-
-    result = reconcile_known_d(
-        alice,
-        bob,
-        bound,
+    ctx = SetReconContext(
         universe_size,
         seed,
-        num_hashes=num_hashes,
-        backend=backend,
-        transcript=transcript,
+        num_hashes,
+        backend,
+        estimator_factory=estimator_factory,
+        safety_factor=safety_factor,
     )
-    result.details["estimated_difference"] = estimate
-    result.details["difference_bound_used"] = bound
-    return result
+    alice_party, bob_party = ibf_parties(alice, bob, None, ctx)
+    return run_session(alice_party, bob_party)

@@ -11,81 +11,15 @@ levels.  When ``d >= h`` a final table ``T*`` of ``O(d/h)`` cells carries
 explicit encodings of the children too different to pair up at all.
 
 Communication: ``O(d log(min(d,h)) log u + d log s)`` bits, one round.
+
+The protocol logic lives in :mod:`repro.protocols.parties.setsofsets`; the
+functions here are the backward-compatible entry points (in-memory session).
 """
 
 from __future__ import annotations
 
-import math
-
-from repro.comm import ReconciliationResult, Transcript, WORD_BITS
-from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.core.setsofsets.encoding import (
-    ChildEncodingScheme,
-    ChildTableCache,
-    ExplicitChildScheme,
-    parent_hash,
-)
+from repro.comm import ReconciliationResult, Transcript
 from repro.core.setsofsets.types import SetOfSets
-from repro.errors import ParameterError
-from repro.field.kernels import use_kernel
-from repro.hashing import derive_seed
-from repro.iblt import IBLT, IBLTParameters
-
-
-def _level_child_scheme(
-    level: int, universe_size: int, seed: int, child_hash_bits: int
-) -> ChildEncodingScheme:
-    """Child encoding scheme for cascade level ``level`` (child IBLTs of O(2^level) cells)."""
-    child_params = IBLTParameters.for_difference(
-        2**level,
-        max_element_bits(universe_size),
-        derive_seed(seed, "cascade-child", level),
-        num_hashes=3,
-        checksum_bits=24,
-        count_bits=16,
-    )
-    return ChildEncodingScheme(
-        child_params, child_hash_bits, derive_seed(seed, "child-hash")
-    )
-
-
-def _parent_capacity(level: int, difference_bound: int, d_hat: int, slack: float) -> int:
-    """Capacity (in keys) of the level-``level`` parent table.
-
-    Level 1 may see every differing child encoding from both sides (up to
-    ``2 * d_hat``); level ``i >= 2`` sees at most about ``d / 2^{i-1}``
-    unrecovered children by the budget argument in the proof of Theorem 3.7
-    (we apply a small constant ``slack`` on top).
-    """
-    if level == 1:
-        return max(2, min(2 * d_hat, 2 * difference_bound))
-    budget = int(math.ceil(slack * difference_bound / (2 ** (level - 1))))
-    return max(2, min(2 * d_hat, budget))
-
-
-def _recover_against(
-    scheme: ChildEncodingScheme,
-    alice_key: int,
-    candidates: list[frozenset[int]],
-    candidate_tables: ChildTableCache,
-    backend: str | None = None,
-) -> frozenset[int] | None:
-    """Decode one of Alice's child encodings against candidate children.
-
-    Candidate tables come from the per-level cache, so each candidate's
-    table is built once per level rather than once per (key, candidate).
-    """
-    alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
-    for candidate in candidates:
-        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
-        if not decode.success:
-            continue
-        recovered = frozenset(
-            apply_difference(candidate, decode.positive, decode.negative)
-        )
-        if scheme.hash_of(recovered) == alice_hash:
-            return recovered
-    return None
 
 
 def reconcile_cascading(
@@ -131,166 +65,24 @@ def reconcile_cascading(
         Multiplier applied to the per-level capacity budget (the proof's 9/4
         constant rounded up).
     """
-    if difference_bound < 0:
-        raise ParameterError("difference_bound must be non-negative")
-    if max_child_size <= 0:
-        raise ParameterError("max_child_size must be positive")
-    transcript = transcript if transcript is not None else Transcript()
-    with use_kernel(field_kernel):
-        return _reconcile_cascading_body(
-            alice,
-            bob,
-            difference_bound,
-            universe_size,
-            max_child_size,
-            seed,
-            differing_children_bound,
-            child_hash_bits,
-            num_hashes,
-            backend,
-            level_slack,
-            transcript,
-        )
+    from repro.protocols.parties.setsofsets import cascading_parties, context_for
+    from repro.protocols.session import run_session
 
-
-def _reconcile_cascading_body(
-    alice: SetOfSets,
-    bob: SetOfSets,
-    difference_bound: int,
-    universe_size: int,
-    max_child_size: int,
-    seed: int,
-    differing_children_bound: int | None,
-    child_hash_bits: int,
-    num_hashes: int,
-    backend: str | None,
-    level_slack: float,
-    transcript: Transcript,
-) -> ReconciliationResult:
-    difference_bound = max(1, difference_bound)
-    d_hat = (
-        differing_children_bound
-        if differing_children_bound is not None
-        else min(difference_bound, max(1, max(alice.num_children, bob.num_children)))
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        max_child_size=max_child_size,
+        differing_children_bound=differing_children_bound,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        backend=backend,
+        level_slack=level_slack,
     )
-
-    cascade_limit = max(2, min(difference_bound, max_child_size))
-    num_levels = max(1, math.ceil(math.log2(cascade_limit)))
-    include_t_star = difference_bound >= max_child_size
-
-    # ---- Alice: build every level table (and T*) and send them all at once.
-    schemes = [
-        _level_child_scheme(level, universe_size, seed, child_hash_bits)
-        for level in range(1, num_levels + 1)
-    ]
-    level_tables: list[IBLT] = []
-    for level, scheme in zip(range(1, num_levels + 1), schemes):
-        parent_params = IBLTParameters.for_difference(
-            _parent_capacity(level, difference_bound, d_hat, level_slack),
-            scheme.key_bits,
-            derive_seed(seed, "cascade-parent", level),
-            num_hashes,
-        )
-        table = IBLT(parent_params, backend=backend)
-        table.insert_batch(scheme.encode_all(alice, backend=backend))
-        level_tables.append(table)
-
-    explicit_scheme = ExplicitChildScheme(universe_size, max_child_size)
-    t_star: IBLT | None = None
-    if include_t_star:
-        t_star_params = IBLTParameters.for_difference(
-            max(2, math.ceil(level_slack * difference_bound / max_child_size)),
-            explicit_scheme.key_bits,
-            derive_seed(seed, "cascade-t-star"),
-            num_hashes,
-        )
-        t_star = IBLT(t_star_params, backend=backend)
-        t_star.insert_batch(explicit_scheme.encode(child) for child in alice)
-
-    verification = parent_hash(alice, seed)
-    total_bits = sum(table.size_bits for table in level_tables) + WORD_BITS
-    if t_star is not None:
-        total_bits += t_star.size_bits
-    transcript.send(
-        "alice",
-        "cascading level tables",
-        total_bits,
-        payload=(level_tables, t_star, verification),
-    )
-
-    # ---- Bob: process the levels in order.
-    bob_children = bob.sorted_children()
-    recovered_children: set[frozenset[int]] = set()   # D_A
-    differing_bob: set[frozenset[int]] = set()        # D_B
-
-    for level_index, (scheme, alice_table) in enumerate(zip(schemes, level_tables)):
-        level = level_index + 1
-        work = alice_table.copy()
-        # All of Bob's encodings (and the already-recovered children's) are
-        # batch-built for this level's scheme in one flat pass each.
-        bob_keys = scheme.encode_all(bob_children, backend=backend)
-        encoding_to_child = dict(zip(bob_keys, bob_children))
-        deletions = [
-            key
-            for key, child in zip(bob_keys, bob_children)
-            if level == 1 or child not in differing_bob
-        ]
-        if recovered_children:
-            deletions.extend(
-                scheme.encode_all(
-                    sorted(recovered_children, key=sorted), backend=backend
-                )
-            )
-        work.delete_batch(deletions)
-        decode = work.try_decode()  # partial results are still useful on failure
-
-        for key in decode.negative:
-            child = encoding_to_child.get(key)
-            if child is not None:
-                differing_bob.add(child)
-        candidates = sorted(differing_bob, key=sorted)
-        candidate_tables = ChildTableCache(scheme, backend=backend)
-        if decode.positive:
-            candidate_tables.add_children(candidates)
-        for key in decode.positive:
-            recovered = _recover_against(
-                scheme, key, candidates, candidate_tables, backend=backend
-            )
-            if recovered is not None:
-                recovered_children.add(recovered)
-
-    if t_star is not None:
-        work = t_star.copy()
-        # Children in D_B stay in the table so only Alice's unrecovered
-        # children remain to extract (keeps T* within its O(d/h) budget).
-        deletions = [
-            explicit_scheme.encode(child)
-            for child in bob_children
-            if child not in differing_bob
-        ]
-        deletions.extend(explicit_scheme.encode(child) for child in recovered_children)
-        work.delete_batch(deletions)
-        decode = work.try_decode()
-        for key in decode.positive:
-            recovered_children.add(explicit_scheme.decode(key))
-        for key in decode.negative:
-            decoded = explicit_scheme.decode(key)
-            if decoded in bob.children:
-                differing_bob.add(decoded)
-
-    reconstruction = bob.replace_children(differing_bob, recovered_children)
-    verified = parent_hash(reconstruction, seed) == verification
-    return ReconciliationResult(
-        verified,
-        reconstruction if verified else None,
-        transcript,
-        details={
-            "num_levels": num_levels,
-            "used_t_star": include_t_star,
-            "recovered_children": len(recovered_children),
-            "differing_bob_children": len(differing_bob),
-            "failure": None if verified else "verification-hash",
-        },
+    alice_party, bob_party = cascading_parties(alice, bob, difference_bound, ctx)
+    return run_session(
+        alice_party, bob_party, transcript=transcript, field_kernel=field_kernel
     )
 
 
@@ -315,40 +107,21 @@ def reconcile_cascading_unknown(
     the final doubling is clamped to ``max_bound`` so the largest permitted
     bound is always attempted.
     """
-    if max_bound is None:
-        max_bound = 2 * max(1, alice.total_elements + bob.total_elements)
-    transcript = Transcript()
-    bound = max(1, initial_bound)
-    attempts = 0
-    while bound <= max_bound:
-        attempts += 1
-        attempt_seed = derive_seed(seed, "cascade-doubling", attempts)
-        result = reconcile_cascading(
-            alice,
-            bob,
-            bound,
-            universe_size,
-            max_child_size,
-            attempt_seed,
-            child_hash_bits=child_hash_bits,
-            num_hashes=num_hashes,
-            backend=backend,
-            field_kernel=field_kernel,
-            level_slack=level_slack,
-            transcript=transcript,
-        )
-        if result.success:
-            result.attempts = attempts
-            result.details["final_difference_bound"] = bound
-            return result
-        transcript.send("bob", "retry request", WORD_BITS)
-        if bound >= max_bound:
-            break
-        bound = min(2 * bound, max_bound)
-    return ReconciliationResult(
-        False,
-        None,
-        transcript,
-        attempts=attempts,
-        details={"failure": "exceeded-max-bound", "max_bound": max_bound},
+    from repro.protocols.parties.setsofsets import cascading_parties, context_for
+    from repro.protocols.session import run_session
+
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        max_child_size=max_child_size,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        backend=backend,
+        level_slack=level_slack,
     )
+    alice_party, bob_party = cascading_parties(
+        alice, bob, None, ctx, initial_bound=initial_bound, max_bound=max_bound
+    )
+    return run_session(alice_party, bob_party, field_kernel=field_kernel)

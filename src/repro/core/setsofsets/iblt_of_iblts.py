@@ -10,67 +10,15 @@ children as the naive protocol does.
 Communication: ``O(d_hat * d log u + d_hat log s)`` bits, one round.
 Computation: ``O(n + d_hat^2 d)``.
 The unknown-``d`` variant retries with doubled bounds (Corollary 3.6).
+
+The protocol logic lives in :mod:`repro.protocols.parties.setsofsets`; the
+functions here are the backward-compatible entry points (in-memory session).
 """
 
 from __future__ import annotations
 
-from repro.comm import ReconciliationResult, Transcript, WORD_BITS
-from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.core.setsofsets.encoding import (
-    ChildEncodingScheme,
-    ChildTableCache,
-    parent_hash,
-)
+from repro.comm import ReconciliationResult, Transcript
 from repro.core.setsofsets.types import SetOfSets
-from repro.errors import ParameterError
-from repro.hashing import derive_seed
-from repro.iblt import IBLT, IBLTParameters
-
-
-def _child_scheme(
-    difference_bound: int,
-    universe_size: int,
-    seed: int,
-    child_hash_bits: int,
-    level: object = "flat",
-) -> ChildEncodingScheme:
-    """Child-IBLT encoding scheme shared by both parties."""
-    child_params = IBLTParameters.for_difference(
-        max(1, difference_bound),
-        max_element_bits(universe_size),
-        derive_seed(seed, "child-iblt", level),
-        num_hashes=3,
-        checksum_bits=24,
-        count_bits=16,
-    )
-    return ChildEncodingScheme(child_params, child_hash_bits, derive_seed(seed, "child-hash"))
-
-
-def _recover_child(
-    scheme: ChildEncodingScheme,
-    alice_key: int,
-    candidate_children: list[frozenset[int]],
-    candidate_tables: ChildTableCache,
-    backend: str | None = None,
-) -> frozenset[int] | None:
-    """Try to decode one of Alice's child encodings against candidate children.
-
-    Returns Alice's recovered child set, or ``None`` if no candidate decodes
-    to a set matching the encoding's hash.  Candidate tables come from the
-    per-reconcile cache, so each candidate's table is built exactly once no
-    matter how many of Alice's keys it is tried against.
-    """
-    alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
-    for candidate in candidate_children:
-        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
-        if not decode.success:
-            continue
-        recovered = frozenset(
-            apply_difference(candidate, decode.positive, decode.negative)
-        )
-        if scheme.hash_of(recovered) == alice_hash:
-            return recovered
-    return None
 
 
 def reconcile_iblt_of_iblts(
@@ -114,102 +62,22 @@ def reconcile_iblt_of_iblts(
         differing children is retried against his remaining children.  This
         covers the relaxed difference model at extra (local) computation.
     """
-    if difference_bound < 0:
-        raise ParameterError("difference_bound must be non-negative")
-    transcript = transcript if transcript is not None else Transcript()
-    d_hat = (
-        differing_children_bound
-        if differing_children_bound is not None
-        else max(1, difference_bound)
+    from repro.protocols.parties.setsofsets import context_for, iblt_of_iblts_parties
+    from repro.protocols.session import run_session
+
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        differing_children_bound=differing_children_bound,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        backend=backend,
+        fallback_to_all_children=fallback_to_all_children,
     )
-
-    scheme = _child_scheme(difference_bound, universe_size, seed, child_hash_bits)
-    # Up to 2 * d_hat child encodings (one per side of each differing pair)
-    # can remain in the parent table, so size it accordingly.
-    parent_params = IBLTParameters.for_difference(
-        2 * max(1, d_hat),
-        scheme.key_bits,
-        derive_seed(seed, "parent-iblt"),
-        num_hashes,
-    )
-
-    # Alice encodes every child and transmits the parent table (batch insert).
-    alice_table = IBLT(parent_params, backend=backend)
-    alice_table.insert_batch(scheme.encode_all(alice, backend=backend))
-    verification = parent_hash(alice, seed)
-    transcript.send(
-        "alice",
-        "parent IBLT of child encodings",
-        alice_table.size_bits + WORD_BITS,
-        payload=(alice_table, verification),
-    )
-
-    # Bob removes his encodings (batch-built, one flat pass) and decodes the
-    # differing ones.
-    bob_children = bob.sorted_children()
-    bob_encoding_to_child = dict(
-        zip(scheme.encode_all(bob_children, backend=backend), bob_children)
-    )
-    difference_table = alice_table.copy()
-    difference_table.delete_batch(list(bob_encoding_to_child))
-    decode = difference_table.try_decode()
-    if not decode.success:
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "parent-iblt-peel"}
-        )
-
-    differing_bob_children = [
-        bob_encoding_to_child[key]
-        for key in decode.negative
-        if key in bob_encoding_to_child
-    ]
-    if len(differing_bob_children) != len(decode.negative):
-        # A negative key we never inserted: checksum corruption in the parent.
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "parent-checksum"}
-        )
-
-    other_children = (
-        [child for child in bob_children if child not in set(differing_bob_children)]
-        if fallback_to_all_children
-        else []
-    )
-
-    # Candidate child tables are built once per reconcile call and shared
-    # across every one of Alice's keys; the fallback candidates are only
-    # built if some encoding actually needs them.
-    candidate_tables = ChildTableCache(scheme, backend=backend)
-    if decode.positive:
-        candidate_tables.add_children(differing_bob_children)
-
-    recovered_children: list[frozenset[int]] = []
-    for alice_key in decode.positive:
-        recovered = _recover_child(
-            scheme, alice_key, differing_bob_children, candidate_tables,
-            backend=backend,
-        )
-        if recovered is None and fallback_to_all_children:
-            candidate_tables.add_children(other_children)
-            recovered = _recover_child(
-                scheme, alice_key, other_children, candidate_tables, backend=backend
-            )
-        if recovered is None:
-            return ReconciliationResult(
-                False, None, transcript, details={"failure": "child-iblt-decode"}
-            )
-        recovered_children.append(recovered)
-
-    reconstruction = bob.replace_children(differing_bob_children, recovered_children)
-    verified = parent_hash(reconstruction, seed) == verification
-    return ReconciliationResult(
-        verified,
-        reconstruction if verified else None,
-        transcript,
-        details={
-            "differing_children_found": len(decode.positive) + len(decode.negative),
-            "failure": None if verified else "verification-hash",
-        },
-    )
+    alice_party, bob_party = iblt_of_iblts_parties(alice, bob, difference_bound, ctx)
+    return run_session(alice_party, bob_party, transcript=transcript)
 
 
 def reconcile_iblt_of_iblts_unknown(
@@ -233,37 +101,19 @@ def reconcile_iblt_of_iblts_unknown(
     largest permitted bound is always attempted (a true ``d`` between the
     last power of two and ``max_bound`` would otherwise never be tried).
     """
-    if max_bound is None:
-        max_bound = 2 * max(1, alice.total_elements + bob.total_elements)
-    transcript = Transcript()
-    bound = max(1, initial_bound)
-    attempts = 0
-    while bound <= max_bound:
-        attempts += 1
-        attempt_seed = derive_seed(seed, "doubling", attempts)
-        result = reconcile_iblt_of_iblts(
-            alice,
-            bob,
-            bound,
-            universe_size,
-            attempt_seed,
-            child_hash_bits=child_hash_bits,
-            num_hashes=num_hashes,
-            backend=backend,
-            transcript=transcript,
-        )
-        if result.success:
-            result.attempts = attempts
-            result.details["final_difference_bound"] = bound
-            return result
-        transcript.send("bob", "retry request", WORD_BITS)
-        if bound >= max_bound:
-            break
-        bound = min(2 * bound, max_bound)
-    return ReconciliationResult(
-        False,
-        None,
-        transcript,
-        attempts=attempts,
-        details={"failure": "exceeded-max-bound", "max_bound": max_bound},
+    from repro.protocols.parties.setsofsets import context_for, iblt_of_iblts_parties
+    from repro.protocols.session import run_session
+
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        backend=backend,
     )
+    alice_party, bob_party = iblt_of_iblts_parties(
+        alice, bob, None, ctx, initial_bound=initial_bound, max_bound=max_bound
+    )
+    return run_session(alice_party, bob_party)

@@ -18,64 +18,19 @@ extra rounds to learn *which* children differ and *by how much*:
 The unknown-``d`` variant (Theorem 3.10) prepends one more message: Bob
 sends a difference estimator over the child hashes so Alice can size the
 hash IBLT, giving 4 rounds in total.
+
+The protocol logic lives in :mod:`repro.protocols.parties.setsofsets`; the
+functions here are the backward-compatible entry points (in-memory session).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Callable
 
-from repro.comm import ReconciliationResult, Transcript, WORD_BITS
-from repro.core.setrecon.cpi import CPIMessage, cpi_decode, cpi_encode
-from repro.core.setrecon.difference import apply_difference, max_element_bits
-from repro.core.setsofsets.encoding import (
-    child_set_hash,
-    child_set_hash_many,
-    parent_hash,
-)
+from repro.comm import ReconciliationResult, Transcript
 from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
-from repro.estimator import L0Estimator, SetDifferenceEstimator
-from repro.hashing import derive_seed
-from repro.iblt import IBLT, IBLTParameters
-
-
-@dataclass(frozen=True)
-class _ChildPayload:
-    """One per-child payload of Alice's final message."""
-
-    target_hash: int          # hash of Bob's child to decode against
-    own_hash: int             # hash of Alice's child (verification)
-    iblt: IBLT | None         # used when the estimated difference is large
-    cpi: CPIMessage | None    # used when the estimated difference is small
-
-    def size_bits(self, hash_bits: int) -> int:
-        payload = self.iblt.size_bits if self.iblt is not None else self.cpi.size_bits
-        return 2 * hash_bits + payload
-
-
-def _default_estimator_factory(max_child_size: int) -> Callable[[int], SetDifferenceEstimator]:
-    """Small per-child estimators: O(log h) levels of a handful of buckets."""
-    levels = max(4, max_child_size.bit_length() + 2)
-
-    def factory(seed: int) -> SetDifferenceEstimator:
-        return L0Estimator(seed, num_levels=levels, buckets_per_level=32)
-
-    return factory
-
-
-def _hash_iblt_params(d_hat: int, hash_bits: int, seed: int, num_hashes: int) -> IBLTParameters:
-    # Up to 2 * d_hat child hashes (one per side of each differing pair) can
-    # remain after Bob subtracts his own hashes, so size for that.
-    return IBLTParameters.for_difference(
-        2 * max(1, d_hat),
-        hash_bits,
-        derive_seed(seed, "multiround-hash-iblt"),
-        num_hashes,
-        checksum_bits=24,
-        count_bits=16,
-    )
+from repro.estimator import SetDifferenceEstimator
 
 
 def reconcile_multiround(
@@ -124,169 +79,27 @@ def reconcile_multiround(
     """
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
-    transcript = transcript if transcript is not None else Transcript()
-    difference_bound = max(1, difference_bound)
-    d_hat = (
-        differing_children_bound
-        if differing_children_bound is not None
-        else min(difference_bound, max(1, max(alice.num_children, bob.num_children)))
+    from repro.protocols.parties.setsofsets import context_for, multiround_parties
+    from repro.protocols.session import run_session
+
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        max_child_size=max_child_size,
+        differing_children_bound=differing_children_bound,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        backend=backend,
+        field_kernel=field_kernel,
+        estimator_factory=estimator_factory,
+        estimate_safety=estimate_safety,
     )
-    if estimator_factory is None:
-        estimator_factory = _default_estimator_factory(max(1, max_child_size))
-    hash_seed = derive_seed(seed, "child-hash")
-    estimator_seed = derive_seed(seed, "multiround-child-estimator")
-    element_bits = max_element_bits(universe_size)
-
-    def hash_of(child) -> int:
-        return child_set_hash(child, hash_seed, child_hash_bits)
-
-    # ---- Round 1: Alice sends the IBLT of her child hashes (one batch; the
-    # hashes of each whole parent set are computed in one batched pass).
-    hash_params = _hash_iblt_params(d_hat, child_hash_bits, seed, num_hashes)
-    alice_hash_table = IBLT(hash_params, backend=backend)
-    alice_children = alice.sorted_children()
-    alice_hashes = child_set_hash_many(alice_children, hash_seed, child_hash_bits)
-    alice_hash_to_child = dict(zip(alice_hashes, alice_children))
-    alice_child_to_hash = dict(zip(alice_children, alice_hashes))
-    alice_hash_table.insert_batch(list(alice_hash_to_child))
-    verification = parent_hash(alice, seed)
-    transcript.send(
-        "alice",
-        "child-hash IBLT",
-        alice_hash_table.size_bits + WORD_BITS,
-        payload=(alice_hash_table, verification),
+    alice_party, bob_party = multiround_parties(
+        alice, bob, max(1, difference_bound), ctx
     )
-
-    # ---- Round 2: Bob replies with his hash IBLT and per-child estimators.
-    bob_hash_table = IBLT(hash_params, backend=backend)
-    bob_children = bob.sorted_children()
-    bob_hashes = child_set_hash_many(bob_children, hash_seed, child_hash_bits)
-    bob_hash_to_child = dict(zip(bob_hashes, bob_children))
-    bob_child_to_hash = dict(zip(bob_children, bob_hashes))
-    bob_hash_table.insert_batch(list(bob_hash_to_child))
-    hash_difference = alice_hash_table.subtract(bob_hash_table)
-    hash_decode = hash_difference.try_decode()
-    if not hash_decode.success:
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "hash-iblt-peel"}
-        )
-    bob_differing = [
-        bob_hash_to_child[h] for h in hash_decode.negative if h in bob_hash_to_child
-    ]
-    bob_estimators: list[tuple[int, SetDifferenceEstimator]] = []
-    for child in bob_differing:
-        estimator = estimator_factory(estimator_seed)
-        estimator.update_all(child, 1)
-        bob_estimators.append((bob_child_to_hash[child], estimator))
-    round2_bits = bob_hash_table.size_bits + sum(
-        child_hash_bits + estimator.size_bits for _, estimator in bob_estimators
-    )
-    transcript.send(
-        "bob",
-        "hash IBLT + child estimators",
-        round2_bits,
-        payload=(bob_hash_table, bob_estimators),
-    )
-
-    # ---- Round 3: Alice matches children and sends per-child payloads.
-    alice_differing = [
-        alice_hash_to_child[h] for h in hash_decode.positive if h in alice_hash_to_child
-    ]
-    if len(alice_differing) != len(hash_decode.positive):
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "hash-collision"}
-        )
-    cpi_threshold = math.isqrt(difference_bound)
-    payloads: list[_ChildPayload] = []
-    for child in alice_differing:
-        alice_estimator = estimator_factory(estimator_seed)
-        alice_estimator.update_all(child, 2)
-        best_hash = None
-        best_estimate = None
-        for bob_hash, bob_estimator in bob_estimators:
-            estimate = bob_estimator.merge(alice_estimator).query()
-            if best_estimate is None or estimate < best_estimate:
-                best_estimate = estimate
-                best_hash = bob_hash
-        if best_hash is None:
-            # Bob reported no differing children at all; send the child
-            # explicitly via a CPI message against the empty set.
-            best_hash = 0
-            best_estimate = len(child)
-        bound = max(1, int(math.ceil(estimate_safety * best_estimate)) + 1)
-        bound = min(bound, 2 * max_child_size) if max_child_size else bound
-        own_hash = alice_child_to_hash[child]
-        if best_estimate >= cpi_threshold:
-            child_params = IBLTParameters.for_difference(
-                bound,
-                element_bits,
-                derive_seed(seed, "multiround-child-iblt", own_hash),
-                num_hashes=3,
-                checksum_bits=24,
-            )
-            payloads.append(
-                _ChildPayload(
-                    best_hash,
-                    own_hash,
-                    IBLT.from_items(child_params, child, backend=backend),
-                    None,
-                )
-            )
-        else:
-            payloads.append(
-                _ChildPayload(
-                    best_hash,
-                    own_hash,
-                    None,
-                    cpi_encode(
-                        child, bound, universe_size, field_kernel=field_kernel
-                    ),
-                )
-            )
-    round3_bits = sum(payload.size_bits(child_hash_bits) for payload in payloads)
-    transcript.send("alice", "per-child payloads", round3_bits, payload=payloads)
-
-    # ---- Bob recovers Alice's children.
-    recovered_children: list[frozenset[int]] = []
-    for payload in payloads:
-        base_child = bob_hash_to_child.get(payload.target_hash, frozenset())
-        recovered: frozenset[int] | None = None
-        if payload.iblt is not None:
-            base_table = IBLT.from_items(payload.iblt.params, base_child, backend=backend)
-            decode = payload.iblt.subtract(base_table).try_decode()
-            if decode.success:
-                recovered = frozenset(
-                    apply_difference(base_child, decode.positive, decode.negative)
-                )
-        else:
-            success, result = cpi_decode(
-                payload.cpi,
-                set(base_child),
-                universe_size,
-                seed,
-                field_kernel=field_kernel,
-            )
-            if success:
-                recovered = frozenset(result)
-        if recovered is None or hash_of(recovered) != payload.own_hash:
-            return ReconciliationResult(
-                False, None, transcript, details={"failure": "child-recovery"}
-            )
-        recovered_children.append(recovered)
-
-    reconstruction = bob.replace_children(bob_differing, recovered_children)
-    verified = parent_hash(reconstruction, seed) == verification
-    return ReconciliationResult(
-        verified,
-        reconstruction if verified else None,
-        transcript,
-        details={
-            "differing_children_found": len(alice_differing) + len(bob_differing),
-            "cpi_payloads": sum(1 for p in payloads if p.cpi is not None),
-            "iblt_payloads": sum(1 for p in payloads if p.iblt is not None),
-            "failure": None if verified else "verification-hash",
-        },
-    )
+    return run_session(alice_party, bob_party, transcript=transcript)
 
 
 def reconcile_multiround_unknown(
@@ -311,44 +124,47 @@ def reconcile_multiround_unknown(
     and as a stand-in for ``d`` (scaled by ``max_child_size``) when choosing
     the IBLT-vs-CPI threshold.
     """
-    if hash_estimator_factory is None:
-        hash_estimator_factory = L0Estimator
-    transcript = Transcript()
-    hash_seed = derive_seed(seed, "child-hash")
-    estimator_seed = derive_seed(seed, "multiround-dhat-estimator")
+    from repro.protocols.parties.setsofsets import context_for, multiround_parties
+    from repro.protocols.session import run_session
 
-    bob_estimator = hash_estimator_factory(estimator_seed)
-    bob_estimator.update_all(
-        (child_set_hash(child, hash_seed, child_hash_bits) for child in bob), 1
-    )
-    transcript.send(
-        "bob", "child-hash estimator", bob_estimator.size_bits, payload=bob_estimator
-    )
+    if hash_estimator_factory is not None:
+        # Custom hash estimators restrict the session to the in-memory
+        # transport (the wire codec serializes the default L0 shape).
+        from repro.protocols.parties import setsofsets as _parties
 
-    alice_estimator = hash_estimator_factory(estimator_seed)
-    alice_estimator.update_all(
-        (child_set_hash(child, hash_seed, child_hash_bits) for child in alice), 2
-    )
-    estimated_d_hat = bob_estimator.merge(alice_estimator).query()
-    d_hat = max(1, int(round(estimate_safety * estimated_d_hat)) + 1)
-    pseudo_d = max(1, d_hat * max(1, max_child_size) // 4)
+        ctx = context_for(
+            alice,
+            bob,
+            universe_size,
+            seed,
+            max_child_size=max_child_size,
+            child_hash_bits=child_hash_bits,
+            num_hashes=num_hashes,
+            backend=backend,
+            field_kernel=field_kernel,
+            estimator_factory=estimator_factory,
+            estimate_safety=estimate_safety,
+        )
+        alice_party = _parties.multiround_alice_unknown(
+            alice, ctx, hash_estimator_factory=hash_estimator_factory
+        )
+        bob_party = _parties.multiround_bob_unknown(
+            bob, ctx, hash_estimator_factory=hash_estimator_factory
+        )
+        return run_session(alice_party, bob_party)
 
-    result = reconcile_multiround(
+    ctx = context_for(
         alice,
         bob,
-        pseudo_d,
         universe_size,
-        max_child_size,
         seed,
-        differing_children_bound=d_hat,
+        max_child_size=max_child_size,
         child_hash_bits=child_hash_bits,
         num_hashes=num_hashes,
         backend=backend,
         field_kernel=field_kernel,
         estimator_factory=estimator_factory,
         estimate_safety=estimate_safety,
-        transcript=transcript,
     )
-    result.details["estimated_differing_children"] = estimated_d_hat
-    result.details["differing_children_bound_used"] = d_hat
-    return result
+    alice_party, bob_party = multiround_parties(alice, bob, None, ctx)
+    return run_session(alice_party, bob_party)

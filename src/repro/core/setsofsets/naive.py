@@ -6,19 +6,18 @@ item from the universe of all possible child sets (of size ``O(min(u^h,
 ``O(d_hat * min(h log u, u))`` -- excellent when child sets are tiny, but it
 resends whole child sets even when only one element changed, which is what
 the structured protocols of Sections 3.2-3.3 fix.
+
+The protocol logic lives in :mod:`repro.protocols.parties.setsofsets`; the
+functions here are the backward-compatible entry points (in-memory session).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.comm import ReconciliationResult, Transcript, WORD_BITS
-from repro.core.setsofsets.encoding import ExplicitChildScheme, parent_hash
+from repro.comm import ReconciliationResult, Transcript
 from repro.core.setsofsets.types import SetOfSets
-from repro.errors import ParameterError
-from repro.estimator import L0Estimator, SetDifferenceEstimator
-from repro.hashing import SeededHasher, derive_seed
-from repro.iblt import IBLT, IBLTParameters
+from repro.estimator import SetDifferenceEstimator
 
 
 def reconcile_naive(
@@ -47,49 +46,20 @@ def reconcile_naive(
     seed:
         Shared seed.
     """
-    if differing_children_bound < 0:
-        raise ParameterError("differing_children_bound must be non-negative")
-    transcript = transcript if transcript is not None else Transcript()
-    scheme = ExplicitChildScheme(universe_size, max_child_size)
-    # A bound of d_hat differing child *pairs* can put up to 2 * d_hat child
-    # encodings (one per side) into the difference table, so size for that.
-    params = IBLTParameters.for_difference(
-        2 * max(1, differing_children_bound),
-        scheme.key_bits,
-        derive_seed(seed, "naive-parent"),
-        num_hashes,
-    )
+    from repro.protocols.parties.setsofsets import context_for, naive_parties
+    from repro.protocols.session import run_session
 
-    alice_table = IBLT(params, backend=backend)
-    alice_table.insert_batch(scheme.encode(child) for child in alice)
-    verification = parent_hash(alice, seed)
-    transcript.send(
-        "alice",
-        "naive parent IBLT",
-        alice_table.size_bits + WORD_BITS,
-        payload=(alice_table, verification),
+    ctx = context_for(
+        alice,
+        bob,
+        universe_size,
+        seed,
+        max_child_size=max_child_size,
+        num_hashes=num_hashes,
+        backend=backend,
     )
-
-    difference = alice_table.copy()
-    difference.delete_batch(scheme.encode(child) for child in bob)
-    decode = difference.try_decode()
-    if not decode.success:
-        return ReconciliationResult(
-            False, None, transcript, details={"failure": "parent-iblt-peel"}
-        )
-    alice_only = [scheme.decode(key) for key in decode.positive]
-    bob_only = [scheme.decode(key) for key in decode.negative]
-    recovered = bob.replace_children(bob_only, alice_only)
-    verified = parent_hash(recovered, seed) == verification
-    return ReconciliationResult(
-        verified,
-        recovered if verified else None,
-        transcript,
-        details={
-            "differing_children_found": len(alice_only) + len(bob_only),
-            "failure": None if verified else "verification-hash",
-        },
-    )
+    alice_party, bob_party = naive_parties(alice, bob, differing_children_bound, ctx)
+    return run_session(alice_party, bob_party, transcript=transcript)
 
 
 def reconcile_naive_unknown(
@@ -110,37 +80,19 @@ def reconcile_naive_unknown(
     Alice estimates the number of differing children and runs the known
     bound protocol with a safety margin.
     """
-    if estimator_factory is None:
-        estimator_factory = L0Estimator
-    transcript = Transcript()
-    estimator_seed = derive_seed(seed, "naive-estimator")
-    hasher = SeededHasher(derive_seed(seed, "naive-child-id"), 64)
+    from repro.protocols.parties.setsofsets import context_for, naive_parties
+    from repro.protocols.session import run_session
 
-    def child_id(child) -> int:
-        return hasher.hash_iterable(sorted(child)) ^ hasher.hash_int(len(child))
-
-    bob_estimator = estimator_factory(estimator_seed)
-    bob_estimator.update_all((child_id(child) for child in bob), 1)
-    transcript.send(
-        "bob", "child-count estimator", bob_estimator.size_bits, payload=bob_estimator
-    )
-
-    alice_estimator = estimator_factory(estimator_seed)
-    alice_estimator.update_all((child_id(child) for child in alice), 2)
-    estimate = bob_estimator.merge(alice_estimator).query()
-    bound = max(1, int(round(safety_factor * estimate)) + 1)
-
-    result = reconcile_naive(
+    ctx = context_for(
         alice,
         bob,
-        bound,
         universe_size,
-        max_child_size,
         seed,
+        max_child_size=max_child_size,
         num_hashes=num_hashes,
         backend=backend,
-        transcript=transcript,
+        estimator_factory=estimator_factory,
+        safety_factor=safety_factor,
     )
-    result.details["estimated_differing_children"] = estimate
-    result.details["differing_children_bound_used"] = bound
-    return result
+    alice_party, bob_party = naive_parties(alice, bob, None, ctx)
+    return run_session(alice_party, bob_party)

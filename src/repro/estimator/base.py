@@ -37,6 +37,22 @@ class SetDifferenceEstimator(ABC):
     def size_bits(self) -> int:
         """Serialized size in bits, used for communication accounting."""
 
+    # -- wire serialization ----------------------------------------------------------
+
+    def write_wire(self, writer) -> None:
+        """Append the transmitted state to a :class:`~repro.comm.bits.BitWriter`.
+
+        Exactly :attr:`size_bits` bits are written -- the estimator's
+        configuration (seed, shape) is shared knowledge and is *not*
+        serialized, matching how protocols charge for estimator payloads.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support wire serialization")
+
+    def read_wire(self, reader) -> None:
+        """Fill this (freshly constructed, empty) estimator from a
+        :class:`~repro.comm.bits.BitReader` (inverse of :meth:`write_wire`)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support wire serialization")
+
     # -- convenience helpers shared by implementations ------------------------------
 
     def _validate_side(self, side: int) -> None:

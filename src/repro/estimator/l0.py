@@ -128,3 +128,13 @@ class L0Estimator(SetDifferenceEstimator):
     def size_bits(self) -> int:
         # Two bits per counter; that is the whole transmitted payload.
         return 2 * self.num_levels * self.buckets_per_level
+
+    def write_wire(self, writer) -> None:
+        for counters in self._counters:
+            for value in counters:
+                writer.write(value, 2)
+
+    def read_wire(self, reader) -> None:
+        for counters in self._counters:
+            for bucket in range(self.buckets_per_level):
+                counters[bucket] = reader.read(2)

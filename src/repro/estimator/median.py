@@ -82,3 +82,11 @@ class MedianEstimator(SetDifferenceEstimator):
     @property
     def size_bits(self) -> int:
         return sum(replica.size_bits for replica in self._replicas)
+
+    def write_wire(self, writer) -> None:
+        for replica in self._replicas:
+            replica.write_wire(writer)
+
+    def read_wire(self, reader) -> None:
+        for replica in self._replicas:
+            replica.read_wire(reader)

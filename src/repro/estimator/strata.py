@@ -142,3 +142,13 @@ class StrataEstimator(SetDifferenceEstimator):
     @property
     def size_bits(self) -> int:
         return sum(stratum.size_bits for stratum in self._strata)
+
+    def write_wire(self, writer) -> None:
+        for stratum in self._strata:
+            writer.write(stratum.serialize(), stratum.size_bits)
+
+    def read_wire(self, reader) -> None:
+        self._strata = [
+            IBLT.deserialize(stratum.params, reader.read(stratum.size_bits))
+            for stratum in self._strata
+        ]

@@ -12,13 +12,9 @@ schemes are compared against.
 
 from __future__ import annotations
 
-import random
 from itertools import combinations
 
-from repro.comm import ReconciliationResult, Transcript
-from repro.comm.sizing import bits_for_value
-from repro.errors import ParameterError
-from repro.field.prime import prime_at_least
+from repro.comm import ReconciliationResult
 from repro.graphs.graph import Graph
 from repro.graphs.isomorphism import (
     MAX_BRUTE_FORCE_VERTICES,
@@ -62,40 +58,13 @@ def reconcile_exhaustive(
     ``recovered`` is a graph isomorphic to Alice's obtained by changing at
     most ``difference_bound`` edges of Bob's graph.  Only feasible for
     ``n <= 9`` and small ``d`` because Bob enumerates ``O(n^{2d})`` graphs and
-    canonicalises each by brute force.
+    canonicalises each by brute force.  Thin wrapper over the party state
+    machines of :mod:`repro.protocols.parties.graphs` (in-memory session).
     """
-    if alice.num_vertices != bob.num_vertices:
-        raise ParameterError("graph reconciliation requires equal vertex counts")
-    n = alice.num_vertices
-    if n > MAX_BRUTE_FORCE_VERTICES:
-        raise ParameterError(
-            f"exhaustive reconciliation is limited to {MAX_BRUTE_FORCE_VERTICES} vertices"
-        )
-    if difference_bound < 0:
-        raise ParameterError("difference_bound must be non-negative")
-    if prime is None:
-        # q = n^{2d+3} as in the proof of Theorem 4.3 (with a small floor).
-        prime = prime_at_least(max(17, n ** (2 * difference_bound + 3)))
+    from repro.protocols.parties.graphs import exhaustive_parties
+    from repro.protocols.session import run_session
 
-    transcript = Transcript()
-    rng = random.Random(seed)
-    point = rng.randrange(prime)
-    evaluation = _canonical_evaluation(alice, point, prime)
-    transcript.send(
-        "alice",
-        "canonical-form fingerprint",
-        2 * bits_for_value(prime - 1),
-        payload=(point, evaluation),
+    alice_party, bob_party = exhaustive_parties(
+        alice, bob, difference_bound, seed, prime=prime
     )
-
-    for candidate in _graphs_within_changes(bob, difference_bound):
-        if _canonical_evaluation(candidate, point, prime) == evaluation:
-            return ReconciliationResult(
-                True,
-                candidate,
-                transcript,
-                details={"prime": prime},
-            )
-    return ReconciliationResult(
-        False, None, transcript, details={"failure": "no-candidate-matched", "prime": prime}
-    )
+    return run_session(alice_party, bob_party)

@@ -9,8 +9,6 @@ the labelings.
 from __future__ import annotations
 
 from repro.comm import ReconciliationResult, Transcript
-from repro.core.setrecon import reconcile_known_d, reconcile_unknown_d
-from repro.errors import ParameterError
 from repro.graphs.graph import Graph
 
 
@@ -23,6 +21,9 @@ def reconcile_labeled_graphs(
     transcript: Transcript | None = None,
 ) -> ReconciliationResult:
     """Reconcile two graphs that share a vertex labeling.
+
+    Thin wrapper over the party state machines of
+    :mod:`repro.protocols.parties.graphs` (in-memory session).
 
     Parameters
     ----------
@@ -39,20 +40,8 @@ def reconcile_labeled_graphs(
     ReconciliationResult
         ``recovered`` is Alice's graph (as a :class:`Graph`).
     """
-    if alice.num_vertices != bob.num_vertices:
-        raise ParameterError("labeled reconciliation requires equal vertex counts")
-    universe = alice.edge_key_universe
-    if difference_bound is None:
-        result = reconcile_unknown_d(alice.edge_keys(), bob.edge_keys(), universe, seed)
-    else:
-        result = reconcile_known_d(
-            alice.edge_keys(),
-            bob.edge_keys(),
-            difference_bound,
-            universe,
-            seed,
-            transcript=transcript,
-        )
-    if result.success:
-        result.recovered = Graph.from_edge_keys(alice.num_vertices, result.recovered)
-    return result
+    from repro.protocols.parties.graphs import labeled_parties
+    from repro.protocols.session import run_session
+
+    alice_party, bob_party = labeled_parties(alice, bob, difference_bound, seed)
+    return run_session(alice_party, bob_party, transcript=transcript)

@@ -1,0 +1,83 @@
+"""First-class protocol sessions: parties, messages, transports, registry.
+
+This package turns every protocol in the library into an explicit two-party
+session:
+
+* :mod:`~repro.protocols.party` -- party state machines (generators yielding
+  :class:`Send` / :class:`Receive`) and their outcomes;
+* :mod:`~repro.protocols.wire` -- codecs that serialize every message payload
+  to bytes and back, tied to the transcript's bit accounting;
+* :mod:`~repro.protocols.transports` -- the transport seam: zero-copy
+  in-memory, serializing (accounting-verified), and real sockets;
+* :mod:`~repro.protocols.session` -- the session loop driving two parties;
+* :mod:`~repro.protocols.registry` -- the protocol registry and the uniform
+  :func:`repro.reconcile` entry point;
+* :mod:`~repro.protocols.parties` -- the party implementations of every
+  protocol (set reconciliation, the four SSRK protocols, the graph and
+  forest schemes, the applications).
+
+See docs/protocols.md for the design and the back-compat story.
+"""
+
+from repro.protocols.options import ReconcileOptions
+from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
+from repro.protocols.registry import (
+    Protocol,
+    get,
+    names,
+    reconcile,
+    register_protocol,
+    registry_table_markdown,
+    specs,
+)
+from repro.protocols.session import Session, SessionResult, run_session
+from repro.protocols.transports import (
+    InMemoryTransport,
+    MessageMeasurement,
+    SerializingTransport,
+    SocketTransport,
+    Transport,
+    run_party,
+)
+from repro.protocols.wire import (
+    NULL_CODEC,
+    EstimatorCodec,
+    NullCodec,
+    PayloadCodec,
+    TableCodec,
+    TableWithHashCodec,
+    WireAccountingError,
+    WireError,
+)
+
+__all__ = [
+    "ReconcileOptions",
+    "END_OF_SESSION",
+    "PartyOutcome",
+    "Receive",
+    "Send",
+    "Protocol",
+    "get",
+    "names",
+    "reconcile",
+    "register_protocol",
+    "registry_table_markdown",
+    "specs",
+    "Session",
+    "SessionResult",
+    "run_session",
+    "InMemoryTransport",
+    "MessageMeasurement",
+    "SerializingTransport",
+    "SocketTransport",
+    "Transport",
+    "run_party",
+    "NULL_CODEC",
+    "EstimatorCodec",
+    "NullCodec",
+    "PayloadCodec",
+    "TableCodec",
+    "TableWithHashCodec",
+    "WireAccountingError",
+    "WireError",
+]

@@ -1,0 +1,119 @@
+"""The consolidated options object shared by every protocol entry point.
+
+Before this layer existed each ``reconcile_*`` free function threaded its own
+ad-hoc keyword set (``seed``, ``backend=``, ``field_kernel=``, sizing knobs).
+:class:`ReconcileOptions` consolidates them: one frozen dataclass carries
+every cross-protocol parameter, and each protocol documents (in its
+:class:`~repro.protocols.registry.Protocol` descriptor) which fields it
+reads.  Fields irrelevant to a protocol are simply ignored.
+
+``difference_bound=None`` selects a protocol's unknown-``d`` variant (the
+estimator-based or repeated-doubling flavor); an integer selects the
+known-``d`` variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ReconcileOptions:
+    """Every tunable a registered protocol can consume.
+
+    Attributes
+    ----------
+    seed:
+        Shared seed (public coins).  Every protocol uses it.
+    difference_bound:
+        The bound ``d`` on the difference (elements, edges, or flipped bits,
+        depending on the protocol's input kind).  ``None`` runs the
+        unknown-``d`` variant where the protocol supports one.
+    universe_size:
+        Element universe size ``u`` (set and set-of-sets protocols).
+    max_child_size:
+        Child-set size bound ``h`` (set-of-sets protocols and those built on
+        them).  ``None`` lets protocols derive it from the inputs.
+    differing_children_bound:
+        Bound ``d_hat`` on differing children (set-of-sets protocols);
+        ``None`` uses each protocol's default.
+    backend:
+        IBLT cell-store backend name (see :mod:`repro.config`).
+    field_kernel:
+        GF(p) field kernel name (see :mod:`repro.field.kernels`).
+    num_hashes:
+        Parent-IBLT hash count.
+    child_hash_bits:
+        Width of per-child identification hashes.
+    safety_factor:
+        Multiplier applied to estimator queries in the two-round
+        unknown-``d`` protocols.
+    estimate_safety:
+        Multiplier applied to per-child difference estimates (multiround).
+    level_slack:
+        Cascading per-level capacity slack.
+    initial_bound, max_bound:
+        Repeated-doubling schedule (unknown-``d`` IBLT-of-IBLTs/cascading).
+    estimator_factory:
+        Factory ``seed -> SetDifferenceEstimator`` for estimator messages.
+        ``None`` uses each protocol's default (which is also the only factory
+        the wire codecs can serialize; custom factories restrict the session
+        to the in-memory transport).
+    num_top:
+        Degree-ordering parameter ``h`` (``degree_order``); ``None`` derives
+        a default from the vertex count.
+    max_degree:
+        Signature truncation threshold (``degree_neighborhood``); ``None``
+        derives it from the graphs' maximum degree.
+    max_depth:
+        Depth bound ``sigma`` (``forest``); ``None`` uses the forests' actual
+        depths.
+    signature_bits:
+        Signature hash width (``forest``).
+    fallback_to_all_children:
+        IBLT-of-IBLTs relaxed-model fallback (see Theorem 3.5 notes).
+    """
+
+    seed: int = 0
+    difference_bound: int | None = None
+    universe_size: int | None = None
+    max_child_size: int | None = None
+    differing_children_bound: int | None = None
+    backend: str | None = None
+    field_kernel: str | None = None
+    num_hashes: int = 4
+    child_hash_bits: int = 48
+    safety_factor: float = 2.0
+    estimate_safety: float = 2.0
+    level_slack: float = 3.0
+    initial_bound: int = 1
+    max_bound: int | None = None
+    estimator_factory: Callable[[int], Any] | None = None
+    num_top: int | None = None
+    max_degree: int | None = None
+    max_depth: int | None = None
+    signature_bits: int = 48
+    fallback_to_all_children: bool = True
+
+    def merged(self, **overrides: Any) -> "ReconcileOptions":
+        """A copy with ``overrides`` applied (unknown names raise)."""
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown reconcile option(s): {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def require(self, *names: str) -> None:
+        """Raise :class:`ParameterError` unless every named field is set."""
+        missing = [name for name in names if getattr(self, name) is None]
+        if missing:
+            raise ParameterError(
+                f"protocol requires option(s) {missing} (got None); "
+                "pass them via ReconcileOptions or keyword overrides"
+            )

@@ -1,0 +1,8 @@
+"""Party state machines for every protocol in the library.
+
+Each module splits its protocols into explicit initiator/responder
+generators (see :mod:`repro.protocols.party`) plus the wire codecs for their
+messages.  The legacy ``reconcile_*`` free functions are thin wrappers that
+run these parties over an in-memory session; :func:`repro.reconcile` runs
+them over any transport.
+"""

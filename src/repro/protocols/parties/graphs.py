@@ -1,0 +1,554 @@
+"""Party state machines for the graph and forest schemes (Sections 4-6).
+
+Each scheme composes the flat set / set-of-sets parties with its local
+signature and labeling computations:
+
+* ``labeled`` -- plain labeled-edge set reconciliation (Section 4).
+* ``exhaustive`` -- the ``O(d log n)``-bit brute-force scheme (Theorem 4.3).
+* ``degree_order`` -- degree-ordering signatures + cascading + edge recon
+  (Theorem 5.2).
+* ``degree_neighborhood`` -- degree-neighborhood signatures (Theorem 5.6).
+* ``forest`` -- AHU signatures encoded as multisets-of-multisets over the
+  cascading protocol (Theorem 6.1).
+
+The party builders precompute the *shared context* (signature-set sizes,
+multiplicity bounds, canonical primes) from both inputs -- the quantities the
+paper's protocol statements treat as public parameters -- and hand each
+party only its own side's data plus that context.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.sizing import bits_for_value
+from repro.core.setsofsets.nested import (
+    decode_multiset_children,
+    encode_multiset_children,
+    encoded_universe_size,
+)
+from repro.core.setsofsets.types import SetOfSets
+from repro.errors import ParameterError
+from repro.field.prime import prime_at_least
+from repro.graphs.degree_neighborhood import (
+    _decode_signature,
+    _encode_signature,
+    signature_change_bound,
+)
+from repro.graphs.degree_order import (
+    _conforming_labels_for_bob,
+    canonical_labeling_from_signatures,
+)
+from repro.graphs.exhaustive import (
+    MAX_BRUTE_FORCE_VERTICES,
+    _canonical_evaluation,
+    _graphs_within_changes,
+)
+from repro.graphs.forest import (
+    RootedForest,
+    _edge_multisets,
+    _reconstruct_forest,
+    ahu_signatures,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.separation import (
+    degree_neighborhood_signatures,
+    degree_order_signatures,
+    multiset_difference_size,
+)
+from repro.hashing import derive_seed
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyOutcome,
+    Receive,
+    Send,
+    aborted_outcome,
+)
+from repro.protocols.parties.setrecon import (
+    SetReconContext,
+    ibf_alice_known,
+    ibf_alice_unknown,
+    ibf_bob_known,
+    ibf_bob_unknown,
+    ibf_message_bits,
+)
+from repro.protocols.parties.setsofsets import (
+    _cascade_plan,
+    cascading_alice_known,
+    cascading_bob_known,
+    context_for,
+)
+from repro.protocols.wire import PayloadCodec
+
+
+# ---------------------------------------------------------------------------
+# Labeled graphs (Section 4): edge-set reconciliation
+# ---------------------------------------------------------------------------
+
+
+def labeled_parties(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int | None,
+    seed: int,
+    *,
+    num_hashes: int = 4,
+    backend: str | None = None,
+    estimator_factory=None,
+    safety_factor: float = 2.0,
+):
+    """Both parties for labeled-graph reconciliation."""
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("labeled reconciliation requires equal vertex counts")
+    num_vertices = alice.num_vertices
+    ctx = SetReconContext(
+        alice.edge_key_universe,
+        seed,
+        num_hashes,
+        backend,
+        estimator_factory=estimator_factory,
+        safety_factor=safety_factor,
+    )
+
+    def alice_party():
+        if difference_bound is None:
+            outcome = yield from ibf_alice_unknown(alice.edge_keys(), ctx)
+        else:
+            outcome = yield from ibf_alice_known(
+                alice.edge_keys(), difference_bound, ctx
+            )
+        return outcome
+
+    def bob_party():
+        if difference_bound is None:
+            outcome = yield from ibf_bob_unknown(bob.edge_keys(), ctx)
+        else:
+            outcome = yield from ibf_bob_known(bob.edge_keys(), difference_bound, ctx)
+        if outcome.success:
+            outcome.recovered = Graph.from_edge_keys(num_vertices, outcome.recovered)
+        return outcome
+
+    return alice_party(), bob_party()
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive brute-force scheme (Theorem 4.3)
+# ---------------------------------------------------------------------------
+
+
+class FingerprintCodec(PayloadCodec):
+    """Codec for the ``(point, evaluation)`` canonical-form fingerprint."""
+
+    def __init__(self, prime: int) -> None:
+        self.prime = prime
+
+    def write(self, writer, payload) -> None:
+        point, evaluation = payload
+        bits = bits_for_value(self.prime - 1)
+        writer.write(point, bits)
+        writer.write(evaluation, bits)
+
+    def read(self, reader):
+        bits = bits_for_value(self.prime - 1)
+        return reader.read(bits), reader.read(bits)
+
+
+def exhaustive_parties(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    seed: int,
+    *,
+    prime: int | None = None,
+):
+    """Both parties for the brute-force scheme (only feasible for tiny n)."""
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    n = alice.num_vertices
+    if n > MAX_BRUTE_FORCE_VERTICES:
+        raise ParameterError(
+            f"exhaustive reconciliation is limited to {MAX_BRUTE_FORCE_VERTICES} vertices"
+        )
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    if prime is None:
+        # q = n^{2d+3} as in the proof of Theorem 4.3 (with a small floor).
+        prime = prime_at_least(max(17, n ** (2 * difference_bound + 3)))
+    codec = FingerprintCodec(prime)
+
+    def alice_party():
+        rng = random.Random(seed)
+        point = rng.randrange(prime)
+        evaluation = _canonical_evaluation(alice, point, prime)
+        yield Send(
+            "canonical-form fingerprint",
+            2 * bits_for_value(prime - 1),
+            payload=(point, evaluation),
+            codec=codec,
+        )
+        return PartyOutcome(True)
+
+    def bob_party():
+        payload = yield Receive(codec)
+        if payload is END_OF_SESSION:
+            return aborted_outcome()
+        point, evaluation = payload
+        for candidate in _graphs_within_changes(bob, difference_bound):
+            if _canonical_evaluation(candidate, point, prime) == evaluation:
+                return PartyOutcome(True, candidate, details={"prime": prime})
+        return PartyOutcome(
+            False, details={"failure": "no-candidate-matched", "prime": prime}
+        )
+
+    return alice_party(), bob_party()
+
+
+# ---------------------------------------------------------------------------
+# Degree-ordering scheme (Theorem 5.2)
+# ---------------------------------------------------------------------------
+
+
+def degree_order_parties(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    num_top: int,
+    seed: int,
+    *,
+    backend: str | None = None,
+    child_hash_bits: int = 48,
+    num_hashes: int = 4,
+    level_slack: float = 3.0,
+):
+    """Both parties for the degree-ordering scheme."""
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    if num_top <= 0 or num_top > alice.num_vertices:
+        raise ParameterError("num_top must lie in (0, num_vertices]")
+    difference_bound = max(1, difference_bound)
+    num_vertices = alice.num_vertices
+
+    alice_top, alice_signatures = degree_order_signatures(alice, num_top)
+    bob_top, bob_signatures = degree_order_signatures(bob, num_top)
+    alice_signature_set = SetOfSets(alice_signatures.values())
+    bob_signature_set = SetOfSets(bob_signatures.values())
+
+    sig_ctx = context_for(
+        alice_signature_set,
+        bob_signature_set,
+        num_top,
+        derive_seed(seed, "degree-order-signatures"),
+        max_child_size=num_top,
+        backend=backend,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        level_slack=level_slack,
+    )
+    edge_ctx = SetReconContext(
+        alice.edge_key_universe, derive_seed(seed, "degree-order-edges"),
+        num_hashes, backend,
+    )
+    signature_bits = _cascade_plan(sig_ctx, difference_bound).total_bits
+
+    def alice_party():
+        try:
+            alice_labeling = canonical_labeling_from_signatures(
+                alice_top, alice_signatures
+            )
+        except ParameterError:
+            return PartyOutcome(False, details={"failure": "alice-not-separated"})
+        if alice_signature_set.num_children != len(alice_signatures):
+            return PartyOutcome(False, details={"failure": "alice-not-separated"})
+        alice_canonical = alice.relabel([alice_labeling[v] for v in range(num_vertices)])
+        yield from cascading_alice_known(alice_signature_set, difference_bound, sig_ctx)
+        yield from ibf_alice_known(
+            alice_canonical.edge_keys(), difference_bound, edge_ctx
+        )
+        return PartyOutcome(True)
+
+    def bob_party():
+        sig_outcome = yield from cascading_bob_known(
+            bob_signature_set, difference_bound, sig_ctx
+        )
+        if sig_outcome.aborted:
+            return aborted_outcome()
+        if not sig_outcome.success:
+            return PartyOutcome(
+                False,
+                details={"failure": "signature-reconciliation", **sig_outcome.details},
+            )
+        conforming = _conforming_labels_for_bob(
+            sig_outcome.recovered, bob_signatures, num_top, difference_bound
+        )
+        if conforming is None:
+            return PartyOutcome(False, details={"failure": "conforming-match"})
+        bob_labeling = {vertex: rank for rank, vertex in enumerate(bob_top)}
+        bob_labeling.update(conforming)
+        bob_canonical = bob.relabel([bob_labeling[v] for v in range(num_vertices)])
+        edge_outcome = yield from ibf_bob_known(
+            bob_canonical.edge_keys(), difference_bound, edge_ctx
+        )
+        if edge_outcome.aborted:
+            return aborted_outcome()
+        if not edge_outcome.success:
+            return PartyOutcome(False, details={"failure": "edge-reconciliation"})
+        recovered = Graph.from_edge_keys(num_vertices, edge_outcome.recovered)
+        edge_bits = ibf_message_bits(
+            edge_ctx, difference_bound, len(edge_outcome.recovered)
+        )
+        return PartyOutcome(
+            True,
+            recovered,
+            details={
+                "bob_canonical_labeling": bob_labeling,
+                "num_top": num_top,
+                "signature_bits": signature_bits,
+                "edge_bits": edge_bits,
+            },
+        )
+
+    return alice_party(), bob_party()
+
+
+# ---------------------------------------------------------------------------
+# Degree-neighborhood scheme (Theorem 5.6)
+# ---------------------------------------------------------------------------
+
+
+def degree_neighborhood_parties(
+    alice: Graph,
+    bob: Graph,
+    difference_bound: int,
+    max_degree: int,
+    seed: int,
+    *,
+    signature_bound: int | None = None,
+    backend: str | None = None,
+    child_hash_bits: int = 48,
+    num_hashes: int = 4,
+    level_slack: float = 3.0,
+):
+    """Both parties for the degree-neighborhood scheme."""
+    if alice.num_vertices != bob.num_vertices:
+        raise ParameterError("graph reconciliation requires equal vertex counts")
+    difference_bound = max(1, difference_bound)
+    num_vertices = alice.num_vertices
+    multiplicity_bound = num_vertices  # a degree value occurs at most n times
+    if signature_bound is None:
+        signature_bound = signature_change_bound(difference_bound, max_degree)
+
+    alice_raw = degree_neighborhood_signatures(alice, max_degree)
+    bob_raw = degree_neighborhood_signatures(bob, max_degree)
+    alice_encoded = {
+        vertex: _encode_signature(signature, multiplicity_bound)
+        for vertex, signature in alice_raw.items()
+    }
+    bob_encoded = {
+        vertex: _encode_signature(signature, multiplicity_bound)
+        for vertex, signature in bob_raw.items()
+    }
+    alice_signature_set = SetOfSets(alice_encoded.values())
+    bob_signature_set = SetOfSets(bob_encoded.values())
+
+    pair_universe = (num_vertices + 1) * (multiplicity_bound + 1) + multiplicity_bound + 1
+    max_child = max(
+        1, alice_signature_set.max_child_size, bob_signature_set.max_child_size
+    )
+    sig_ctx = context_for(
+        alice_signature_set,
+        bob_signature_set,
+        pair_universe,
+        derive_seed(seed, "degree-neighborhood-signatures"),
+        max_child_size=max_child,
+        backend=backend,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        level_slack=level_slack,
+    )
+    edge_ctx = SetReconContext(
+        alice.edge_key_universe, derive_seed(seed, "degree-neighborhood-edges"),
+        num_hashes, backend,
+    )
+    signature_bits = _cascade_plan(sig_ctx, signature_bound).total_bits
+
+    def alice_party():
+        if len(set(alice_encoded.values())) != num_vertices:
+            return PartyOutcome(False, details={"failure": "alice-not-disjoint"})
+        alice_order = sorted(alice_encoded, key=lambda v: sorted(alice_encoded[v]))
+        alice_labeling = {vertex: rank for rank, vertex in enumerate(alice_order)}
+        alice_canonical = alice.relabel([alice_labeling[v] for v in range(num_vertices)])
+        yield from cascading_alice_known(alice_signature_set, signature_bound, sig_ctx)
+        yield from ibf_alice_known(
+            alice_canonical.edge_keys(), difference_bound, edge_ctx
+        )
+        return PartyOutcome(True)
+
+    def bob_party():
+        sig_outcome = yield from cascading_bob_known(
+            bob_signature_set, signature_bound, sig_ctx
+        )
+        if sig_outcome.aborted:
+            return aborted_outcome()
+        if not sig_outcome.success:
+            return PartyOutcome(
+                False,
+                details={"failure": "signature-reconciliation", **sig_outcome.details},
+            )
+        alice_children = sig_outcome.recovered.sorted_children()
+        if len(alice_children) != num_vertices:
+            return PartyOutcome(False, details={"failure": "signature-count"})
+        alice_counters = [
+            _decode_signature(child, multiplicity_bound) for child in alice_children
+        ]
+        bob_labeling: dict[int, int] = {}
+        used: set[int] = set()
+        for vertex in bob.vertices():
+            bob_counter = bob_raw[vertex]
+            best_rank = None
+            best_distance = None
+            for rank, alice_counter in enumerate(alice_counters):
+                distance = multiset_difference_size(bob_counter, alice_counter)
+                if best_distance is None or distance < best_distance:
+                    best_distance = distance
+                    best_rank = rank
+            if (
+                best_rank is None
+                or best_distance > 2 * difference_bound
+                or best_rank in used
+            ):
+                return PartyOutcome(False, details={"failure": "conforming-match"})
+            used.add(best_rank)
+            bob_labeling[vertex] = best_rank
+        bob_canonical = bob.relabel([bob_labeling[v] for v in range(num_vertices)])
+        edge_outcome = yield from ibf_bob_known(
+            bob_canonical.edge_keys(), difference_bound, edge_ctx
+        )
+        if edge_outcome.aborted:
+            return aborted_outcome()
+        if not edge_outcome.success:
+            return PartyOutcome(False, details={"failure": "edge-reconciliation"})
+        recovered = Graph.from_edge_keys(num_vertices, edge_outcome.recovered)
+        edge_bits = ibf_message_bits(
+            edge_ctx, difference_bound, len(edge_outcome.recovered)
+        )
+        return PartyOutcome(
+            True,
+            recovered,
+            details={
+                "bob_canonical_labeling": bob_labeling,
+                "max_degree": max_degree,
+                "signature_bits": signature_bits,
+                "edge_bits": edge_bits,
+            },
+        )
+
+    return alice_party(), bob_party()
+
+
+# ---------------------------------------------------------------------------
+# Forest reconciliation (Theorem 6.1)
+# ---------------------------------------------------------------------------
+
+
+def forest_parties(
+    alice: RootedForest,
+    bob: RootedForest,
+    difference_bound: int,
+    max_depth: int | None,
+    seed: int,
+    *,
+    signature_bits: int = 48,
+    backend: str | None = None,
+    child_hash_bits: int = 48,
+    num_hashes: int = 4,
+    level_slack: float = 3.0,
+):
+    """Both parties for forest reconciliation over the cascading protocol."""
+    difference_bound = max(1, difference_bound)
+    if max_depth is None:
+        max_depth = max(alice.max_depth, bob.max_depth)
+    max_depth = max(1, max_depth)
+
+    alice_collection = _edge_multisets(
+        alice, ahu_signatures(alice, seed, signature_bits), signature_bits
+    )
+    bob_collection = _edge_multisets(
+        bob, ahu_signatures(bob, seed, signature_bits), signature_bits
+    )
+
+    # Each edge edit changes the signatures of at most ``sigma`` ancestors;
+    # each changed signature perturbs two multisets (its own tagged entry and
+    # its parent's child entry), and the edit itself moves one child entry.
+    change_bound = difference_bound * (4 * max_depth + 2)
+    universe = 1 << (signature_bits + 1)
+
+    # Multiset-of-multisets encoding (Theorem 3.11): multiplicity bounds and
+    # child sizes are public context derived from both collections.
+    element_multiplicity_bound = max(
+        alice_collection.max_element_multiplicity,
+        bob_collection.max_element_multiplicity,
+    )
+    parent_multiplicity_bound = max(
+        alice_collection.max_parent_multiplicity,
+        bob_collection.max_parent_multiplicity,
+    )
+    encoded_alice = encode_multiset_children(
+        alice_collection, universe, element_multiplicity_bound, parent_multiplicity_bound
+    )
+    encoded_bob = encode_multiset_children(
+        bob_collection, universe, element_multiplicity_bound, parent_multiplicity_bound
+    )
+    encoded_universe = encoded_universe_size(
+        universe, element_multiplicity_bound, parent_multiplicity_bound
+    )
+    encoded_bound = 2 * max(1, change_bound) + 2
+    max_child = max(1, encoded_alice.max_child_size, encoded_bob.max_child_size)
+    sos_ctx = context_for(
+        encoded_alice,
+        encoded_bob,
+        encoded_universe,
+        derive_seed(seed, "forest-sos"),
+        max_child_size=max_child,
+        backend=backend,
+        child_hash_bits=child_hash_bits,
+        num_hashes=num_hashes,
+        level_slack=level_slack,
+    )
+
+    def alice_party():
+        yield from cascading_alice_known(encoded_alice, encoded_bound, sos_ctx)
+        return PartyOutcome(True)
+
+    def bob_party():
+        outcome = yield from cascading_bob_known(encoded_bob, encoded_bound, sos_ctx)
+        if outcome.aborted:
+            return aborted_outcome()
+        if not outcome.success:
+            return PartyOutcome(
+                False,
+                details={"failure": "collection-reconciliation", **outcome.details},
+            )
+        recovered_collection = decode_multiset_children(
+            outcome.recovered, universe, element_multiplicity_bound
+        )
+        reconstructed = _reconstruct_forest(recovered_collection, signature_bits)
+        if reconstructed is None:
+            return PartyOutcome(False, details={"failure": "reconstruction"})
+        # Local sanity check: the rebuilt forest must reproduce the recovered
+        # collection (catches reconstruction bugs and signature collisions).
+        rebuilt_signatures = ahu_signatures(reconstructed, seed, signature_bits)
+        rebuilt_collection = _edge_multisets(
+            reconstructed, rebuilt_signatures, signature_bits
+        )
+        verified = rebuilt_collection == recovered_collection
+        return PartyOutcome(
+            verified,
+            reconstructed if verified else None,
+            details={
+                "max_depth": max_depth,
+                "change_bound": change_bound,
+                "failure": None if verified else "reconstruction-verification",
+            },
+        )
+
+    return alice_party(), bob_party()

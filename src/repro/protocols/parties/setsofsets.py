@@ -1,0 +1,1254 @@
+"""Party state machines for the set-of-sets protocols (Section 3).
+
+The four SSRK protocols -- naive (Thm 3.3/3.4), IBLT-of-IBLTs (Thm 3.5 /
+Cor 3.6), cascading (Thm 3.7 / Cor 3.8) and multiround (Thm 3.9/3.10) --
+split into explicit alice/bob generators plus the wire codecs for their
+messages.  The legacy functions in :mod:`repro.core.setsofsets` are thin
+wrappers running these parties over an in-memory session.
+
+Shared-context conventions (documented in docs/protocols.md): the universe
+size ``u``, child bound ``h``, the seed, and both parents' child counts and
+total sizes are public parameters -- exactly the quantities the paper's
+protocol statements assume both parties know.  The unknown-``d`` variants
+whose bound comes out of an estimator merge transmit it in a small
+self-describing header (documented framing); the repeated-doubling variants
+need no header because both parties track the deterministic bound schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.comm import WORD_BITS
+from repro.comm.bits import BitReader, BitWriter
+from repro.comm.sizing import bits_for_value
+from repro.core.setrecon.cpi import (
+    CPIMessage,
+    cpi_decode,
+    cpi_encode,
+    field_for_universe,
+)
+from repro.core.setrecon.difference import apply_difference, max_element_bits
+from repro.core.setsofsets.encoding import (
+    ChildEncodingScheme,
+    ChildTableCache,
+    ExplicitChildScheme,
+    child_set_hash,
+    child_set_hash_many,
+    parent_hash,
+)
+from repro.core.setsofsets.types import SetOfSets
+from repro.errors import ParameterError
+from repro.estimator import L0Estimator, SetDifferenceEstimator
+from repro.hashing import SeededHasher, derive_seed
+from repro.iblt import IBLT, IBLTParameters
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyOutcome,
+    Receive,
+    Send,
+    aborted_outcome,
+)
+from repro.protocols.wire import (
+    NULL_CODEC,
+    EstimatorCodec,
+    PayloadCodec,
+    TableWithHashCodec,
+    WireError,
+)
+
+
+@dataclass(frozen=True)
+class SetsOfSetsContext:
+    """Shared knowledge for one set-of-sets protocol execution.
+
+    ``max_num_children`` and ``max_total_elements`` are the public size
+    statistics (the paper's ``s`` and ``n``) used for the ``d_hat`` and
+    ``max_bound`` defaults; builders fill them from both inputs.
+    """
+
+    universe_size: int
+    seed: int
+    max_child_size: int | None = None
+    differing_children_bound: int | None = None
+    num_hashes: int = 4
+    child_hash_bits: int = 48
+    backend: str | None = None
+    field_kernel: str | None = None
+    level_slack: float = 3.0
+    safety_factor: float = 2.0
+    estimate_safety: float = 2.0
+    estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None
+    fallback_to_all_children: bool = True
+    max_num_children: int = 1
+    max_total_elements: int = 1
+
+    def with_seed(self, seed: int) -> "SetsOfSetsContext":
+        return replace(self, seed=seed)
+
+
+def context_for(
+    alice: SetOfSets, bob: SetOfSets, universe_size: int, seed: int, **kwargs
+) -> SetsOfSetsContext:
+    """Build a context with the public size statistics of both parents."""
+    return SetsOfSetsContext(
+        universe_size,
+        seed,
+        max_num_children=max(1, alice.num_children, bob.num_children),
+        max_total_elements=max(1, alice.total_elements + bob.total_elements),
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Naive protocol (Theorems 3.3 and 3.4)
+# ---------------------------------------------------------------------------
+
+
+def _naive_parent_params(ctx: SetsOfSetsContext, bound: int) -> IBLTParameters:
+    scheme = ExplicitChildScheme(ctx.universe_size, ctx.max_child_size)
+    # A bound of d_hat differing child *pairs* can put up to 2 * d_hat child
+    # encodings (one per side) into the difference table, so size for that.
+    return IBLTParameters.for_difference(
+        2 * max(1, bound),
+        scheme.key_bits,
+        derive_seed(ctx.seed, "naive-parent"),
+        ctx.num_hashes,
+    )
+
+
+def _naive_codec(
+    ctx: SetsOfSetsContext, bound: int | None, self_describing: bool
+) -> TableWithHashCodec:
+    return TableWithHashCodec(
+        lambda b: _naive_parent_params(ctx, b),
+        bound,
+        self_describing=self_describing,
+        backend=ctx.backend,
+    )
+
+
+def naive_alice_known(
+    alice: SetOfSets,
+    differing_children_bound: int,
+    ctx: SetsOfSetsContext,
+    *,
+    self_describing: bool = False,
+):
+    """Alice's side of the one-round naive protocol (Theorem 3.3)."""
+    if differing_children_bound < 0:
+        raise ParameterError("differing_children_bound must be non-negative")
+    scheme = ExplicitChildScheme(ctx.universe_size, ctx.max_child_size)
+    params = _naive_parent_params(ctx, differing_children_bound)
+    alice_table = IBLT(params, backend=ctx.backend)
+    alice_table.insert_batch(scheme.encode(child) for child in alice)
+    verification = parent_hash(alice, ctx.seed)
+    yield Send(
+        "naive parent IBLT",
+        alice_table.size_bits + WORD_BITS,
+        payload=(alice_table, verification),
+        codec=_naive_codec(ctx, differing_children_bound, self_describing),
+    )
+    return PartyOutcome(True)
+
+
+def naive_bob_known(
+    bob: SetOfSets,
+    differing_children_bound: int | None,
+    ctx: SetsOfSetsContext,
+    *,
+    self_describing: bool = False,
+):
+    """Bob's side: subtract his encodings, peel, swap differing children."""
+    payload = yield Receive(
+        _naive_codec(ctx, differing_children_bound, self_describing)
+    )
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    alice_table, verification = payload
+    scheme = ExplicitChildScheme(ctx.universe_size, ctx.max_child_size)
+    difference = alice_table.copy()
+    difference.delete_batch(scheme.encode(child) for child in bob)
+    decode = difference.try_decode()
+    if not decode.success:
+        return PartyOutcome(False, details={"failure": "parent-iblt-peel"})
+    alice_only = [scheme.decode(key) for key in decode.positive]
+    bob_only = [scheme.decode(key) for key in decode.negative]
+    recovered = bob.replace_children(bob_only, alice_only)
+    verified = parent_hash(recovered, ctx.seed) == verification
+    return PartyOutcome(
+        verified,
+        recovered if verified else None,
+        details={
+            "differing_children_found": len(alice_only) + len(bob_only),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def _naive_child_id_hasher(ctx: SetsOfSetsContext) -> Callable[[object], int]:
+    hasher = SeededHasher(derive_seed(ctx.seed, "naive-child-id"), 64)
+
+    def child_id(child) -> int:
+        return hasher.hash_iterable(sorted(child)) ^ hasher.hash_int(len(child))
+
+    return child_id
+
+
+def _naive_estimator(ctx: SetsOfSetsContext):
+    factory = ctx.estimator_factory if ctx.estimator_factory else L0Estimator
+    estimator_seed = derive_seed(ctx.seed, "naive-estimator")
+    return factory, estimator_seed
+
+
+def naive_alice_unknown(alice: SetOfSets, ctx: SetsOfSetsContext):
+    """Alice's side of the two-round naive protocol (Theorem 3.4)."""
+    factory, estimator_seed = _naive_estimator(ctx)
+    bob_estimator = yield Receive(EstimatorCodec(factory, estimator_seed))
+    if bob_estimator is END_OF_SESSION:
+        return aborted_outcome()
+    child_id = _naive_child_id_hasher(ctx)
+    alice_estimator = factory(estimator_seed)
+    alice_estimator.update_all((child_id(child) for child in alice), 2)
+    estimate = bob_estimator.merge(alice_estimator).query()
+    bound = max(1, int(round(ctx.safety_factor * estimate)) + 1)
+    yield from naive_alice_known(alice, bound, ctx, self_describing=True)
+    return PartyOutcome(
+        True,
+        details={
+            "estimated_differing_children": estimate,
+            "differing_children_bound_used": bound,
+        },
+    )
+
+
+def naive_bob_unknown(bob: SetOfSets, ctx: SetsOfSetsContext):
+    """Bob's side: send the child-count estimator, then the known-bound flow."""
+    factory, estimator_seed = _naive_estimator(ctx)
+    child_id = _naive_child_id_hasher(ctx)
+    bob_estimator = factory(estimator_seed)
+    bob_estimator.update_all((child_id(child) for child in bob), 1)
+    yield Send(
+        "child-count estimator",
+        bob_estimator.size_bits,
+        payload=bob_estimator,
+        codec=EstimatorCodec(factory, estimator_seed),
+    )
+    outcome = yield from naive_bob_known(bob, None, ctx, self_describing=True)
+    return outcome
+
+
+def naive_parties(alice, bob, differing_children_bound, ctx):
+    """Both parties for the ``naive`` protocol (known or unknown bound)."""
+    if differing_children_bound is None:
+        return naive_alice_unknown(alice, ctx), naive_bob_unknown(bob, ctx)
+    return (
+        naive_alice_known(alice, differing_children_bound, ctx),
+        naive_bob_known(bob, differing_children_bound, ctx),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared repeated-doubling driver (Corollaries 3.6 and 3.8)
+# ---------------------------------------------------------------------------
+
+
+def doubling_alice(known_alice, initial_bound: int, max_bound: int):
+    """Alice's side of a repeated-doubling protocol.
+
+    ``known_alice(bound, attempt)`` builds the known-``d`` sub-party for one
+    attempt.  After each attempt alice waits: a retry request means "double
+    and go again"; :data:`END_OF_SESSION` means bob verified and finished.
+    """
+    bound = max(1, initial_bound)
+    attempts = 0
+    while bound <= max_bound:
+        attempts += 1
+        yield from known_alice(bound, attempts)
+        reply = yield Receive(NULL_CODEC)
+        if reply is END_OF_SESSION:
+            return PartyOutcome(True, attempts=attempts)
+        if bound >= max_bound:
+            break
+        bound = min(2 * bound, max_bound)
+    return PartyOutcome(False, attempts=attempts)
+
+
+def doubling_bob(known_bob, initial_bound: int, max_bound: int):
+    """Bob's side: try each attempt, acknowledge failures with a retry request.
+
+    The final doubling is clamped to ``max_bound`` so the largest permitted
+    bound is always attempted (a true ``d`` between the last power of two and
+    ``max_bound`` would otherwise never be tried).
+    """
+    bound = max(1, initial_bound)
+    attempts = 0
+    while bound <= max_bound:
+        attempts += 1
+        outcome = yield from known_bob(bound, attempts)
+        if outcome.success:
+            outcome.attempts = attempts
+            outcome.details["final_difference_bound"] = bound
+            return outcome
+        yield Send("retry request", WORD_BITS, payload=None, codec=NULL_CODEC)
+        if bound >= max_bound:
+            break
+        bound = min(2 * bound, max_bound)
+    return PartyOutcome(
+        False,
+        attempts=attempts,
+        details={"failure": "exceeded-max-bound", "max_bound": max_bound},
+    )
+
+
+# ---------------------------------------------------------------------------
+# IBLT-of-IBLTs protocol (Theorem 3.5, Corollary 3.6)
+# ---------------------------------------------------------------------------
+
+
+def _flat_child_scheme(
+    ctx: SetsOfSetsContext, difference_bound: int
+) -> ChildEncodingScheme:
+    """Child-IBLT encoding scheme shared by both parties."""
+    child_params = IBLTParameters.for_difference(
+        max(1, difference_bound),
+        max_element_bits(ctx.universe_size),
+        derive_seed(ctx.seed, "child-iblt", "flat"),
+        num_hashes=3,
+        checksum_bits=24,
+        count_bits=16,
+    )
+    return ChildEncodingScheme(
+        child_params, ctx.child_hash_bits, derive_seed(ctx.seed, "child-hash")
+    )
+
+
+def _flat_parent_params(ctx: SetsOfSetsContext, difference_bound: int) -> IBLTParameters:
+    d_hat = (
+        ctx.differing_children_bound
+        if ctx.differing_children_bound is not None
+        else max(1, difference_bound)
+    )
+    scheme = _flat_child_scheme(ctx, difference_bound)
+    # Up to 2 * d_hat child encodings (one per side of each differing pair)
+    # can remain in the parent table, so size it accordingly.
+    return IBLTParameters.for_difference(
+        2 * max(1, d_hat),
+        scheme.key_bits,
+        derive_seed(ctx.seed, "parent-iblt"),
+        ctx.num_hashes,
+    )
+
+
+def _recover_child(
+    scheme: ChildEncodingScheme,
+    alice_key: int,
+    candidate_children: list[frozenset[int]],
+    candidate_tables: ChildTableCache,
+    backend: str | None = None,
+) -> frozenset[int] | None:
+    """Try to decode one of Alice's child encodings against candidate children.
+
+    Returns Alice's recovered child set, or ``None`` if no candidate decodes
+    to a set matching the encoding's hash.  Candidate tables come from the
+    per-reconcile cache, so each candidate's table is built exactly once no
+    matter how many of Alice's keys it is tried against.
+    """
+    alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
+    for candidate in candidate_children:
+        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
+        if not decode.success:
+            continue
+        recovered = frozenset(
+            apply_difference(candidate, decode.positive, decode.negative)
+        )
+        if scheme.hash_of(recovered) == alice_hash:
+            return recovered
+    return None
+
+
+def iblt_of_iblts_alice_known(
+    alice: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
+):
+    """Alice's side of the one-round IBLT-of-IBLTs protocol (Theorem 3.5)."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    scheme = _flat_child_scheme(ctx, difference_bound)
+    parent_params = _flat_parent_params(ctx, difference_bound)
+    alice_table = IBLT(parent_params, backend=ctx.backend)
+    alice_table.insert_batch(scheme.encode_all(alice, backend=ctx.backend))
+    verification = parent_hash(alice, ctx.seed)
+    yield Send(
+        "parent IBLT of child encodings",
+        alice_table.size_bits + WORD_BITS,
+        payload=(alice_table, verification),
+        codec=TableWithHashCodec(
+            lambda b: _flat_parent_params(ctx, b), difference_bound, backend=ctx.backend
+        ),
+    )
+    return PartyOutcome(True)
+
+
+def iblt_of_iblts_bob_known(
+    bob: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
+):
+    """Bob's side: peel the parent, decode differing children pairwise."""
+    payload = yield Receive(
+        TableWithHashCodec(
+            lambda b: _flat_parent_params(ctx, b), difference_bound, backend=ctx.backend
+        )
+    )
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    alice_table, verification = payload
+    scheme = _flat_child_scheme(ctx, difference_bound)
+
+    bob_children = bob.sorted_children()
+    bob_encoding_to_child = dict(
+        zip(scheme.encode_all(bob_children, backend=ctx.backend), bob_children)
+    )
+    difference_table = alice_table.copy()
+    difference_table.delete_batch(list(bob_encoding_to_child))
+    decode = difference_table.try_decode()
+    if not decode.success:
+        return PartyOutcome(False, details={"failure": "parent-iblt-peel"})
+
+    differing_bob_children = [
+        bob_encoding_to_child[key]
+        for key in decode.negative
+        if key in bob_encoding_to_child
+    ]
+    if len(differing_bob_children) != len(decode.negative):
+        # A negative key we never inserted: checksum corruption in the parent.
+        return PartyOutcome(False, details={"failure": "parent-checksum"})
+
+    other_children = (
+        [child for child in bob_children if child not in set(differing_bob_children)]
+        if ctx.fallback_to_all_children
+        else []
+    )
+
+    # Candidate child tables are built once per reconcile call and shared
+    # across every one of Alice's keys; the fallback candidates are only
+    # built if some encoding actually needs them.
+    candidate_tables = ChildTableCache(scheme, backend=ctx.backend)
+    if decode.positive:
+        candidate_tables.add_children(differing_bob_children)
+
+    recovered_children: list[frozenset[int]] = []
+    for alice_key in decode.positive:
+        recovered = _recover_child(
+            scheme, alice_key, differing_bob_children, candidate_tables,
+            backend=ctx.backend,
+        )
+        if recovered is None and ctx.fallback_to_all_children:
+            candidate_tables.add_children(other_children)
+            recovered = _recover_child(
+                scheme, alice_key, other_children, candidate_tables,
+                backend=ctx.backend,
+            )
+        if recovered is None:
+            return PartyOutcome(False, details={"failure": "child-iblt-decode"})
+        recovered_children.append(recovered)
+
+    reconstruction = bob.replace_children(differing_bob_children, recovered_children)
+    verified = parent_hash(reconstruction, ctx.seed) == verification
+    return PartyOutcome(
+        verified,
+        reconstruction if verified else None,
+        details={
+            "differing_children_found": len(decode.positive) + len(decode.negative),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def iblt_of_iblts_parties(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    difference_bound: int | None,
+    ctx: SetsOfSetsContext,
+    *,
+    initial_bound: int = 1,
+    max_bound: int | None = None,
+):
+    """Both parties; ``difference_bound=None`` runs repeated doubling."""
+    if difference_bound is not None:
+        return (
+            iblt_of_iblts_alice_known(alice, difference_bound, ctx),
+            iblt_of_iblts_bob_known(bob, difference_bound, ctx),
+        )
+    if max_bound is None:
+        max_bound = 2 * ctx.max_total_elements
+
+    def known_alice(bound: int, attempt: int):
+        return iblt_of_iblts_alice_known(
+            alice, bound, ctx.with_seed(derive_seed(ctx.seed, "doubling", attempt))
+        )
+
+    def known_bob(bound: int, attempt: int):
+        return iblt_of_iblts_bob_known(
+            bob, bound, ctx.with_seed(derive_seed(ctx.seed, "doubling", attempt))
+        )
+
+    return (
+        doubling_alice(known_alice, initial_bound, max_bound),
+        doubling_bob(known_bob, initial_bound, max_bound),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cascading protocol (Algorithm 2, Theorem 3.7, Corollary 3.8)
+# ---------------------------------------------------------------------------
+
+
+def _level_child_scheme(ctx: SetsOfSetsContext, level: int) -> ChildEncodingScheme:
+    """Child encoding scheme for cascade level ``level`` (child IBLTs of O(2^level) cells)."""
+    child_params = IBLTParameters.for_difference(
+        2**level,
+        max_element_bits(ctx.universe_size),
+        derive_seed(ctx.seed, "cascade-child", level),
+        num_hashes=3,
+        checksum_bits=24,
+        count_bits=16,
+    )
+    return ChildEncodingScheme(
+        child_params, ctx.child_hash_bits, derive_seed(ctx.seed, "child-hash")
+    )
+
+
+def _parent_capacity(level: int, difference_bound: int, d_hat: int, slack: float) -> int:
+    """Capacity (in keys) of the level-``level`` parent table.
+
+    Level 1 may see every differing child encoding from both sides (up to
+    ``2 * d_hat``); level ``i >= 2`` sees at most about ``d / 2^{i-1}``
+    unrecovered children by the budget argument in the proof of Theorem 3.7
+    (we apply a small constant ``slack`` on top).
+    """
+    if level == 1:
+        return max(2, min(2 * d_hat, 2 * difference_bound))
+    budget = int(math.ceil(slack * difference_bound / (2 ** (level - 1))))
+    return max(2, min(2 * d_hat, budget))
+
+
+@dataclass(frozen=True)
+class _CascadePlan:
+    """Everything both parties derive from the shared cascading context."""
+
+    schemes: list[ChildEncodingScheme]
+    level_params: list[IBLTParameters]
+    explicit_scheme: ExplicitChildScheme
+    t_star_params: IBLTParameters | None
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.schemes)
+
+    @property
+    def total_bits(self) -> int:
+        total = sum(params.size_bits for params in self.level_params) + WORD_BITS
+        if self.t_star_params is not None:
+            total += self.t_star_params.size_bits
+        return total
+
+
+def _cascade_plan(ctx: SetsOfSetsContext, difference_bound: int) -> _CascadePlan:
+    difference_bound = max(1, difference_bound)
+    d_hat = (
+        ctx.differing_children_bound
+        if ctx.differing_children_bound is not None
+        else min(difference_bound, ctx.max_num_children)
+    )
+    cascade_limit = max(2, min(difference_bound, ctx.max_child_size))
+    num_levels = max(1, math.ceil(math.log2(cascade_limit)))
+    schemes = [
+        _level_child_scheme(ctx, level) for level in range(1, num_levels + 1)
+    ]
+    level_params = [
+        IBLTParameters.for_difference(
+            _parent_capacity(level, difference_bound, d_hat, ctx.level_slack),
+            scheme.key_bits,
+            derive_seed(ctx.seed, "cascade-parent", level),
+            ctx.num_hashes,
+        )
+        for level, scheme in zip(range(1, num_levels + 1), schemes)
+    ]
+    explicit_scheme = ExplicitChildScheme(ctx.universe_size, ctx.max_child_size)
+    t_star_params = None
+    if difference_bound >= ctx.max_child_size:
+        t_star_params = IBLTParameters.for_difference(
+            max(2, math.ceil(ctx.level_slack * difference_bound / ctx.max_child_size)),
+            explicit_scheme.key_bits,
+            derive_seed(ctx.seed, "cascade-t-star"),
+            ctx.num_hashes,
+        )
+    return _CascadePlan(schemes, level_params, explicit_scheme, t_star_params)
+
+
+class CascadingMessageCodec(PayloadCodec):
+    """Codec for Alice's single cascading message.
+
+    Payload: ``(level_tables, t_star_or_None, verification)``.  Every table's
+    parameters follow from the shared plan, so only cell contents travel --
+    exactly the bits the transcript charges (zero framing).
+    """
+
+    def __init__(self, plan: _CascadePlan, backend: str | None = None) -> None:
+        self.plan = plan
+        self.backend = backend
+
+    def write(self, writer: BitWriter, payload) -> None:
+        level_tables, t_star, verification = payload
+        if len(level_tables) != self.plan.num_levels:
+            raise WireError("level count disagrees with the shared cascade plan")
+        if (t_star is None) != (self.plan.t_star_params is None):
+            raise WireError("T* presence disagrees with the shared cascade plan")
+        for params, table in zip(self.plan.level_params, level_tables):
+            writer.write(table.serialize(), params.size_bits)
+        if t_star is not None:
+            writer.write(t_star.serialize(), self.plan.t_star_params.size_bits)
+        writer.write(verification, WORD_BITS)
+
+    def read(self, reader: BitReader):
+        level_tables = [
+            IBLT.deserialize(params, reader.read(params.size_bits), backend=self.backend)
+            for params in self.plan.level_params
+        ]
+        t_star = None
+        if self.plan.t_star_params is not None:
+            t_star = IBLT.deserialize(
+                self.plan.t_star_params,
+                reader.read(self.plan.t_star_params.size_bits),
+                backend=self.backend,
+            )
+        verification = reader.read(WORD_BITS)
+        return level_tables, t_star, verification
+
+
+def cascading_alice_known(
+    alice: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
+):
+    """Alice's side: build every level table (and T*) and send them at once."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    if ctx.max_child_size is None or ctx.max_child_size <= 0:
+        raise ParameterError("max_child_size must be positive")
+    plan = _cascade_plan(ctx, difference_bound)
+    level_tables: list[IBLT] = []
+    for scheme, params in zip(plan.schemes, plan.level_params):
+        table = IBLT(params, backend=ctx.backend)
+        table.insert_batch(scheme.encode_all(alice, backend=ctx.backend))
+        level_tables.append(table)
+    t_star: IBLT | None = None
+    if plan.t_star_params is not None:
+        t_star = IBLT(plan.t_star_params, backend=ctx.backend)
+        t_star.insert_batch(plan.explicit_scheme.encode(child) for child in alice)
+    verification = parent_hash(alice, ctx.seed)
+    yield Send(
+        "cascading level tables",
+        plan.total_bits,
+        payload=(level_tables, t_star, verification),
+        codec=CascadingMessageCodec(plan, backend=ctx.backend),
+    )
+    return PartyOutcome(True)
+
+
+def cascading_bob_known(
+    bob: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
+):
+    """Bob's side: process the levels in order, then T*."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    if ctx.max_child_size is None or ctx.max_child_size <= 0:
+        raise ParameterError("max_child_size must be positive")
+    plan = _cascade_plan(ctx, difference_bound)
+    payload = yield Receive(CascadingMessageCodec(plan, backend=ctx.backend))
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    level_tables, t_star, verification = payload
+
+    bob_children = bob.sorted_children()
+    recovered_children: set[frozenset[int]] = set()   # D_A
+    differing_bob: set[frozenset[int]] = set()        # D_B
+
+    for level_index, (scheme, alice_table) in enumerate(
+        zip(plan.schemes, level_tables)
+    ):
+        level = level_index + 1
+        work = alice_table.copy()
+        # All of Bob's encodings (and the already-recovered children's) are
+        # batch-built for this level's scheme in one flat pass each.
+        bob_keys = scheme.encode_all(bob_children, backend=ctx.backend)
+        encoding_to_child = dict(zip(bob_keys, bob_children))
+        deletions = [
+            key
+            for key, child in zip(bob_keys, bob_children)
+            if level == 1 or child not in differing_bob
+        ]
+        if recovered_children:
+            deletions.extend(
+                scheme.encode_all(
+                    sorted(recovered_children, key=sorted), backend=ctx.backend
+                )
+            )
+        work.delete_batch(deletions)
+        decode = work.try_decode()  # partial results are still useful on failure
+
+        for key in decode.negative:
+            child = encoding_to_child.get(key)
+            if child is not None:
+                differing_bob.add(child)
+        candidates = sorted(differing_bob, key=sorted)
+        candidate_tables = ChildTableCache(scheme, backend=ctx.backend)
+        if decode.positive:
+            candidate_tables.add_children(candidates)
+        for key in decode.positive:
+            recovered = _recover_child(
+                scheme, key, candidates, candidate_tables, backend=ctx.backend
+            )
+            if recovered is not None:
+                recovered_children.add(recovered)
+
+    if t_star is not None:
+        work = t_star.copy()
+        # Children in D_B stay in the table so only Alice's unrecovered
+        # children remain to extract (keeps T* within its O(d/h) budget).
+        deletions = [
+            plan.explicit_scheme.encode(child)
+            for child in bob_children
+            if child not in differing_bob
+        ]
+        deletions.extend(
+            plan.explicit_scheme.encode(child) for child in recovered_children
+        )
+        work.delete_batch(deletions)
+        decode = work.try_decode()
+        for key in decode.positive:
+            recovered_children.add(plan.explicit_scheme.decode(key))
+        for key in decode.negative:
+            decoded = plan.explicit_scheme.decode(key)
+            if decoded in bob.children:
+                differing_bob.add(decoded)
+
+    reconstruction = bob.replace_children(differing_bob, recovered_children)
+    verified = parent_hash(reconstruction, ctx.seed) == verification
+    return PartyOutcome(
+        verified,
+        reconstruction if verified else None,
+        details={
+            "num_levels": plan.num_levels,
+            "used_t_star": t_star is not None,
+            "recovered_children": len(recovered_children),
+            "differing_bob_children": len(differing_bob),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def cascading_parties(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    difference_bound: int | None,
+    ctx: SetsOfSetsContext,
+    *,
+    initial_bound: int = 1,
+    max_bound: int | None = None,
+):
+    """Both parties; ``difference_bound=None`` runs repeated doubling."""
+    if difference_bound is not None:
+        return (
+            cascading_alice_known(alice, difference_bound, ctx),
+            cascading_bob_known(bob, difference_bound, ctx),
+        )
+    if max_bound is None:
+        max_bound = 2 * ctx.max_total_elements
+
+    def known_alice(bound: int, attempt: int):
+        return cascading_alice_known(
+            alice, bound, ctx.with_seed(derive_seed(ctx.seed, "cascade-doubling", attempt))
+        )
+
+    def known_bob(bound: int, attempt: int):
+        return cascading_bob_known(
+            bob, bound, ctx.with_seed(derive_seed(ctx.seed, "cascade-doubling", attempt))
+        )
+
+    return (
+        doubling_alice(known_alice, initial_bound, max_bound),
+        doubling_bob(known_bob, initial_bound, max_bound),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-round protocol (Section 3.3, Theorems 3.9 and 3.10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChildPayload:
+    """One per-child payload of Alice's final multiround message."""
+
+    target_hash: int          # hash of Bob's child to decode against
+    own_hash: int             # hash of Alice's child (verification)
+    bound: int                # difference bound the payload was sized for
+    iblt: IBLT | None         # used when the estimated difference is large
+    cpi: CPIMessage | None    # used when the estimated difference is small
+
+    def size_bits(self, hash_bits: int) -> int:
+        payload = self.iblt.size_bits if self.iblt is not None else self.cpi.size_bits
+        return 2 * hash_bits + payload
+
+
+def default_child_estimator_factory(
+    max_child_size: int,
+) -> Callable[[int], SetDifferenceEstimator]:
+    """Small per-child estimators: O(log h) levels of a handful of buckets."""
+    levels = max(4, max_child_size.bit_length() + 2)
+
+    def factory(seed: int) -> SetDifferenceEstimator:
+        return L0Estimator(seed, num_levels=levels, buckets_per_level=32)
+
+    return factory
+
+
+def _hash_iblt_params(ctx: SetsOfSetsContext, d_hat: int) -> IBLTParameters:
+    # Up to 2 * d_hat child hashes (one per side of each differing pair) can
+    # remain after Bob subtracts his own hashes, so size for that.
+    return IBLTParameters.for_difference(
+        2 * max(1, d_hat),
+        ctx.child_hash_bits,
+        derive_seed(ctx.seed, "multiround-hash-iblt"),
+        ctx.num_hashes,
+        checksum_bits=24,
+        count_bits=16,
+    )
+
+
+def _multiround_child_estimator(ctx: SetsOfSetsContext):
+    factory = (
+        ctx.estimator_factory
+        if ctx.estimator_factory
+        else default_child_estimator_factory(max(1, ctx.max_child_size))
+    )
+    return factory, derive_seed(ctx.seed, "multiround-child-estimator")
+
+
+def _multiround_child_params(ctx: SetsOfSetsContext, bound: int, own_hash: int):
+    return IBLTParameters.for_difference(
+        bound,
+        max_element_bits(ctx.universe_size),
+        derive_seed(ctx.seed, "multiround-child-iblt", own_hash),
+        num_hashes=3,
+        checksum_bits=24,
+    )
+
+
+class MultiroundRound2Codec(PayloadCodec):
+    """Codec for Bob's reply: his hash IBLT plus per-child estimators.
+
+    The estimator list is self-delimiting: every entry is a fixed
+    ``hash_bits + estimator.size_bits`` wide (the shared factory fixes the
+    estimator shape), so the entry count is recovered from the remaining bit
+    count.  Zero framing.
+    """
+
+    def __init__(self, ctx: SetsOfSetsContext, hash_params: IBLTParameters) -> None:
+        self.ctx = ctx
+        self.params = hash_params
+        self.factory, self.estimator_seed = _multiround_child_estimator(ctx)
+        self.entry_bits = (
+            ctx.child_hash_bits + self.factory(self.estimator_seed).size_bits
+        )
+
+    def write(self, writer: BitWriter, payload) -> None:
+        bob_hash_table, bob_estimators = payload
+        writer.write(bob_hash_table.serialize(), self.params.size_bits)
+        for child_hash, estimator in bob_estimators:
+            writer.write(child_hash, self.ctx.child_hash_bits)
+            estimator.write_wire(writer)
+
+    def read(self, reader: BitReader):
+        bob_hash_table = IBLT.deserialize(
+            self.params, reader.read(self.params.size_bits), backend=self.ctx.backend
+        )
+        bob_estimators = []
+        while reader.remaining_bits >= self.entry_bits:
+            child_hash = reader.read(self.ctx.child_hash_bits)
+            estimator = self.factory(self.estimator_seed)
+            estimator.read_wire(reader)
+            bob_estimators.append((child_hash, estimator))
+        return bob_hash_table, bob_estimators
+
+
+#: Per-child framing of the multiround round-3 message (documented): one
+#: payload-kind flag bit plus the difference bound the payload was sized for.
+CHILD_FLAG_BITS = 1
+CHILD_BOUND_BITS = 24
+#: Fixed width of the CPI set-size counter on the wire (the analytic
+#: accounting charges the variable ``bits_for_value`` width instead).
+CHILD_SET_SIZE_BITS = 32
+
+
+class MultiroundPayloadsCodec(PayloadCodec):
+    """Codec for Alice's final message: a list of :class:`ChildPayload`.
+
+    Each entry carries two child hashes, a flag/bound header (framing, see
+    :data:`CHILD_FLAG_BITS` / :data:`CHILD_BOUND_BITS`) and either a child
+    IBLT (parameters derived from the bound and the child's own hash) or CPI
+    evaluations (count and field derived from the bound).  Entries are
+    self-delimiting, so no list length travels.
+    """
+
+    def __init__(self, ctx: SetsOfSetsContext) -> None:
+        self.ctx = ctx
+
+    def _min_entry_bits(self) -> int:
+        return 2 * self.ctx.child_hash_bits + CHILD_FLAG_BITS + CHILD_BOUND_BITS
+
+    def write(self, writer: BitWriter, payload) -> None:
+        for child in payload:
+            writer.write(child.target_hash, self.ctx.child_hash_bits)
+            writer.write(child.own_hash, self.ctx.child_hash_bits)
+            writer.write(0 if child.iblt is not None else 1, CHILD_FLAG_BITS)
+            writer.write(child.bound, CHILD_BOUND_BITS)
+            if child.iblt is not None:
+                params = _multiround_child_params(
+                    self.ctx, child.bound, child.own_hash
+                )
+                if child.iblt.params != params:
+                    raise WireError("child IBLT parameters disagree with the context")
+                writer.write(child.iblt.serialize(), params.size_bits)
+            else:
+                message = child.cpi
+                writer.write(message.set_size, CHILD_SET_SIZE_BITS)
+                element_bits = bits_for_value(message.prime - 1)
+                for evaluation in message.evaluations:
+                    writer.write(evaluation, element_bits)
+
+    def read(self, reader: BitReader):
+        payloads = []
+        minimum = self._min_entry_bits()
+        while reader.remaining_bits > minimum:
+            target_hash = reader.read(self.ctx.child_hash_bits)
+            own_hash = reader.read(self.ctx.child_hash_bits)
+            is_cpi = reader.read(CHILD_FLAG_BITS)
+            bound = reader.read(CHILD_BOUND_BITS)
+            if not is_cpi:
+                params = _multiround_child_params(self.ctx, bound, own_hash)
+                table = IBLT.deserialize(
+                    params, reader.read(params.size_bits), backend=self.ctx.backend
+                )
+                payloads.append(ChildPayload(target_hash, own_hash, bound, table, None))
+            else:
+                set_size = reader.read(CHILD_SET_SIZE_BITS)
+                prime = field_for_universe(self.ctx.universe_size, bound).modulus
+                element_bits = bits_for_value(prime - 1)
+                evaluations = tuple(
+                    reader.read(element_bits) for _ in range(bound + 1)
+                )
+                payloads.append(
+                    ChildPayload(
+                        target_hash,
+                        own_hash,
+                        bound,
+                        None,
+                        CPIMessage(set_size, evaluations, bound, prime),
+                    )
+                )
+        return payloads
+
+    def framing_bits(self, payload) -> int:
+        total = 0
+        for child in payload:
+            total += CHILD_FLAG_BITS + CHILD_BOUND_BITS
+            if child.cpi is not None:
+                total += CHILD_SET_SIZE_BITS - bits_for_value(
+                    max(1, child.cpi.set_size)
+                )
+        return total
+
+
+def _multiround_r1_codec(
+    ctx: SetsOfSetsContext, d_hat: int | None, self_describing: bool
+) -> TableWithHashCodec:
+    return TableWithHashCodec(
+        lambda dh: _hash_iblt_params(ctx, dh),
+        d_hat,
+        self_describing=self_describing,
+        backend=ctx.backend,
+    )
+
+
+def multiround_alice_known(
+    alice: SetOfSets,
+    difference_bound: int,
+    d_hat: int,
+    ctx: SetsOfSetsContext,
+    *,
+    self_describing: bool = False,
+):
+    """Alice's side of the three-round protocol (Theorem 3.9): rounds 1 and 3."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    difference_bound = max(1, difference_bound)
+    factory, estimator_seed = _multiround_child_estimator(ctx)
+    hash_seed = derive_seed(ctx.seed, "child-hash")
+
+    # ---- Round 1: the IBLT of Alice's child hashes (one batch; the hashes
+    # of the whole parent set are computed in one batched pass).
+    hash_params = _hash_iblt_params(ctx, d_hat)
+    alice_hash_table = IBLT(hash_params, backend=ctx.backend)
+    alice_children = alice.sorted_children()
+    alice_hashes = child_set_hash_many(alice_children, hash_seed, ctx.child_hash_bits)
+    alice_hash_to_child = dict(zip(alice_hashes, alice_children))
+    alice_child_to_hash = dict(zip(alice_children, alice_hashes))
+    alice_hash_table.insert_batch(list(alice_hash_to_child))
+    verification = parent_hash(alice, ctx.seed)
+    yield Send(
+        "child-hash IBLT",
+        alice_hash_table.size_bits + WORD_BITS,
+        payload=(alice_hash_table, verification),
+        codec=_multiround_r1_codec(ctx, d_hat, self_describing),
+    )
+
+    # ---- Round 2 arrives: Bob's hash IBLT and his per-child estimators.
+    payload = yield Receive(MultiroundRound2Codec(ctx, hash_params))
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    bob_hash_table, bob_estimators = payload
+    hash_decode = alice_hash_table.subtract(bob_hash_table).try_decode()
+    if not hash_decode.success:
+        # Bob would have aborted too (identical tables); nothing to send.
+        return PartyOutcome(False)
+
+    # ---- Round 3: match children and send per-child payloads.
+    alice_differing = [
+        alice_hash_to_child[h] for h in hash_decode.positive if h in alice_hash_to_child
+    ]
+    if len(alice_differing) != len(hash_decode.positive):
+        return PartyOutcome(False, details={"failure": "hash-collision"})
+    cpi_threshold = math.isqrt(difference_bound)
+    payloads: list[ChildPayload] = []
+    for child in alice_differing:
+        alice_estimator = factory(estimator_seed)
+        alice_estimator.update_all(child, 2)
+        best_hash = None
+        best_estimate = None
+        for bob_hash, bob_estimator in bob_estimators:
+            estimate = bob_estimator.merge(alice_estimator).query()
+            if best_estimate is None or estimate < best_estimate:
+                best_estimate = estimate
+                best_hash = bob_hash
+        if best_hash is None:
+            # Bob reported no differing children at all; send the child
+            # explicitly via a CPI message against the empty set.
+            best_hash = 0
+            best_estimate = len(child)
+        bound = max(1, int(math.ceil(ctx.estimate_safety * best_estimate)) + 1)
+        bound = min(bound, 2 * ctx.max_child_size) if ctx.max_child_size else bound
+        own_hash = alice_child_to_hash[child]
+        if best_estimate >= cpi_threshold:
+            child_params = _multiround_child_params(ctx, bound, own_hash)
+            payloads.append(
+                ChildPayload(
+                    best_hash,
+                    own_hash,
+                    bound,
+                    IBLT.from_items(child_params, child, backend=ctx.backend),
+                    None,
+                )
+            )
+        else:
+            payloads.append(
+                ChildPayload(
+                    best_hash,
+                    own_hash,
+                    bound,
+                    None,
+                    cpi_encode(
+                        child, bound, ctx.universe_size, field_kernel=ctx.field_kernel
+                    ),
+                )
+            )
+    round3_bits = sum(
+        payload.size_bits(ctx.child_hash_bits) for payload in payloads
+    )
+    yield Send(
+        "per-child payloads",
+        round3_bits,
+        payload=payloads,
+        codec=MultiroundPayloadsCodec(ctx),
+    )
+    return PartyOutcome(True)
+
+
+def multiround_bob_known(
+    bob: SetOfSets,
+    d_hat: int | None,
+    ctx: SetsOfSetsContext,
+    *,
+    self_describing: bool = False,
+):
+    """Bob's side: rounds 2 and 4 (reply with estimators, then recover)."""
+    payload = yield Receive(_multiround_r1_codec(ctx, d_hat, self_describing))
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    alice_hash_table, verification = payload
+    hash_params = alice_hash_table.params
+    factory, estimator_seed = _multiround_child_estimator(ctx)
+    hash_seed = derive_seed(ctx.seed, "child-hash")
+
+    def hash_of(child) -> int:
+        return child_set_hash(child, hash_seed, ctx.child_hash_bits)
+
+    # ---- Round 2: Bob replies with his hash IBLT and per-child estimators.
+    bob_hash_table = IBLT(hash_params, backend=ctx.backend)
+    bob_children = bob.sorted_children()
+    bob_hashes = child_set_hash_many(bob_children, hash_seed, ctx.child_hash_bits)
+    bob_hash_to_child = dict(zip(bob_hashes, bob_children))
+    bob_child_to_hash = dict(zip(bob_children, bob_hashes))
+    bob_hash_table.insert_batch(list(bob_hash_to_child))
+    hash_decode = alice_hash_table.subtract(bob_hash_table).try_decode()
+    if not hash_decode.success:
+        return PartyOutcome(False, details={"failure": "hash-iblt-peel"})
+    bob_differing = [
+        bob_hash_to_child[h] for h in hash_decode.negative if h in bob_hash_to_child
+    ]
+    bob_estimators: list[tuple[int, SetDifferenceEstimator]] = []
+    for child in bob_differing:
+        estimator = factory(estimator_seed)
+        estimator.update_all(child, 1)
+        bob_estimators.append((bob_child_to_hash[child], estimator))
+    round2_bits = bob_hash_table.size_bits + sum(
+        ctx.child_hash_bits + estimator.size_bits for _, estimator in bob_estimators
+    )
+    # The hash-table parameters came with round 1 (directly, or via its
+    # self-describing header), so the reply codec never needs its own header.
+    yield Send(
+        "hash IBLT + child estimators",
+        round2_bits,
+        payload=(bob_hash_table, bob_estimators),
+        codec=MultiroundRound2Codec(ctx, hash_params),
+    )
+
+    # ---- Round 3 arrives: recover Alice's children.
+    payloads = yield Receive(MultiroundPayloadsCodec(ctx))
+    if payloads is END_OF_SESSION:
+        return aborted_outcome()
+    recovered_children: list[frozenset[int]] = []
+    for payload in payloads:
+        base_child = bob_hash_to_child.get(payload.target_hash, frozenset())
+        recovered: frozenset[int] | None = None
+        if payload.iblt is not None:
+            base_table = IBLT.from_items(
+                payload.iblt.params, base_child, backend=ctx.backend
+            )
+            decode = payload.iblt.subtract(base_table).try_decode()
+            if decode.success:
+                recovered = frozenset(
+                    apply_difference(base_child, decode.positive, decode.negative)
+                )
+        else:
+            success, result = cpi_decode(
+                payload.cpi,
+                set(base_child),
+                ctx.universe_size,
+                ctx.seed,
+                field_kernel=ctx.field_kernel,
+            )
+            if success:
+                recovered = frozenset(result)
+        if recovered is None or hash_of(recovered) != payload.own_hash:
+            return PartyOutcome(False, details={"failure": "child-recovery"})
+        recovered_children.append(recovered)
+
+    reconstruction = bob.replace_children(bob_differing, recovered_children)
+    verified = parent_hash(reconstruction, ctx.seed) == verification
+    return PartyOutcome(
+        verified,
+        reconstruction if verified else None,
+        details={
+            "differing_children_found": len(payloads) + len(bob_differing),
+            "cpi_payloads": sum(1 for p in payloads if p.cpi is not None),
+            "iblt_payloads": sum(1 for p in payloads if p.iblt is not None),
+            "failure": None if verified else "verification-hash",
+        },
+    )
+
+
+def multiround_alice_unknown(
+    alice: SetOfSets,
+    ctx: SetsOfSetsContext,
+    *,
+    hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
+):
+    """Alice's side of the four-round protocol (Theorem 3.10)."""
+    factory = hash_estimator_factory if hash_estimator_factory else L0Estimator
+    hash_seed = derive_seed(ctx.seed, "child-hash")
+    estimator_seed = derive_seed(ctx.seed, "multiround-dhat-estimator")
+    bob_estimator = yield Receive(EstimatorCodec(factory, estimator_seed))
+    if bob_estimator is END_OF_SESSION:
+        return aborted_outcome()
+    alice_estimator = factory(estimator_seed)
+    alice_estimator.update_all(
+        (child_set_hash(child, hash_seed, ctx.child_hash_bits) for child in alice), 2
+    )
+    estimated_d_hat = bob_estimator.merge(alice_estimator).query()
+    d_hat = max(1, int(round(ctx.estimate_safety * estimated_d_hat)) + 1)
+    pseudo_d = max(1, d_hat * max(1, ctx.max_child_size) // 4)
+    outcome = yield from multiround_alice_known(
+        alice, pseudo_d, d_hat, ctx, self_describing=True
+    )
+    outcome.details.update(
+        {
+            "estimated_differing_children": estimated_d_hat,
+            "differing_children_bound_used": d_hat,
+        }
+    )
+    return outcome
+
+
+def multiround_bob_unknown(
+    bob: SetOfSets,
+    ctx: SetsOfSetsContext,
+    *,
+    hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
+):
+    """Bob's side: send the child-hash estimator, then rounds 2 and 4."""
+    factory = hash_estimator_factory if hash_estimator_factory else L0Estimator
+    hash_seed = derive_seed(ctx.seed, "child-hash")
+    estimator_seed = derive_seed(ctx.seed, "multiround-dhat-estimator")
+    bob_estimator = factory(estimator_seed)
+    bob_estimator.update_all(
+        (child_set_hash(child, hash_seed, ctx.child_hash_bits) for child in bob), 1
+    )
+    yield Send(
+        "child-hash estimator",
+        bob_estimator.size_bits,
+        payload=bob_estimator,
+        codec=EstimatorCodec(factory, estimator_seed),
+    )
+    outcome = yield from multiround_bob_known(bob, None, ctx, self_describing=True)
+    return outcome
+
+
+def multiround_parties(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    difference_bound: int | None,
+    ctx: SetsOfSetsContext,
+):
+    """Both parties; ``difference_bound=None`` runs the four-round variant."""
+    if difference_bound is None:
+        return multiround_alice_unknown(alice, ctx), multiround_bob_unknown(bob, ctx)
+    d_hat = (
+        ctx.differing_children_bound
+        if ctx.differing_children_bound is not None
+        else min(max(1, difference_bound), ctx.max_num_children)
+    )
+    return (
+        multiround_alice_known(alice, difference_bound, d_hat, ctx),
+        multiround_bob_known(bob, d_hat, ctx),
+    )

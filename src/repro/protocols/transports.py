@@ -1,0 +1,282 @@
+"""Transport seam: how a party's messages reach its peer.
+
+Three implementations of one interface:
+
+* :class:`InMemoryTransport` -- payload objects are handed over untouched
+  (zero-copy).  This is the default and preserves the historical simulation
+  behavior and performance of the ``reconcile_*`` functions.
+* :class:`SerializingTransport` -- every payload is round-tripped through its
+  wire codec.  The receiver gets a genuinely re-decoded object, and the
+  measured byte length of every message is cross-checked against the
+  ``size_bits`` the transcript charged (plus the codec's documented framing)
+  -- turning the paper's communication accounting from asserted into
+  verified.
+* :class:`SocketTransport` -- one endpoint of a real byte stream (e.g. a TCP
+  connection); two OS processes each drive one party with
+  :func:`run_party`.  The frame format is shared with
+  :class:`SerializingTransport`'s measurements: a small uncharged header
+  (sender, label, claimed ``size_bits``, payload length) followed by the
+  codec-encoded payload bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.comm import Transcript
+from repro.errors import ParameterError, ReconciliationError
+from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
+from repro.protocols.wire import WireAccountingError, WireError
+
+
+@dataclass(frozen=True)
+class MessageMeasurement:
+    """Measured vs. charged size of one serialized message."""
+
+    sender: str
+    label: str
+    charged_bits: int
+    framing_bits: int
+    measured_bytes: int
+
+    @property
+    def budget_bytes(self) -> int:
+        """Largest byte length the charged size (plus framing) allows."""
+        return (self.charged_bits + self.framing_bits + 7) // 8
+
+    @property
+    def within_budget(self) -> bool:
+        return self.measured_bytes <= self.budget_bytes
+
+
+class Transport:
+    """Interface between a :class:`~repro.protocols.session.Session` and the wire.
+
+    ``on_send`` converts an outgoing :class:`Send` into the in-flight
+    representation queued for the peer; ``on_receive`` converts the in-flight
+    representation back into the payload the receiving party sees.
+    """
+
+    name = "abstract"
+
+    def on_send(self, sender: str, send: Send) -> Any:
+        raise NotImplementedError
+
+    def on_receive(self, inflight: Any, receive: Receive, send: Send) -> Any:
+        raise NotImplementedError
+
+
+def _encode_and_measure(
+    sender: str,
+    send: Send,
+    measurements: list[MessageMeasurement],
+    strict: bool,
+    wire_name: str,
+) -> bytes:
+    """Encode one message, record its measurement, enforce the byte budget.
+
+    The single accounting rule shared by every byte-level transport: the
+    encoding must fit ``ceil((size_bits + framing_bits) / 8)`` bytes.
+    """
+    if send.codec is None:
+        raise WireError(
+            f"message {send.label!r} has no wire codec; "
+            f"it cannot travel over the {wire_name} transport"
+        )
+    data = send.codec.encode(send.payload)
+    measurement = MessageMeasurement(
+        sender,
+        send.label,
+        send.size_bits,
+        send.codec.framing_bits(send.payload),
+        len(data),
+    )
+    measurements.append(measurement)
+    if strict and not measurement.within_budget:
+        raise WireAccountingError(
+            f"message {send.label!r} serialized to {len(data)} bytes but its "
+            f"transcript entry charged {send.size_bits} bits "
+            f"(+{measurement.framing_bits} framing = "
+            f"{measurement.budget_bytes} byte budget)"
+        )
+    return data
+
+
+class InMemoryTransport(Transport):
+    """Zero-copy transport: the receiver sees the sender's payload object."""
+
+    name = "memory"
+
+    def on_send(self, sender: str, send: Send) -> Any:
+        return send.payload
+
+    def on_receive(self, inflight: Any, receive: Receive, send: Send) -> Any:
+        return inflight
+
+
+class SerializingTransport(Transport):
+    """Round-trip every payload through bytes and verify the accounting.
+
+    Parameters
+    ----------
+    strict:
+        When True (default), a message whose encoding exceeds its charged
+        ``size_bits`` (rounded up to bytes, plus the codec's documented
+        framing) raises :class:`~repro.protocols.wire.WireAccountingError`
+        at send time.  When False, the violation is only recorded in
+        :attr:`measurements`.
+    """
+
+    name = "serializing"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.measurements: list[MessageMeasurement] = []
+
+    def on_send(self, sender: str, send: Send) -> bytes:
+        return _encode_and_measure(
+            sender, send, self.measurements, self.strict, self.name
+        )
+
+    def on_receive(self, inflight: bytes, receive: Receive, send: Send) -> Any:
+        codec = receive.codec if receive.codec is not None else send.codec
+        return codec.decode(inflight)
+
+
+# ---------------------------------------------------------------------------
+# Real byte streams: frames and the single-party driver
+# ---------------------------------------------------------------------------
+
+_FRAME_MESSAGE = 0
+_FRAME_FIN = 1
+
+#: struct layout of the fixed part of a frame header:
+#: type (B), sender length (B), label length (H), size_bits (Q), payload length (I)
+_HEADER = struct.Struct("!BBHQI")
+
+
+def _recv_exact(sock, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ReconciliationError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class SocketTransport:
+    """One endpoint of a two-process protocol session over a stream socket.
+
+    Each process constructs a :class:`SocketTransport` around a connected
+    socket and drives its own party with :func:`run_party`.  Frames carry the
+    sender role, the transcript label and the claimed ``size_bits`` so both
+    endpoints reconstruct identical transcripts.
+    """
+
+    name = "socket"
+
+    def __init__(self, sock, role: str, strict: bool = True) -> None:
+        if role not in ("alice", "bob"):
+            raise ParameterError("role must be 'alice' or 'bob'")
+        self.sock = sock
+        self.role = role
+        self.strict = strict
+        self.measurements: list[MessageMeasurement] = []
+
+    # -- frame I/O ------------------------------------------------------------------
+
+    def send_message(self, send: Send) -> None:
+        data = _encode_and_measure(
+            self.role, send, self.measurements, self.strict, self.name
+        )
+        sender = self.role.encode()
+        label = send.label.encode()
+        header = _HEADER.pack(
+            _FRAME_MESSAGE, len(sender), len(label), send.size_bits, len(data)
+        )
+        self.sock.sendall(header + sender + label + data)
+
+    def send_fin(self) -> None:
+        self.sock.sendall(_HEADER.pack(_FRAME_FIN, 0, 0, 0, 0))
+
+    def receive_message(self) -> tuple[str, str, int, bytes] | None:
+        """The next frame as ``(sender, label, size_bits, data)``; ``None`` on FIN."""
+        kind, sender_len, label_len, size_bits, payload_len = _HEADER.unpack(
+            _recv_exact(self.sock, _HEADER.size)
+        )
+        if kind == _FRAME_FIN:
+            return None
+        sender = _recv_exact(self.sock, sender_len).decode()
+        label = _recv_exact(self.sock, label_len).decode()
+        data = _recv_exact(self.sock, payload_len)
+        return sender, label, size_bits, data
+
+
+def run_party(
+    party, transport: SocketTransport, transcript: Transcript | None = None
+) -> tuple[PartyOutcome, Transcript]:
+    """Drive one party generator against a real byte stream.
+
+    Returns the party's outcome and the transcript this endpoint observed
+    (identical, message for message, to the peer's).
+    """
+    transcript = transcript if transcript is not None else Transcript()
+    try:
+        outcome = _drive_party(party, transport, transcript)
+    finally:
+        # Always tell the peer we are done -- including when the party or a
+        # codec raised -- so its blocking recv fails fast instead of hanging.
+        try:
+            transport.send_fin()
+        except OSError:
+            pass  # peer already gone; the primary error (if any) propagates
+    return outcome, transcript
+
+
+def _drive_party(party, transport: SocketTransport, transcript: Transcript):
+    peer_finished = False
+    value = None
+    try:
+        command = party.send(None)
+        while True:
+            if isinstance(command, Send):
+                transport.send_message(command)
+                transcript.send(
+                    transport.role, command.label, command.size_bits, command.payload
+                )
+                value = None
+            elif isinstance(command, Receive):
+                if peer_finished:
+                    value = END_OF_SESSION
+                else:
+                    frame = transport.receive_message()
+                    if frame is None:
+                        peer_finished = True
+                        value = END_OF_SESSION
+                    else:
+                        sender, label, size_bits, data = frame
+                        if command.codec is None:
+                            raise WireError(
+                                f"receiver provided no codec for message {label!r}"
+                            )
+                        payload = command.codec.decode(data)
+                        transcript.send(sender, label, size_bits, payload)
+                        value = payload
+            else:
+                raise ReconciliationError(
+                    f"party yielded {command!r}; expected Send or Receive"
+                )
+            command = party.send(value)
+    except StopIteration as stop:
+        if stop.value is None:
+            return PartyOutcome(True)
+        if isinstance(stop.value, PartyOutcome):
+            return stop.value
+        raise ReconciliationError(
+            f"party returned {stop.value!r}; expected a PartyOutcome"
+        ) from None

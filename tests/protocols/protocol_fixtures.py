@@ -1,0 +1,86 @@
+"""Shared fixtures: one runnable instance per registered protocol."""
+
+import functools
+
+from repro.documents import DocumentCollection
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import (
+    gnp_random_graph,
+    planted_separated_graph,
+    reconciliation_pair,
+)
+from repro.graphs.separation import neighborhood_disjointness
+from repro.workloads import sets_of_sets_instance
+from repro.workloads.database import flipped_table_pair
+from repro.workloads.documents import edited_corpus_pair
+from repro.workloads.forests import forest_instance
+
+
+def _degree_neighborhood_pair():
+    # Mirror the legacy test's search for a (pn, 4d+1)-disjoint instance.
+    for seed in range(5, 30):
+        base = gnp_random_graph(150, 0.35, seed)
+        if neighborhood_disjointness(base, int(0.35 * 150)) >= 5:
+            return reconciliation_pair(150, 0.35, 1, seed=seed + 100, base=base)
+    return None  # pragma: no cover - the scan above always finds one
+
+
+@functools.lru_cache(maxsize=1)
+def _cached_instances():
+    """Build every instance once per process."""
+    instances = {}
+    a_set, b_set = set(range(40)), set(range(6, 46))
+    instances["ibf"] = (a_set, b_set, dict(universe_size=64, difference_bound=12))
+    instances["cpi"] = (a_set, b_set, dict(universe_size=64, difference_bound=12))
+
+    inst = sets_of_sets_instance(24, 16, 512, 8, 7, max_children_touched=4)
+    instances["naive"] = (
+        inst.alice, inst.bob,
+        dict(universe_size=512, difference_bound=inst.differing_children),
+    )
+    instances["iblt_of_iblts"] = (
+        inst.alice, inst.bob,
+        dict(universe_size=512, difference_bound=inst.planted_difference),
+    )
+    instances["cascading"] = (
+        inst.alice, inst.bob,
+        dict(universe_size=512, difference_bound=inst.planted_difference),
+    )
+    instances["multiround"] = (
+        inst.alice, inst.bob,
+        dict(universe_size=512, difference_bound=inst.planted_difference),
+    )
+
+    base = planted_separated_graph(400, 0.5, 32, degree_gap=3, seed=5)
+    pair = reconciliation_pair(400, 0.5, 2, seed=6, base=base)
+    instances["degree_order"] = (
+        pair.alice, pair.bob, dict(difference_bound=2, num_top=32)
+    )
+    dn_pair = _degree_neighborhood_pair()
+    instances["degree_neighborhood"] = (
+        dn_pair.alice, dn_pair.bob,
+        dict(difference_bound=1, max_degree=int(0.35 * 150)),
+    )
+    g1 = Graph(6, [(0, 1), (1, 2), (3, 4)])
+    g2 = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    instances["labeled"] = (g1, g2, dict(difference_bound=2))
+    instances["exhaustive"] = (g1, g2, dict(difference_bound=1))
+
+    finst = forest_instance(30, 3, 13)
+    instances["forest"] = (
+        finst.alice, finst.bob, dict(difference_bound=max(1, finst.num_edits))
+    )
+    ta, tb, flips = flipped_table_pair(12, 8, 0.4, 5, 17)
+    instances["db"] = (ta, tb, dict(difference_bound=max(1, flips)))
+    alice_texts, bob_texts = edited_corpus_pair(8, 30, 2, 2, 1, seed=19)
+    instances["documents"] = (
+        DocumentCollection(alice_texts, 3, seed=19),
+        DocumentCollection(bob_texts, 3, seed=19),
+        dict(difference_bound=200),
+    )
+    return instances
+
+
+def protocol_instances():
+    """``{protocol_name: (alice, bob, reconcile-kwargs)}`` for every protocol."""
+    return _cached_instances()

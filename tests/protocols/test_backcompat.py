@@ -1,0 +1,141 @@
+"""Back-compat: the legacy free functions keep their signatures and results.
+
+The ``reconcile_*`` functions are now thin wrappers over protocol sessions;
+these tests pin (a) their exact signatures and (b) their results on fixed
+inputs against values recorded from the pre-session implementation, so the
+refactor is observationally invisible.
+"""
+
+import inspect
+
+import repro
+from repro.workloads import sets_of_sets_instance
+
+#: (success, total_bits, num_rounds, attempts) recorded from the
+#: pre-session implementation (commit ea3d034) on the fixed inputs below.
+PINNED = {
+    "known_d": (True, 2710, 1, 1),
+    "unknown_d": (True, 12002, 2, 1),
+    "cpi": (True, 142, 1, 1),
+    "naive": (True, 3364, 1, 1),
+    "naive_unknown": (True, 17496, 2, 1),
+    "iblt_of_iblts": (True, 35392, 1, 1),
+    "iblt_of_iblts_unknown": (True, 8128, 1, 1),
+    "cascading": (True, 73408, 1, 1),
+    "cascading_unknown": (True, 8128, 1, 1),
+    "multiround": (True, 9192, 3, 1),
+    "multiround_unknown": (True, 19870, 4, 1),
+}
+
+SIGNATURES = {
+    repro.reconcile_known_d: (
+        "alice", "bob", "difference_bound", "universe_size", "seed",
+        "num_hashes", "backend", "transcript",
+    ),
+    repro.reconcile_unknown_d: (
+        "alice", "bob", "universe_size", "seed",
+        "estimator_factory", "safety_factor", "num_hashes", "backend",
+    ),
+    repro.reconcile_cpi: (
+        "alice", "bob", "difference_bound", "universe_size", "seed",
+        "field_kernel", "transcript",
+    ),
+    repro.reconcile_naive: (
+        "alice", "bob", "differing_children_bound", "universe_size",
+        "max_child_size", "seed", "num_hashes", "backend", "transcript",
+    ),
+    repro.reconcile_naive_unknown: (
+        "alice", "bob", "universe_size", "max_child_size", "seed",
+        "estimator_factory", "safety_factor", "num_hashes", "backend",
+    ),
+    repro.reconcile_iblt_of_iblts: (
+        "alice", "bob", "difference_bound", "universe_size", "seed",
+        "differing_children_bound", "child_hash_bits", "num_hashes",
+        "backend", "fallback_to_all_children", "transcript",
+    ),
+    repro.reconcile_iblt_of_iblts_unknown: (
+        "alice", "bob", "universe_size", "seed",
+        "initial_bound", "max_bound", "child_hash_bits", "num_hashes", "backend",
+    ),
+    repro.reconcile_cascading: (
+        "alice", "bob", "difference_bound", "universe_size", "max_child_size",
+        "seed", "differing_children_bound", "child_hash_bits", "num_hashes",
+        "backend", "field_kernel", "level_slack", "transcript",
+    ),
+    repro.reconcile_cascading_unknown: (
+        "alice", "bob", "universe_size", "max_child_size", "seed",
+        "initial_bound", "max_bound", "child_hash_bits", "num_hashes",
+        "backend", "field_kernel", "level_slack",
+    ),
+    repro.reconcile_multiround: (
+        "alice", "bob", "difference_bound", "universe_size", "max_child_size",
+        "seed", "differing_children_bound", "child_hash_bits", "num_hashes",
+        "backend", "field_kernel", "estimator_factory", "estimate_safety",
+        "transcript",
+    ),
+    repro.reconcile_multiround_unknown: (
+        "alice", "bob", "universe_size", "max_child_size", "seed",
+        "child_hash_bits", "num_hashes", "backend", "field_kernel",
+        "estimator_factory", "estimate_safety", "hash_estimator_factory",
+    ),
+}
+
+
+def test_signatures_unchanged():
+    for function, expected in SIGNATURES.items():
+        parameters = tuple(inspect.signature(function).parameters)
+        assert parameters == expected, function.__qualname__
+
+
+def _fixture_results():
+    a = set(range(60))
+    b = set(range(8, 68))
+    inst = sets_of_sets_instance(20, 12, 256, 6, 31, max_children_touched=3)
+    sos = (inst.alice, inst.bob)
+    return {
+        "known_d": repro.reconcile_known_d(a, b, 20, 128, 41),
+        "unknown_d": repro.reconcile_unknown_d(a, b, 128, 41),
+        "cpi": repro.reconcile_cpi(a, b, 16, 128, 41),
+        "naive": repro.reconcile_naive(
+            *sos, inst.differing_children, 256, inst.max_child_size, 31
+        ),
+        "naive_unknown": repro.reconcile_naive_unknown(
+            *sos, 256, inst.max_child_size, 31
+        ),
+        "iblt_of_iblts": repro.reconcile_iblt_of_iblts(
+            *sos, inst.planted_difference, 256, 31
+        ),
+        "iblt_of_iblts_unknown": repro.reconcile_iblt_of_iblts_unknown(*sos, 256, 31),
+        "cascading": repro.reconcile_cascading(
+            *sos, inst.planted_difference, 256, inst.max_child_size, 31
+        ),
+        "cascading_unknown": repro.reconcile_cascading_unknown(
+            *sos, 256, inst.max_child_size, 31
+        ),
+        "multiround": repro.reconcile_multiround(
+            *sos, inst.planted_difference, 256, inst.max_child_size, 31
+        ),
+        "multiround_unknown": repro.reconcile_multiround_unknown(
+            *sos, 256, inst.max_child_size, 31
+        ),
+    }
+
+
+def test_results_match_pinned_fixtures():
+    results = _fixture_results()
+    assert set(results) == set(PINNED)
+    for name, result in results.items():
+        observed = (
+            result.success, result.total_bits, result.num_rounds, result.attempts
+        )
+        assert observed == PINNED[name], name
+
+
+def test_recovered_objects_are_correct():
+    results = _fixture_results()
+    a = set(range(60))
+    inst = sets_of_sets_instance(20, 12, 256, 6, 31, max_children_touched=3)
+    assert results["known_d"].recovered == a
+    assert results["cpi"].recovered == a
+    for name in ("naive", "iblt_of_iblts", "cascading", "multiround"):
+        assert results[name].recovered == inst.alice, name

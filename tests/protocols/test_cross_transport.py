@@ -1,0 +1,171 @@
+"""Cross-transport determinism and accounting verification.
+
+For every registered protocol: the in-memory and serializing transports must
+produce identical results and transcripts, every serialized message must fit
+the bits its transcript entry charged (plus the codec's documented framing),
+and the socket transport (two endpoints over a real byte stream) must agree
+with both.
+"""
+
+import socket
+import threading
+
+import pytest
+
+import repro
+from repro.protocols import (
+    InMemoryTransport,
+    SerializingTransport,
+    SocketTransport,
+    run_party,
+)
+from repro.protocols.parties.setsofsets import context_for, multiround_parties
+from repro.protocols.registry import get, names
+
+from protocol_fixtures import protocol_instances
+
+_INSTANCES = protocol_instances()
+
+
+def transcript_meta(transcript):
+    return [
+        (m.sender, m.round_index, m.label, m.size_bits) for m in transcript.messages
+    ]
+
+
+def test_every_registered_protocol_has_an_instance():
+    # A protocol registered without cross-transport coverage must fail here.
+    assert set(_INSTANCES) == set(names())
+
+
+@pytest.mark.parametrize("protocol", sorted(_INSTANCES))
+class TestCrossTransport:
+    def run_both(self, protocol):
+        alice, bob, kwargs = _INSTANCES[protocol]
+        memory = repro.reconcile(
+            alice, bob, protocol=protocol, seed=99,
+            transport=InMemoryTransport(), **kwargs,
+        )
+        transport = SerializingTransport()
+        serialized = repro.reconcile(
+            alice, bob, protocol=protocol, seed=99, transport=transport, **kwargs
+        )
+        return memory, serialized, transport
+
+    def test_identical_results_and_transcripts(self, protocol):
+        memory, serialized, _ = self.run_both(protocol)
+        assert memory.success and serialized.success, (
+            memory.details, serialized.details,
+        )
+        assert memory.recovered == serialized.recovered
+        assert memory.attempts == serialized.attempts
+        assert transcript_meta(memory.transcript) == transcript_meta(
+            serialized.transcript
+        )
+
+    def test_measured_bytes_within_charged_bits(self, protocol):
+        _, _, transport = self.run_both(protocol)
+        assert transport.measurements, "serializing transport saw no messages"
+        for measurement in transport.measurements:
+            assert measurement.within_budget, (
+                measurement.label,
+                measurement.measured_bytes,
+                measurement.budget_bytes,
+            )
+
+    def test_framing_slack_is_small(self, protocol):
+        # Documented framing must stay a rounding error next to the charged
+        # bits: per message, at most 32 header bits plus 57 bits for each
+        # 121-bit-minimum multiround child entry -- bounded here by half the
+        # charged size plus one word.
+        _, _, transport = self.run_both(protocol)
+        for measurement in transport.measurements:
+            assert measurement.framing_bits <= measurement.charged_bits // 2 + 64, (
+                measurement.label,
+                measurement.framing_bits,
+                measurement.charged_bits,
+            )
+
+
+@pytest.mark.parametrize("protocol", sorted(_INSTANCES))
+def test_unknown_d_variants_cross_transport(protocol):
+    spec = get(protocol)
+    if not spec.supports_unknown_d:
+        pytest.skip("known-d only")
+    alice, bob, kwargs = _INSTANCES[protocol]
+    kwargs = dict(kwargs, difference_bound=None)
+    memory = repro.reconcile(
+        alice, bob, protocol=protocol, seed=99, transport=InMemoryTransport(), **kwargs
+    )
+    transport = SerializingTransport()
+    serialized = repro.reconcile(
+        alice, bob, protocol=protocol, seed=99, transport=transport, **kwargs
+    )
+    assert memory.success == serialized.success
+    assert memory.recovered == serialized.recovered
+    assert transcript_meta(memory.transcript) == transcript_meta(serialized.transcript)
+    for measurement in transport.measurements:
+        assert measurement.within_budget, measurement
+
+
+def test_failure_paths_cross_transport():
+    # An undersized bound makes the multiround hash IBLT fail to peel; both
+    # transports must report the identical truncated transcript and details.
+    inst_alice, inst_bob, kwargs = _INSTANCES["multiround"]
+    ctx = context_for(inst_alice, inst_bob, kwargs["universe_size"], 3,
+                      max_child_size=16, differing_children_bound=1)
+    from repro.protocols.session import run_session
+
+    memory = run_session(
+        *multiround_parties(inst_alice, inst_bob, 1, ctx),
+        transport=InMemoryTransport(),
+    )
+    serialized = run_session(
+        *multiround_parties(inst_alice, inst_bob, 1, ctx),
+        transport=SerializingTransport(),
+    )
+    assert memory.success == serialized.success
+    assert memory.details == serialized.details
+    assert transcript_meta(memory.transcript) == transcript_meta(serialized.transcript)
+
+
+class TestSocketTransport:
+    def run_over_socketpair(self, protocol):
+        alice, bob, kwargs = _INSTANCES[protocol]
+        spec = get(protocol)
+        from repro.protocols.options import ReconcileOptions
+
+        options = ReconcileOptions(seed=99).merged(**kwargs)
+        results = {}
+
+        def drive(role):
+            alice_party, bob_party = spec.build(alice, bob, options)
+            party = alice_party if role == "alice" else bob_party
+            transport = SocketTransport(socks[role], role)
+            results[role] = run_party(party, transport)
+
+        left, right = socket.socketpair()
+        socks = {"alice": left, "bob": right}
+        threads = [
+            threading.Thread(target=drive, args=(role,)) for role in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        left.close()
+        right.close()
+        return results
+
+    @pytest.mark.parametrize("protocol", ["ibf", "multiround", "iblt_of_iblts"])
+    def test_two_endpoint_session_matches_in_memory(self, protocol):
+        alice, bob, kwargs = _INSTANCES[protocol]
+        reference = repro.reconcile(alice, bob, protocol=protocol, seed=99, **kwargs)
+        results = self.run_over_socketpair(protocol)
+        alice_outcome, alice_transcript = results["alice"]
+        bob_outcome, bob_transcript = results["bob"]
+        assert bob_outcome.success and reference.success
+        assert bob_outcome.recovered == reference.recovered
+        # Both endpoints observe the same transcript, equal to the in-memory one.
+        assert transcript_meta(alice_transcript) == transcript_meta(bob_transcript)
+        assert transcript_meta(bob_transcript) == transcript_meta(reference.transcript)

@@ -1,0 +1,178 @@
+"""Registry behavior: names, metadata, the uniform entry point, docs sync."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import ParameterError
+from repro.protocols import ReconcileOptions
+from repro.protocols.registry import get, names, registry_table_markdown, specs
+
+from protocol_fixtures import protocol_instances
+
+EXPECTED_PROTOCOLS = {
+    "ibf",
+    "cpi",
+    "naive",
+    "iblt_of_iblts",
+    "cascading",
+    "multiround",
+    "degree_order",
+    "degree_neighborhood",
+    "forest",
+    "labeled",
+    "exhaustive",
+    "db",
+    "documents",
+}
+
+
+class TestRegistry:
+    def test_names_lists_every_protocol(self):
+        assert set(names()) == EXPECTED_PROTOCOLS
+        assert names() == sorted(names())
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(ParameterError, match="registered"):
+            get("bogus")
+
+    def test_metadata_present(self):
+        for spec in specs():
+            assert spec.name and spec.input_kind and spec.summary and spec.reference
+            assert spec.rounds_known >= 1
+            if spec.supports_unknown_d:
+                assert spec.rounds_unknown is not None
+            assert spec.rounds_label()
+
+    def test_input_kinds(self):
+        kinds = {spec.name: spec.input_kind for spec in specs()}
+        assert kinds["ibf"] == kinds["cpi"] == "set"
+        assert kinds["multiround"] == "set_of_sets"
+        assert kinds["degree_order"] == "graph"
+        assert kinds["forest"] == "forest"
+        assert kinds["db"] == "table"
+        assert kinds["documents"] == "documents"
+
+
+class TestReconcileEntryPoint:
+    def test_every_protocol_runs(self):
+        for protocol, (alice, bob, kwargs) in protocol_instances().items():
+            result = repro.reconcile(
+                alice, bob, protocol=protocol, seed=99, **kwargs
+            )
+            assert result.success, (protocol, result.details)
+            assert result.total_bits > 0
+
+    def test_options_object_and_overrides_compose(self):
+        alice, bob, kwargs = protocol_instances()["ibf"]
+        options = ReconcileOptions(seed=99, universe_size=kwargs["universe_size"])
+        result = repro.reconcile(
+            alice, bob, protocol="ibf",
+            options=options, difference_bound=kwargs["difference_bound"],
+        )
+        assert result.success
+
+    def test_unknown_option_rejected(self):
+        alice, bob, kwargs = protocol_instances()["ibf"]
+        with pytest.raises(ParameterError, match="unknown reconcile option"):
+            repro.reconcile(alice, bob, protocol="ibf", bogus_option=1, **kwargs)
+
+    def test_missing_required_option_rejected(self):
+        with pytest.raises(ParameterError, match="universe_size"):
+            repro.reconcile({1}, {2}, protocol="ibf", difference_bound=1)
+        with pytest.raises(ParameterError, match="difference_bound"):
+            repro.reconcile({1}, {2}, protocol="cpi", universe_size=8)
+
+    def test_matches_legacy_free_functions(self):
+        alice, bob, kwargs = protocol_instances()["cascading"]
+        unified = repro.reconcile(
+            alice, bob, protocol="cascading", seed=99, **kwargs
+        )
+        legacy = repro.reconcile_cascading(
+            alice, bob, kwargs["difference_bound"], kwargs["universe_size"],
+            max(alice.max_child_size, bob.max_child_size), 99,
+        )
+        assert unified.success == legacy.success
+        assert unified.recovered == legacy.recovered
+        assert unified.total_bits == legacy.total_bits
+
+    # The composite protocols keep their legacy function bodies (for the
+    # custom-callable parameters); these pins stop the registered party
+    # versions from silently diverging from them.
+
+    def _assert_equivalent(self, unified, legacy):
+        assert unified.success == legacy.success, (unified.details, legacy.details)
+        assert unified.recovered == legacy.recovered
+        assert unified.total_bits == legacy.total_bits
+        assert unified.num_rounds == legacy.num_rounds
+
+    def test_degree_order_matches_legacy(self):
+        alice, bob, kwargs = protocol_instances()["degree_order"]
+        unified = repro.reconcile(alice, bob, protocol="degree_order", seed=99, **kwargs)
+        legacy = repro.reconcile_degree_order(
+            alice, bob, kwargs["difference_bound"], kwargs["num_top"], 99
+        )
+        self._assert_equivalent(unified, legacy)
+        assert unified.details == legacy.details
+
+    def test_degree_neighborhood_matches_legacy(self):
+        alice, bob, kwargs = protocol_instances()["degree_neighborhood"]
+        unified = repro.reconcile(
+            alice, bob, protocol="degree_neighborhood", seed=99, **kwargs
+        )
+        legacy = repro.reconcile_degree_neighborhood(
+            alice, bob, kwargs["difference_bound"], kwargs["max_degree"], 99
+        )
+        self._assert_equivalent(unified, legacy)
+        assert unified.details == legacy.details
+
+    def test_forest_matches_legacy(self):
+        alice, bob, kwargs = protocol_instances()["forest"]
+        unified = repro.reconcile(alice, bob, protocol="forest", seed=99, **kwargs)
+        legacy = repro.reconcile_forest(
+            alice, bob, kwargs["difference_bound"], None, 99
+        )
+        self._assert_equivalent(unified, legacy)
+        assert unified.details == legacy.details
+
+    def test_db_matches_legacy(self):
+        alice, bob, kwargs = protocol_instances()["db"]
+        unified = repro.reconcile(alice, bob, protocol="db", seed=99, **kwargs)
+        legacy = repro.reconcile_tables(alice, bob, kwargs["difference_bound"], 99)
+        self._assert_equivalent(unified, legacy)
+
+    def test_documents_matches_legacy(self):
+        alice, bob, kwargs = protocol_instances()["documents"]
+        unified = repro.reconcile(alice, bob, protocol="documents", seed=99, **kwargs)
+        legacy = repro.reconcile_collections(
+            alice, bob, kwargs["difference_bound"], 99
+        )
+        self._assert_equivalent(unified, legacy)
+
+    def test_labeled_and_exhaustive_match_legacy(self):
+        alice, bob, kwargs = protocol_instances()["labeled"]
+        for bound in (kwargs["difference_bound"], None):
+            unified = repro.reconcile(
+                alice, bob, protocol="labeled", seed=99, difference_bound=bound
+            )
+            legacy = repro.reconcile_labeled_graphs(alice, bob, bound, 99)
+            self._assert_equivalent(unified, legacy)
+            assert unified.details == legacy.details
+        unified = repro.reconcile(alice, bob, protocol="exhaustive", seed=99,
+                                  difference_bound=1)
+        legacy = repro.reconcile_exhaustive(alice, bob, 1, 99)
+        self._assert_equivalent(unified, legacy)
+
+
+class TestDocsSync:
+    def test_table_mentions_every_protocol(self):
+        table = registry_table_markdown()
+        for name in names():
+            assert f"`{name}`" in table
+
+    def test_readme_table_in_sync(self):
+        readme = Path(__file__).resolve().parents[2] / "README.md"
+        content = readme.read_text()
+        for line in registry_table_markdown().strip().splitlines():
+            assert line in content, f"README protocol table out of date: {line!r}"
