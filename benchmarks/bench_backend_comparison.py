@@ -25,6 +25,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.cli import benchmark_config, benchmark_parser
 from repro.bench.reporting import write_benchmark_record
 from repro.iblt import IBLT, IBLTParameters, NumpyCellStore
 
@@ -132,9 +133,13 @@ def test_numpy_backend_speedup_floor(benchmark):
 
 
 def main() -> None:
+    args = benchmark_parser(
+        "IBLT cell-store backend comparison",
+        Path(__file__).resolve().parent.parent / "BENCH_backends.json",
+    ).parse_args()
     if not NumpyCellStore.available():
         sys.exit("NumPy is required for the backend comparison")
-    rows = compare()
+    rows = compare(seed=args.seed)
     for row in rows:
         print(
             f"n={row['n']:>7}  python={row['python']['total_s']:.3f}s  "
@@ -146,7 +151,7 @@ def main() -> None:
         sys.exit(
             f"speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
         )
-    output = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+    output = args.output
     write_benchmark_record(
         output,
         benchmark="bench_backend_comparison",
@@ -154,6 +159,7 @@ def main() -> None:
             "IBLT encode+subtract+decode wall-clock per cell-store "
             "backend; identical recovered sets asserted per size"
         ),
+        config=benchmark_config(args.seed, sizes=list(SIZES)),
         key_bits=KEY_BITS,
         speedup_floor=SPEEDUP_FLOOR,
         results=rows,

@@ -28,6 +28,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.cli import DEFAULT_SEED, benchmark_config, benchmark_parser
 from repro.bench.reporting import write_benchmark_record
 from repro.core.setrecon.cpi import cpi_decode, cpi_encode
 from repro.field import NumpyFieldKernel
@@ -51,7 +52,9 @@ def _instance(size: int, difference: int, seed: int) -> tuple[set[int], set[int]
     return alice, bob
 
 
-def _run_kernel(kernel: str, difference: int, seed: int = 2018, rounds: int = ROUNDS) -> dict:
+def _run_kernel(
+    kernel: str, difference: int, seed: int = DEFAULT_SEED, rounds: int = ROUNDS
+) -> dict:
     """Encode + decode under one kernel; timings are best-of-``rounds``."""
     alice, bob = _instance(SET_SIZE, difference, seed=difference * 1000 + seed)
 
@@ -80,7 +83,7 @@ def _run_kernel(kernel: str, difference: int, seed: int = 2018, rounds: int = RO
     }
 
 
-def compare(differences=DIFFERENCES) -> list[dict]:
+def compare(differences=DIFFERENCES, seed: int = DEFAULT_SEED) -> list[dict]:
     """Run both kernels per difference; assert bit-identical protocol data.
 
     Measurement rounds for the two kernels are interleaved so load spikes
@@ -89,13 +92,13 @@ def compare(differences=DIFFERENCES) -> list[dict]:
     """
     rows = []
     for difference in differences:
-        python_run = _run_kernel("python", difference, rounds=2)  # warmup
-        numpy_run = _run_kernel("numpy", difference, rounds=2)
+        python_run = _run_kernel("python", difference, seed=seed, rounds=2)  # warmup
+        numpy_run = _run_kernel("numpy", difference, seed=seed, rounds=2)
         python_best: dict = python_run
         numpy_best: dict = numpy_run
         for _ in range(ROUNDS):
-            python_run = _run_kernel("python", difference, rounds=1)
-            numpy_run = _run_kernel("numpy", difference, rounds=3)
+            python_run = _run_kernel("python", difference, seed=seed, rounds=1)
+            numpy_run = _run_kernel("numpy", difference, seed=seed, rounds=3)
             for key in ("encode_s", "decode_s"):
                 python_best[key] = min(python_best[key], python_run[key])
                 numpy_best[key] = min(numpy_best[key], numpy_run[key])
@@ -167,9 +170,13 @@ def test_numpy_kernel_speedup_floor(benchmark):
 
 
 def main() -> None:
+    args = benchmark_parser(
+        "CPI field-kernel comparison",
+        Path(__file__).resolve().parent.parent / "BENCH_field_kernels.json",
+    ).parse_args()
     if not NumpyFieldKernel.available():
         sys.exit("NumPy is required for the field-kernel comparison")
-    rows = compare()
+    rows = compare(seed=args.seed)
     for row in rows:
         print(
             f"n={row['n']}  d={row['d']:>3}  "
@@ -182,7 +189,7 @@ def main() -> None:
         sys.exit(
             f"decode speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
         )
-    output = Path(__file__).resolve().parent.parent / "BENCH_field_kernels.json"
+    output = args.output
     write_benchmark_record(
         output,
         benchmark="bench_field_kernels",
@@ -190,6 +197,7 @@ def main() -> None:
             "CPI encode/decode wall-clock per GF(p) field kernel; "
             "bit-identical evaluations and recovered sets asserted per d"
         ),
+        config=benchmark_config(args.seed, differences=list(DIFFERENCES)),
         universe=UNIVERSE,
         set_size=SET_SIZE,
         speedup_floor=SPEEDUP_FLOOR,

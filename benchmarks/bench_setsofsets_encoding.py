@@ -35,6 +35,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
+from repro.bench.cli import DEFAULT_SEED, benchmark_config, benchmark_parser
 from repro.bench.reporting import write_benchmark_record
 from repro.core.setsofsets.encoding import ChildEncodingScheme
 from repro.core.setsofsets.iblt_of_iblts import reconcile_iblt_of_iblts
@@ -51,7 +52,7 @@ SPEEDUP_FLOOR = 4.0  # acceptance bar for encode_all at s = HEADLINE_S, numpy
 ROUNDS = 5  # interleaved measurement rounds per (backend, s)
 
 
-def _scheme(seed: int = 2018) -> ChildEncodingScheme:
+def _scheme(seed: int = DEFAULT_SEED) -> ChildEncodingScheme:
     """The child encoding scheme the flat IBLT-of-IBLTs protocol uses."""
     params = IBLTParameters.for_difference(
         CHILD_DIFFERENCE_BOUND,
@@ -84,7 +85,9 @@ def _time_paths(scheme, children, backend: str) -> tuple[float, float, list[int]
     return loop_s, batch_s, batch_keys
 
 
-def compare(s_values=S_VALUES, rounds: int = ROUNDS) -> list[dict]:
+def compare(
+    s_values=S_VALUES, rounds: int = ROUNDS, seed: int = DEFAULT_SEED
+) -> list[dict]:
     """Time both paths per backend and s; assert bit-identical encodings.
 
     Measurement rounds for the two backends are interleaved so load spikes
@@ -92,10 +95,10 @@ def compare(s_values=S_VALUES, rounds: int = ROUNDS) -> list[dict]:
     (the standard microbenchmark guard against one-sided noise).
     """
     backends = ["python"] + (["numpy"] if NumpyCellStore.available() else [])
-    scheme = _scheme()
+    scheme = _scheme(seed)
     rows = []
     for num_children in s_values:
-        children = _children(num_children)
+        children = _children(num_children, seed=seed + 7)
         best = {backend: [float("inf"), float("inf")] for backend in backends}
         keys = {}
         for _ in range(rounds):
@@ -198,9 +201,13 @@ def test_numpy_encode_all_speedup_floor(benchmark):
 
 
 def main() -> None:
+    args = benchmark_parser(
+        "Sets-of-sets child-encoding comparison",
+        Path(__file__).resolve().parent.parent / "BENCH_setsofsets.json",
+    ).parse_args()
     if not NumpyCellStore.available():
         sys.exit("NumPy is required for the sets-of-sets encoding comparison")
-    rows = compare()
+    rows = compare(seed=args.seed)
     for row in rows:
         numpy_times = row["numpy"]
         python_times = row["python"]
@@ -211,14 +218,14 @@ def main() -> None:
             f"speedup={row['speedup']:.1f}x  "
             f"(python loop={python_times['encode_loop_s']*1000:.2f} ms)"
         )
-    protocol_row = protocol_cross_backend()
+    protocol_row = protocol_cross_backend(seed=args.seed)
     headline = next(row for row in rows if row["s"] == HEADLINE_S)
     if headline["speedup"] < SPEEDUP_FLOOR:
         sys.exit(
             f"encode_all speedup {headline['speedup']}x below the "
             f"{SPEEDUP_FLOOR}x floor"
         )
-    output = Path(__file__).resolve().parent.parent / "BENCH_setsofsets.json"
+    output = args.output
     write_benchmark_record(
         output,
         benchmark="bench_setsofsets_encoding",
@@ -227,6 +234,7 @@ def main() -> None:
             "backend; bit-identical encodings, transcripts and recovered sets "
             "asserted across backends"
         ),
+        config=benchmark_config(args.seed, s_values=list(S_VALUES)),
         universe=UNIVERSE,
         child_size=CHILD_SIZE,
         child_difference_bound=CHILD_DIFFERENCE_BOUND,

@@ -8,6 +8,7 @@ experiment can also be run standalone, e.g.::
     python -m repro.bench.table1
 """
 
+from repro.bench.cli import DEFAULT_SEED, benchmark_config, benchmark_parser
 from repro.bench.runner import ProtocolMeasurement, measure_protocol, summarize
 from repro.bench.reporting import (
     BENCHMARK_RECORDS,
@@ -20,6 +21,9 @@ from repro.bench.reporting import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
+    "benchmark_config",
+    "benchmark_parser",
     "ProtocolMeasurement",
     "measure_protocol",
     "summarize",

@@ -1,0 +1,50 @@
+"""The shared CLI/seed convention for standalone benchmark scripts.
+
+Every ``benchmarks/bench_*.py`` with a standalone ``main()`` used to
+hard-code its seeds inline, so two runs of "the same" benchmark could
+silently measure different instances and the ``BENCH_*.json`` records never
+said which configuration produced them.  This module is the one convention
+they all share now:
+
+* :func:`benchmark_parser` -- an ``argparse`` parser with the common flags
+  (``--seed`` defaulting to :data:`DEFAULT_SEED`, ``--output`` overriding
+  the record path);
+* :func:`benchmark_config` -- the ``config`` dict embedded verbatim in the
+  written ``BENCH_*.json`` record, so every record names the exact seed and
+  knobs that produced it and a reader can rerun it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Any
+
+#: The default top-level seed every standalone benchmark runs with.
+DEFAULT_SEED = 2018
+
+
+def benchmark_parser(
+    description: str, default_output: str | Path | None = None
+) -> argparse.ArgumentParser:
+    """The shared argument parser for standalone benchmark ``main()``-s."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"top-level benchmark seed (default: {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(default_output) if default_output is not None else None,
+        help="where to write the BENCH_*.json record"
+        + (" (default: %(default)s)" if default_output is not None else ""),
+    )
+    return parser
+
+
+def benchmark_config(seed: int, **knobs: Any) -> dict[str, Any]:
+    """The ``config`` block a benchmark record embeds: seed plus named knobs."""
+    return {"seed": seed, **knobs}

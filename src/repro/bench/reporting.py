@@ -19,6 +19,7 @@ BENCHMARK_RECORDS = {
     "cell_backend": "BENCH_backends.json",
     "field_kernel": "BENCH_field_kernels.json",
     "setsofsets_encoding": "BENCH_setsofsets.json",
+    "service_throughput": "BENCH_service.json",
 }
 
 

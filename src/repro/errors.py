@@ -39,6 +39,14 @@ class ParameterError(ReproError, ValueError):
     """Raised when a caller supplies invalid or inconsistent parameters."""
 
 
+class ServiceError(ReproError):
+    """Raised when the reconciliation service cannot run a session at all
+    (failed hello negotiation, unsupported protocol, malformed control frame).
+
+    Transport-level failures inside an accepted session raise
+    :class:`ReconciliationError` like every other transport."""
+
+
 class CapacityError(ReproError):
     """Raised when a fixed-capacity structure would overflow (e.g. a key wider
     than the IBLT's configured key width)."""

@@ -32,11 +32,18 @@ from repro.protocols.registry import (
 )
 from repro.protocols.session import Session, SessionResult, run_session
 from repro.protocols.transports import (
+    FRAME_CONTROL,
+    FRAME_FIN,
+    FRAME_MESSAGE,
+    Frame,
     InMemoryTransport,
     MessageMeasurement,
     SerializingTransport,
     SocketTransport,
     Transport,
+    outcome_from_stop,
+    pack_frame,
+    read_frame,
     run_party,
 )
 from repro.protocols.wire import (
@@ -66,11 +73,18 @@ __all__ = [
     "Session",
     "SessionResult",
     "run_session",
+    "FRAME_CONTROL",
+    "FRAME_FIN",
+    "FRAME_MESSAGE",
+    "Frame",
     "InMemoryTransport",
     "MessageMeasurement",
     "SerializingTransport",
     "SocketTransport",
     "Transport",
+    "outcome_from_stop",
+    "pack_frame",
+    "read_frame",
     "run_party",
     "NULL_CODEC",
     "EstimatorCodec",

@@ -23,7 +23,7 @@ from repro.comm import ReconciliationResult, Transcript
 from repro.errors import ReconciliationError
 from repro.field.kernels import use_kernel
 from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
-from repro.protocols.transports import InMemoryTransport, Transport
+from repro.protocols.transports import InMemoryTransport, Transport, outcome_from_stop
 
 
 @dataclass
@@ -130,15 +130,9 @@ class Session:
                             None if kind == "new" else value
                         )
                     except StopIteration as stop:
-                        outcome = stop.value
-                        if outcome is None:
-                            outcome = PartyOutcome(True)
-                        elif not isinstance(outcome, PartyOutcome):
-                            raise ReconciliationError(
-                                f"party {role!r} returned {outcome!r}; "
-                                "expected a PartyOutcome"
-                            ) from None
-                        outcomes[role] = outcome
+                        outcomes[role] = outcome_from_stop(
+                            stop.value, who=f"party {role!r}"
+                        )
                         progressed = True
                         break
                     progressed = True

@@ -17,10 +17,15 @@ Three implementations of one interface:
   :class:`SerializingTransport`'s measurements: a small uncharged header
   (sender, label, claimed ``size_bits``, payload length) followed by the
   codec-encoded payload bytes.
+
+The asyncio sibling, :class:`repro.service.AsyncSocketTransport`, speaks the
+exact same frames through the packing/parsing helpers defined here, so the
+blocking and event-loop transports interoperate on one wire.
 """
 
 from __future__ import annotations
 
+import socket as _socket
 import struct
 from dataclasses import dataclass
 from typing import Any
@@ -146,27 +151,141 @@ class SerializingTransport(Transport):
 
 
 # ---------------------------------------------------------------------------
-# Real byte streams: frames and the single-party driver
+# Real byte streams: the shared frame layer and the single-party driver
 # ---------------------------------------------------------------------------
+#
+# One frame format is shared by every byte-stream transport in the library:
+# the blocking :class:`SocketTransport` below and the asyncio
+# :class:`repro.service.AsyncSocketTransport` (plus the sync service's hello
+# negotiation, which rides on the HELLO frame kind).  Helpers here do all the
+# packing/parsing so the two transports cannot drift, and every malformed or
+# truncated frame surfaces as a clean :class:`ReconciliationError` instead of
+# a leaked ``struct.error`` / ``UnicodeDecodeError`` / raw ``OSError``.
 
-_FRAME_MESSAGE = 0
-_FRAME_FIN = 1
+FRAME_MESSAGE = 0
+FRAME_FIN = 1
+#: Control frames used by the sync service's hello/ack/stats negotiation
+#: (see :mod:`repro.service.hello`); never produced by a protocol session.
+FRAME_CONTROL = 2
 
 #: struct layout of the fixed part of a frame header:
 #: type (B), sender length (B), label length (H), size_bits (Q), payload length (I)
-_HEADER = struct.Struct("!BBHQI")
+FRAME_HEADER = struct.Struct("!BBHQI")
+
+#: Sanity cap on a single frame's payload (64 MiB).  No message in the
+#: library comes anywhere close; a corrupt or hostile header must not make
+#: the receiver wait for gigabytes that will never arrive.
+MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One parsed wire frame."""
+
+    kind: int
+    sender: str
+    label: str
+    size_bits: int
+    payload: bytes
+
+
+def pack_frame(
+    kind: int, sender: str = "", label: str = "", size_bits: int = 0,
+    payload: bytes = b"",
+) -> bytes:
+    """Serialize one frame (header + sender + label + payload).
+
+    The sender-side twin of the receive-path checks: fields that do not fit
+    the header layout, or a payload over :data:`MAX_FRAME_PAYLOAD`, raise a
+    clean :class:`ReconciliationError` here instead of being sent and
+    refused by the peer (or leaking a ``struct.error`` mid-send).
+    """
+    sender_bytes = sender.encode()
+    label_bytes = label.encode()
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ReconciliationError(
+            f"message {label!r} serialized to {len(payload)} bytes, over the "
+            f"{MAX_FRAME_PAYLOAD}-byte frame cap; split the instance "
+            "(e.g. shard it) instead of sending one monolithic sketch"
+        )
+    try:
+        header = FRAME_HEADER.pack(
+            kind, len(sender_bytes), len(label_bytes), size_bits, len(payload)
+        )
+    except struct.error as exc:
+        raise ReconciliationError(
+            f"frame fields do not fit the header layout "
+            f"(sender {len(sender_bytes)} B, label {len(label_bytes)} B, "
+            f"size_bits {size_bits}): {exc}"
+        ) from exc
+    return header + sender_bytes + label_bytes + payload
+
+
+def parse_frame_header(header: bytes) -> tuple[int, int, int, int, int]:
+    """Parse the fixed header; returns ``(kind, sender_len, label_len, size_bits,
+    payload_len)`` and validates the payload sanity cap."""
+    try:
+        kind, sender_len, label_len, size_bits, payload_len = FRAME_HEADER.unpack(
+            header
+        )
+    except struct.error as exc:
+        raise ReconciliationError(f"malformed frame header: {exc}") from exc
+    if payload_len > MAX_FRAME_PAYLOAD:
+        raise ReconciliationError(
+            f"frame claims a {payload_len}-byte payload "
+            f"(cap {MAX_FRAME_PAYLOAD}); refusing to read it"
+        )
+    return kind, sender_len, label_len, size_bits, payload_len
+
+
+def assemble_frame(
+    kind: int, sender_len: int, label_len: int, size_bits: int, body: bytes
+) -> Frame:
+    """Build a :class:`Frame` from a parsed header and the frame body
+    (``sender + label + payload`` concatenated)."""
+    try:
+        sender = body[:sender_len].decode()
+        label = body[sender_len : sender_len + label_len].decode()
+    except UnicodeDecodeError as exc:
+        raise ReconciliationError(f"undecodable frame metadata: {exc}") from exc
+    return Frame(kind, sender, label, size_bits, body[sender_len + label_len :])
+
+
+def enable_nodelay(sock) -> None:
+    """Set ``TCP_NODELAY`` on a socket, ignoring sockets that lack it.
+
+    Protocol frames are small and latency-bound; Nagle's algorithm only adds
+    round-trip delay.  Non-TCP sockets (``socketpair``, AF_UNIX) raise
+    ``OSError`` and are left alone.
+    """
+    try:
+        sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):
+        pass
 
 
 def _recv_exact(sock, length: int) -> bytes:
     chunks = []
     remaining = length
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise ReconciliationError(f"socket receive failed: {exc}") from exc
         if not chunk:
             raise ReconciliationError("peer closed the connection mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+def read_frame(sock) -> Frame:
+    """Read one complete frame from a blocking socket (clean errors on EOF)."""
+    kind, sender_len, label_len, size_bits, payload_len = parse_frame_header(
+        _recv_exact(sock, FRAME_HEADER.size)
+    )
+    body = _recv_exact(sock, sender_len + label_len + payload_len)
+    return assemble_frame(kind, sender_len, label_len, size_bits, body)
 
 
 class SocketTransport:
@@ -187,34 +306,37 @@ class SocketTransport:
         self.role = role
         self.strict = strict
         self.measurements: list[MessageMeasurement] = []
+        enable_nodelay(sock)
 
     # -- frame I/O ------------------------------------------------------------------
+
+    def _sendall(self, data: bytes) -> None:
+        try:
+            self.sock.sendall(data)
+        except OSError as exc:
+            raise ReconciliationError(f"socket send failed: {exc}") from exc
 
     def send_message(self, send: Send) -> None:
         data = _encode_and_measure(
             self.role, send, self.measurements, self.strict, self.name
         )
-        sender = self.role.encode()
-        label = send.label.encode()
-        header = _HEADER.pack(
-            _FRAME_MESSAGE, len(sender), len(label), send.size_bits, len(data)
+        self._sendall(
+            pack_frame(FRAME_MESSAGE, self.role, send.label, send.size_bits, data)
         )
-        self.sock.sendall(header + sender + label + data)
 
     def send_fin(self) -> None:
-        self.sock.sendall(_HEADER.pack(_FRAME_FIN, 0, 0, 0, 0))
+        self._sendall(pack_frame(FRAME_FIN))
 
     def receive_message(self) -> tuple[str, str, int, bytes] | None:
         """The next frame as ``(sender, label, size_bits, data)``; ``None`` on FIN."""
-        kind, sender_len, label_len, size_bits, payload_len = _HEADER.unpack(
-            _recv_exact(self.sock, _HEADER.size)
-        )
-        if kind == _FRAME_FIN:
+        frame = read_frame(self.sock)
+        if frame.kind == FRAME_FIN:
             return None
-        sender = _recv_exact(self.sock, sender_len).decode()
-        label = _recv_exact(self.sock, label_len).decode()
-        data = _recv_exact(self.sock, payload_len)
-        return sender, label, size_bits, data
+        if frame.kind != FRAME_MESSAGE:
+            raise ReconciliationError(
+                f"unexpected frame kind {frame.kind} mid-session"
+            )
+        return frame.sender, frame.label, frame.size_bits, frame.payload
 
 
 def run_party(
@@ -233,9 +355,26 @@ def run_party(
         # codec raised -- so its blocking recv fails fast instead of hanging.
         try:
             transport.send_fin()
-        except OSError:
+        except (OSError, ReconciliationError):
             pass  # peer already gone; the primary error (if any) propagates
     return outcome, transcript
+
+
+def outcome_from_stop(stop_value, who: str = "party") -> PartyOutcome:
+    """Normalize a party generator's return value into a :class:`PartyOutcome`.
+
+    The single normalization point shared by every party driver: the
+    in-memory session loop, the blocking socket driver above and the asyncio
+    driver in :mod:`repro.service.transport`.  ``who`` names the offender in
+    the error (the session loop passes the role).
+    """
+    if stop_value is None:
+        return PartyOutcome(True)
+    if isinstance(stop_value, PartyOutcome):
+        return stop_value
+    raise ReconciliationError(
+        f"{who} returned {stop_value!r}; expected a PartyOutcome"
+    )
 
 
 def _drive_party(party, transport: SocketTransport, transcript: Transcript):
@@ -273,10 +412,4 @@ def _drive_party(party, transport: SocketTransport, transcript: Transcript):
                 )
             command = party.send(value)
     except StopIteration as stop:
-        if stop.value is None:
-            return PartyOutcome(True)
-        if isinstance(stop.value, PartyOutcome):
-            return stop.value
-        raise ReconciliationError(
-            f"party returned {stop.value!r}; expected a PartyOutcome"
-        ) from None
+        return outcome_from_stop(stop.value)

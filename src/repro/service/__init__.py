@@ -1,0 +1,64 @@
+"""The concurrent reconciliation service.
+
+Three pillars on top of the protocol-session layer
+(:mod:`repro.protocols`):
+
+* **Async sync server + client** -- :class:`SyncServer` multiplexes many
+  simultaneous protocol sessions on one event loop, speaking the same frame
+  format as the blocking :class:`~repro.protocols.transports.SocketTransport`
+  through :class:`AsyncSocketTransport`; :func:`areconcile` /
+  :func:`areconcile_sharded` / :func:`afetch_stats` are the client side, and
+  ``python -m repro.service`` is the CLI entry point.
+* **Sharded reconciliation** -- :func:`reconcile_sharded` splits one huge
+  instance into splitmix64 key-prefix shards, runs the per-shard sessions
+  (serially, on a process pool, or concurrently against a server), resplits
+  failed shards instead of failing the whole sync, and merges everything
+  into one result with exact aggregate bit accounting.
+* **Service metrics** -- :class:`ServiceMetrics` aggregates per-session
+  records (rounds, wire bytes vs. charged bits, retries, shard fan-out)
+  into the report served to ``stats`` requests.
+
+See docs/service.md for the architecture and failure model.
+"""
+
+from repro.service.client import (
+    afetch_stats,
+    areconcile,
+    areconcile_sharded,
+    fetch_stats_blocking,
+    reconcile_with_server,
+)
+from repro.service.hello import Hello, PeerStats, ShardRequest
+from repro.service.metrics import ServiceMetrics, SessionRecord
+from repro.service.server import SyncServer
+from repro.service.sharding import (
+    ShardPlan,
+    merge_sessions,
+    reconcile_sharded,
+    shard_input,
+    shard_of,
+    split_shard,
+)
+from repro.service.transport import AsyncSocketTransport, run_party_async
+
+__all__ = [
+    "AsyncSocketTransport",
+    "Hello",
+    "PeerStats",
+    "ServiceMetrics",
+    "SessionRecord",
+    "ShardPlan",
+    "ShardRequest",
+    "SyncServer",
+    "afetch_stats",
+    "areconcile",
+    "areconcile_sharded",
+    "fetch_stats_blocking",
+    "merge_sessions",
+    "reconcile_sharded",
+    "reconcile_with_server",
+    "run_party_async",
+    "shard_input",
+    "shard_of",
+    "split_shard",
+]

@@ -1,0 +1,196 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Three subcommands built around a deterministic demo workload (a seeded
+random set, so a server and its clients can agree on data without sharing
+files):
+
+* ``serve`` -- start a :class:`~repro.service.server.SyncServer` hosting the
+  demo set for the set protocols (``ibf``, ``cpi``) and a demo set-of-sets
+  for the structured protocols, then run until interrupted;
+* ``sync`` -- connect as a client whose copy of the demo set has a few
+  seeded mutations, reconcile over a named protocol, and print the result;
+* ``stats`` -- fetch and print the server's metrics report.
+
+Example::
+
+    python -m repro.service serve --port 8642 &
+    python -m repro.service sync --port 8642 --protocol ibf --mutations 12
+    python -m repro.service stats --port 8642
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+
+from repro.core.setsofsets.types import SetOfSets
+from repro.errors import ParameterError, ReproError
+from repro.hashing import derive_seed
+from repro.protocols.options import ReconcileOptions
+from repro.service.client import areconcile, areconcile_sharded, afetch_stats
+from repro.service.server import SyncServer
+
+DEFAULT_SEED = 2018
+DEFAULT_UNIVERSE = 1 << 20
+DEFAULT_SIZE = 4096
+
+
+def demo_set(universe: int, size: int, seed: int) -> set[int]:
+    """The deterministic demo dataset both sides derive from the seed."""
+    rng = random.Random(derive_seed(seed, "service-demo"))
+    return set(rng.sample(range(universe), size))
+
+
+def mutate_set(base: set[int], universe: int, mutations: int, seed: int) -> set[int]:
+    """A client copy differing from ``base`` in exactly ``mutations`` elements
+    (half seeded deletions, half seeded insertions)."""
+    rng = random.Random(derive_seed(seed, "service-demo-client"))
+    deletions = rng.sample(sorted(base), min(len(base), mutations // 2))
+    mutated = base - set(deletions)
+    insertions = mutations - len(deletions)
+    if insertions > universe - len(base):
+        raise ParameterError(
+            f"cannot insert {insertions} fresh elements: only "
+            f"{universe - len(base)} of the universe are unused"
+        )
+    while insertions:
+        element = rng.randrange(universe)
+        if element not in base and element not in mutated:
+            mutated.add(element)
+            insertions -= 1
+    return mutated
+
+
+def demo_set_of_sets(universe: int, size: int, seed: int) -> SetOfSets:
+    """A demo set-of-sets: the demo set chopped into 8-element children."""
+    ordered = sorted(demo_set(universe, size, seed))
+    return SetOfSets(ordered[i : i + 8] for i in range(0, len(ordered), 8))
+
+
+def mutate_set_of_sets(
+    base: SetOfSets, universe: int, mutations: int, seed: int
+) -> SetOfSets:
+    """A client copy with one seeded element change in ``mutations`` children."""
+    rng = random.Random(derive_seed(seed, "service-demo-client"))
+    children = [set(child) for child in sorted(base.children, key=sorted)]
+    for index in rng.sample(range(len(children)), min(len(children), mutations)):
+        children[index].add(rng.randrange(universe))
+    return SetOfSets(children)
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="demo-data seed shared by server and clients")
+    parser.add_argument("--universe", type=int, default=DEFAULT_UNIVERSE)
+    parser.add_argument("--size", type=int, default=DEFAULT_SIZE,
+                        help="demo dataset size")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__.splitlines()[0]
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the demo sync server")
+    _common_arguments(serve)
+
+    sync = commands.add_parser("sync", help="reconcile a mutated demo copy")
+    _common_arguments(sync)
+    sync.add_argument("--protocol", default="ibf",
+                      help="registered protocol name (default: ibf)")
+    sync.add_argument("--mutations", type=int, default=16,
+                      help="seeded mutations applied to the client copy")
+    sync.add_argument("--difference-bound", type=int, default=None,
+                      help="known difference bound d (omit for unknown-d)")
+    sync.add_argument("--shard-bits", type=int, default=0,
+                      help="run a sharded sync over 2^bits concurrent sessions")
+
+    stats = commands.add_parser("stats", help="print the server metrics report")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8642)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    demo = demo_set(args.universe, args.size, args.seed)
+    demo_sos = demo_set_of_sets(args.universe, args.size, args.seed)
+    datasets = {
+        "ibf": demo,
+        "cpi": demo,
+        "iblt_of_iblts": demo_sos,
+        "multiround": demo_sos,
+        "cascading": demo_sos,
+        "naive": demo_sos,
+    }
+    async with SyncServer(datasets, host=args.host, port=args.port) as server:
+        print(f"serving {sorted(datasets)} on {args.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+
+async def _sync(args: argparse.Namespace) -> int:
+    from repro.protocols import registry
+
+    if registry.get(args.protocol).input_kind == "set_of_sets":
+        base = demo_set_of_sets(args.universe, args.size, args.seed)
+        mine = mutate_set_of_sets(base, args.universe, args.mutations, args.seed)
+    else:
+        base = demo_set(args.universe, args.size, args.seed)
+        mine = mutate_set(base, args.universe, args.mutations, args.seed)
+    options = ReconcileOptions(
+        seed=args.seed,
+        universe_size=args.universe,
+        difference_bound=args.difference_bound,
+    )
+    if args.shard_bits:
+        result = await areconcile_sharded(
+            args.host, args.port, args.protocol, mine,
+            shard_bits=args.shard_bits, options=options,
+        )
+    else:
+        result = await areconcile(
+            args.host, args.port, args.protocol, mine, options=options
+        )
+    status = "reconciled" if result.success else "FAILED"
+    print(
+        f"{status}: {args.protocol} in {result.total_bits} bits over "
+        f"{result.num_rounds} round(s), {result.attempts} attempt(s)"
+    )
+    if result.success and result.recovered is not None:
+        matches = result.recovered == base
+        print(f"recovered the server dataset: {'yes' if matches else 'NO'}")
+        return 0 if matches else 1
+    return 0 if result.success else 1
+
+
+async def _stats(args: argparse.Namespace) -> None:
+    print(json.dumps(await afetch_stats(args.host, args.port), indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            asyncio.run(_serve(args))
+            return 0
+        if args.command == "sync":
+            return asyncio.run(_sync(args))
+        asyncio.run(_stats(args))
+        return 0
+    except KeyboardInterrupt:
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

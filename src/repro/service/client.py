@@ -1,0 +1,240 @@
+"""The aclient API: run protocol sessions against a :class:`SyncServer`.
+
+:func:`areconcile` is the network twin of :func:`repro.reconcile`: connect,
+send the hello (protocol name, desired role, wire options, public size
+statistics), build the local party from the registry once the ack arrives,
+and drive it over an :class:`~repro.service.transport.AsyncSocketTransport`.
+The default ``role="bob"`` recovers the server's dataset; ``role="alice"``
+pushes the client's data to the server instead.
+
+:func:`areconcile_sharded` runs one *sharded* reconciliation against the
+server: the client partitions its input into ``2^shard_bits`` key-prefix
+shards (:mod:`repro.service.sharding`), opens one concurrent session per
+shard (each hello carries the shard descriptor so the server restricts its
+dataset to the same shard), resplits failed shards one prefix bit deeper,
+and merges every per-shard result into a single
+:class:`~repro.comm.result.ReconciliationResult` whose transcript bits are
+exactly the sum over the shard sessions.
+
+Blocking convenience wrappers (:func:`reconcile_with_server`,
+:func:`fetch_stats_blocking`) cover scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.comm import ReconciliationResult
+from repro.errors import ServiceError
+from repro.protocols import registry
+from repro.protocols.options import ReconcileOptions
+from repro.protocols.transports import FRAME_CONTROL
+from repro.service.hello import (
+    ACK_LABEL,
+    HELLO_LABEL,
+    STATS_LABEL,
+    Hello,
+    PeerStats,
+    ShardRequest,
+    options_to_wire,
+    parse_ack,
+    placeholder_input,
+)
+from repro.service.sharding import (
+    ShardPlan,
+    ShardSession,
+    merge_sessions,
+    shard_input,
+    split_shard,
+)
+from repro.service.transport import AsyncSocketTransport, run_party_async
+
+
+async def _connect(host: str, port: int):
+    """Open a stream to the server, with connect failures in the library's
+    error taxonomy instead of a raw ``OSError``."""
+    try:
+        return await asyncio.open_connection(host, port)
+    except OSError as exc:
+        raise ServiceError(f"cannot reach the sync server at {host}:{port}: {exc}") from exc
+
+
+async def areconcile(
+    host: str,
+    port: int,
+    protocol: str,
+    data: Any,
+    *,
+    role: str = "bob",
+    options: ReconcileOptions | None = None,
+    strict: bool = True,
+    latency: float = 0.0,
+    shard: ShardRequest | None = None,
+    **overrides: Any,
+) -> ReconciliationResult:
+    """Run one session against the server; returns this endpoint's result.
+
+    With the default ``role="bob"``, ``result.recovered`` is the server's
+    dataset (restricted to ``shard`` if one is requested).  Negotiation
+    failures raise :class:`~repro.errors.ServiceError`; transport failures
+    mid-session raise :class:`~repro.errors.ReconciliationError` like any
+    other socket session.
+    """
+    if role not in ("alice", "bob"):
+        raise ServiceError("role must be 'alice' or 'bob'")
+    merged = (options if options is not None else ReconcileOptions()).merged(
+        **overrides
+    )
+    spec = registry.get(protocol)
+    hello = Hello(
+        protocol,
+        role,
+        options_to_wire(merged),
+        PeerStats.of(data).to_wire(),
+        shard,
+    )
+    reader, writer = await _connect(host, port)
+    transport = AsyncSocketTransport(
+        reader, writer, role, strict=strict, latency=latency
+    )
+    try:
+        await transport.send_frame(FRAME_CONTROL, HELLO_LABEL, payload=hello.to_json())
+        frame = await transport.receive_frame()
+        if frame.kind != FRAME_CONTROL or frame.label != ACK_LABEL:
+            raise ServiceError(
+                f"expected a hello-ack, got frame kind {frame.kind} "
+                f"label {frame.label!r}"
+            )
+        acked_options, server_stats = parse_ack(frame.payload)
+        placeholder = placeholder_input(spec.input_kind, server_stats)
+        if role == "alice":
+            build_alice, build_bob = data, placeholder
+        else:
+            build_alice, build_bob = placeholder, data
+        alice_party, bob_party = spec.build(build_alice, build_bob, acked_options)
+        party = alice_party if role == "alice" else bob_party
+        outcome, transcript = await run_party_async(party, transport)
+    finally:
+        await transport.aclose()
+    return ReconciliationResult(
+        outcome.success,
+        outcome.recovered,
+        transcript,
+        attempts=outcome.attempts,
+        details={
+            **outcome.details,
+            "wire_bytes_sent": transport.bytes_sent,
+            "wire_bytes_received": transport.bytes_received,
+        },
+    )
+
+
+async def afetch_stats(host: str, port: int) -> dict[str, Any]:
+    """Fetch the server's aggregate metrics report (the ``/stats`` call)."""
+    reader, writer = await _connect(host, port)
+    transport = AsyncSocketTransport(reader, writer, "bob")
+    try:
+        await transport.send_frame(
+            FRAME_CONTROL, HELLO_LABEL, payload=Hello(None, want_stats=True).to_json()
+        )
+        frame = await transport.receive_frame()
+        if frame.kind != FRAME_CONTROL or frame.label != STATS_LABEL:
+            raise ServiceError(
+                f"expected a stats frame, got kind {frame.kind} label {frame.label!r}"
+            )
+        return json.loads(frame.payload.decode())
+    finally:
+        await transport.aclose()
+
+
+async def areconcile_sharded(
+    host: str,
+    port: int,
+    protocol: str,
+    data: Any,
+    *,
+    shard_bits: int = 4,
+    role: str = "bob",
+    options: ReconcileOptions | None = None,
+    max_shard_bits: int = 12,
+    shard_safety: float = 2.0,
+    concurrency: int = 32,
+    strict: bool = True,
+    latency: float = 0.0,
+    **overrides: Any,
+) -> ReconciliationResult:
+    """Sharded reconciliation against the server: one session per shard.
+
+    Every shard session runs concurrently (bounded by ``concurrency``); a
+    failed shard is resplit one prefix bit deeper -- both sides re-partition
+    with the shared salt, so the two halves line up -- and retried with
+    fresh derived randomness, until ``max_shard_bits``.
+    """
+    merged = (options if options is not None else ReconcileOptions()).merged(
+        **overrides
+    )
+    plan = ShardPlan(
+        protocol,
+        shard_bits,
+        merged,
+        max_shard_bits=max_shard_bits,
+        shard_safety=shard_safety,
+    )
+    seed = merged.seed
+    shards = shard_input(data, shard_bits, seed)
+    semaphore = asyncio.Semaphore(max(1, concurrency))
+    sessions: list[ShardSession] = []
+
+    async def run_shard(bits: int, index: int, shard_data: Any) -> None:
+        async with semaphore:
+            result = await areconcile(
+                host,
+                port,
+                protocol,
+                shard_data,
+                role=role,
+                options=plan.options_for(bits, index),
+                strict=strict,
+                latency=latency,
+                shard=ShardRequest(bits, index, seed),
+            )
+        resplit = not result.success and bits < plan.max_shard_bits
+        sessions.append(
+            ShardSession(
+                bits,
+                index,
+                result.success,
+                result.recovered,
+                result.transcript,
+                result.attempts,
+                resplit=resplit,
+            )
+        )
+        if resplit:
+            left, right = split_shard(shard_data, bits, index, seed)
+            await asyncio.gather(
+                run_shard(bits + 1, 2 * index, left),
+                run_shard(bits + 1, 2 * index + 1, right),
+            )
+
+    await asyncio.gather(
+        *(run_shard(shard_bits, index, shard) for index, shard in enumerate(shards))
+    )
+    return merge_sessions(sessions, data)
+
+
+# ---------------------------------------------------------------------------
+# Blocking conveniences (scripts, the CLI)
+# ---------------------------------------------------------------------------
+
+
+def reconcile_with_server(*args: Any, **kwargs: Any) -> ReconciliationResult:
+    """Blocking wrapper around :func:`areconcile`."""
+    return asyncio.run(areconcile(*args, **kwargs))
+
+
+def fetch_stats_blocking(host: str, port: int) -> dict[str, Any]:
+    """Blocking wrapper around :func:`afetch_stats`."""
+    return asyncio.run(afetch_stats(host, port))

@@ -1,0 +1,247 @@
+"""Session negotiation: the hello/ack handshake the sync service speaks.
+
+Before a protocol session starts, the client sends one ``FRAME_CONTROL``
+frame labeled ``"hello"`` whose JSON payload names the registered protocol,
+the role the client wants to play, the wire-serializable subset of
+:class:`~repro.protocols.options.ReconcileOptions`, and -- for the
+set-of-sets protocols -- the client input's *public size statistics*
+(``num_children``, ``total_elements``, ``max_child_size``).  Those
+statistics are exactly the quantities the paper's protocol statements assume
+both parties know; exchanging them in the hello lets both endpoints build
+identical shared contexts even though each only holds its own data.
+
+The server replies with a ``"hello-ack"`` control frame: either
+``{"ok": true, "options": ..., "stats": ...}`` echoing the canonicalized
+options plus the *server* input's public statistics, or ``{"ok": false,
+"error": ...}``, which the client surfaces as a
+:class:`~repro.errors.ServiceError`.
+
+A hello may also carry a ``shard`` descriptor (``{"bits", "index", "seed"}``)
+asking the server to restrict its dataset to one splitmix64 key-prefix shard
+(see :mod:`repro.service.sharding`), or ``{"stats": true}`` to request the
+service metrics report instead of a session.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.protocols.options import ReconcileOptions
+
+#: Control-frame labels of the handshake.
+HELLO_LABEL = "hello"
+ACK_LABEL = "hello-ack"
+STATS_LABEL = "stats"
+
+#: Handshake version; bumped on incompatible changes to the JSON shapes.
+SERVICE_VERSION = 1
+
+#: Input kinds the service can host.  The party builders for these kinds
+#: only consume the peer's *public statistics* (exchanged in the hello), so
+#: a placeholder peer input is safe; graph/forest/table/document protocols
+#: derive shared context from both inputs in ways a hello cannot carry yet.
+SERVED_INPUT_KINDS = ("set", "set_of_sets")
+
+_OPTION_FIELDS = {f.name for f in dataclasses.fields(ReconcileOptions)}
+_UNSERIALIZABLE_OPTIONS = ("estimator_factory",)
+
+
+def options_to_wire(options: ReconcileOptions) -> dict[str, Any]:
+    """The JSON-safe dict form of ``options`` (defaults omitted).
+
+    Raises :class:`ServiceError` for options that cannot travel (a custom
+    ``estimator_factory`` is a Python callable; sessions that need one are
+    restricted to in-process transports).
+    """
+    for name in _UNSERIALIZABLE_OPTIONS:
+        if getattr(options, name) is not None:
+            raise ServiceError(
+                f"option {name!r} is not wire-serializable; "
+                "the service only supports the default"
+            )
+    defaults = ReconcileOptions()
+    wire = {}
+    for field in dataclasses.fields(options):
+        if field.name in _UNSERIALIZABLE_OPTIONS:
+            continue
+        value = getattr(options, field.name)
+        if value != getattr(defaults, field.name):
+            wire[field.name] = value
+    return wire
+
+
+def options_from_wire(wire: dict[str, Any]) -> ReconcileOptions:
+    """Rebuild a :class:`ReconcileOptions` from its wire dict."""
+    unknown = set(wire) - (_OPTION_FIELDS - set(_UNSERIALIZABLE_OPTIONS))
+    if unknown:
+        raise ServiceError(f"unknown option(s) in hello: {sorted(unknown)}")
+    return ReconcileOptions().merged(**wire)
+
+
+@dataclass(frozen=True)
+class PeerStats:
+    """Public size statistics of one set-of-sets input.
+
+    Stands in for the peer's input when building parties: the set-of-sets
+    context builders only read these three attributes off the inputs
+    (``context_for`` and ``_derived_max_child_size``), so a
+    :class:`PeerStats` carrying the peer's real statistics yields the exact
+    shared context an in-memory session over both real inputs would build.
+    """
+
+    num_children: int = 0
+    total_elements: int = 0
+    max_child_size: int = 0
+
+    def to_wire(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any] | None) -> "PeerStats":
+        if not wire:
+            return cls()
+        try:
+            return cls(
+                int(wire["num_children"]),
+                int(wire["total_elements"]),
+                int(wire["max_child_size"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed stats in hello: {wire!r}") from exc
+
+    @classmethod
+    def of(cls, data: Any) -> "PeerStats":
+        """The statistics of a real input (zeros for plain sets)."""
+        if hasattr(data, "num_children"):
+            return cls(data.num_children, data.total_elements, data.max_child_size)
+        return cls()
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """Ask the server to restrict its dataset to one key-prefix shard."""
+
+    bits: int
+    index: int
+    seed: int
+
+    def to_wire(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any] | None) -> "ShardRequest | None":
+        if wire is None:
+            return None
+        try:
+            return cls(int(wire["bits"]), int(wire["index"]), int(wire["seed"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed shard descriptor: {wire!r}") from exc
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The client's opening control payload."""
+
+    protocol: str | None
+    role: str = "bob"
+    options: dict[str, Any] = dataclasses.field(default_factory=dict)
+    stats: dict[str, int] | None = None
+    shard: ShardRequest | None = None
+    want_stats: bool = False
+
+    def to_json(self) -> bytes:
+        body: dict[str, Any] = {"version": SERVICE_VERSION}
+        if self.want_stats:
+            body["stats_request"] = True
+        else:
+            body.update(
+                protocol=self.protocol,
+                role=self.role,
+                options=self.options,
+                stats=self.stats,
+            )
+            if self.shard is not None:
+                body["shard"] = self.shard.to_wire()
+        return json.dumps(body).encode()
+
+    @classmethod
+    def from_json(cls, payload: bytes) -> "Hello":
+        try:
+            body = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"malformed hello payload: {exc}") from exc
+        if body.get("version") != SERVICE_VERSION:
+            raise ServiceError(
+                f"unsupported service version {body.get('version')!r} "
+                f"(this side speaks {SERVICE_VERSION})"
+            )
+        if body.get("stats_request"):
+            return cls(None, want_stats=True)
+        role = body.get("role", "bob")
+        if role not in ("alice", "bob"):
+            raise ServiceError(f"hello role must be 'alice' or 'bob', got {role!r}")
+        return cls(
+            body.get("protocol"),
+            role,
+            body.get("options") or {},
+            body.get("stats"),
+            ShardRequest.from_wire(body.get("shard")),
+        )
+
+
+def placeholder_input(input_kind: str, stats: PeerStats) -> Any:
+    """The stand-in for the peer's input when building a party locally.
+
+    Set protocols derive shared context from options alone, so an empty set
+    suffices; set-of-sets protocols read the public statistics exchanged in
+    the handshake off the placeholder.
+    """
+    if input_kind == "set":
+        return frozenset()
+    if input_kind == "set_of_sets":
+        return stats
+    raise ServiceError(
+        f"input kind {input_kind!r} is not served; "
+        f"supported kinds: {', '.join(SERVED_INPUT_KINDS)}"
+    )
+
+
+def ack_payload(
+    options: ReconcileOptions, stats: PeerStats
+) -> bytes:
+    """A successful ``hello-ack`` payload."""
+    return json.dumps(
+        {
+            "ok": True,
+            "version": SERVICE_VERSION,
+            "options": options_to_wire(options),
+            "stats": stats.to_wire(),
+        }
+    ).encode()
+
+
+def error_payload(message: str) -> bytes:
+    """A refusing ``hello-ack`` payload."""
+    return json.dumps(
+        {"ok": False, "version": SERVICE_VERSION, "error": message}
+    ).encode()
+
+
+def parse_ack(payload: bytes) -> tuple[ReconcileOptions, PeerStats]:
+    """Parse a ``hello-ack``; raises :class:`ServiceError` on refusal."""
+    try:
+        body = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed hello-ack payload: {exc}") from exc
+    if not body.get("ok"):
+        raise ServiceError(
+            f"server refused the session: {body.get('error', 'unknown error')}"
+        )
+    return (
+        options_from_wire(body.get("options") or {}),
+        PeerStats.from_wire(body.get("stats")),
+    )

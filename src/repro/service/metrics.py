@@ -1,0 +1,162 @@
+"""Service metrics: per-session records and aggregate counters.
+
+Every session the server (or the sharded engine) finishes is recorded as a
+:class:`SessionRecord`; :class:`ServiceMetrics` aggregates them into the
+counters the ``/stats`` report exposes -- sessions served/failed, rounds,
+raw bytes on the wire (frame headers included) vs. the bits the transcripts
+charged, protocol attempts beyond the first (``retries``, the repeated
+doubling variants), and shard fan-out (sessions run on behalf of sharded
+reconciliations, including recovery resplits).
+
+The report comes in two shapes: :meth:`ServiceMetrics.report` returns the
+JSON-safe dict served to ``stats`` control requests, and
+:meth:`ServiceMetrics.format_report` renders it through the benchmark
+harness's :func:`~repro.bench.reporting.format_table` for humans.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """What one finished session contributed to the aggregate counters."""
+
+    protocol: str
+    role: str
+    success: bool
+    rounds: int = 0
+    messages: int = 0
+    bits_charged: int = 0
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    attempts: int = 1
+    sharded: bool = False
+    error: str | None = None
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate service counters; safe to share across threads and tasks.
+
+    The asyncio server mutates this from one event loop, but the sharded
+    engine's process-pool path reports from worker futures, so updates take
+    a lock (uncontended in the common case).
+    """
+
+    sessions_started: int = 0
+    sessions_served: int = 0
+    sessions_failed: int = 0
+    rounds_total: int = 0
+    messages_total: int = 0
+    bits_charged_total: int = 0
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
+    retries: int = 0
+    shard_sessions: int = 0
+    shard_resplits: int = 0
+    stats_requests: int = 0
+    rejected_hellos: int = 0
+    by_protocol: dict[str, dict[str, int]] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -- recording ------------------------------------------------------------------
+
+    def record_start(self) -> None:
+        with self._lock:
+            self.sessions_started += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected_hellos += 1
+
+    def record_stats_request(self) -> None:
+        with self._lock:
+            self.stats_requests += 1
+
+    def record_resplit(self, count: int = 1) -> None:
+        with self._lock:
+            self.shard_resplits += count
+
+    def record_session(self, record: SessionRecord) -> None:
+        with self._lock:
+            if record.success:
+                self.sessions_served += 1
+            else:
+                self.sessions_failed += 1
+            self.rounds_total += record.rounds
+            self.messages_total += record.messages
+            self.bits_charged_total += record.bits_charged
+            self.wire_bytes_sent += record.wire_bytes_sent
+            self.wire_bytes_received += record.wire_bytes_received
+            self.retries += max(0, record.attempts - 1)
+            if record.sharded:
+                self.shard_sessions += 1
+            per = self.by_protocol.setdefault(
+                record.protocol,
+                {"served": 0, "failed": 0, "bits_charged": 0, "wire_bytes": 0},
+            )
+            per["served" if record.success else "failed"] += 1
+            per["bits_charged"] += record.bits_charged
+            per["wire_bytes"] += (
+                record.wire_bytes_sent + record.wire_bytes_received
+            )
+
+    # -- reporting ------------------------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        """The JSON-safe aggregate report served to ``stats`` requests."""
+        with self._lock:
+            return {
+                "sessions_started": self.sessions_started,
+                "sessions_served": self.sessions_served,
+                "sessions_failed": self.sessions_failed,
+                "rejected_hellos": self.rejected_hellos,
+                "stats_requests": self.stats_requests,
+                "rounds_total": self.rounds_total,
+                "messages_total": self.messages_total,
+                "bits_charged_total": self.bits_charged_total,
+                "wire_bytes_sent": self.wire_bytes_sent,
+                "wire_bytes_received": self.wire_bytes_received,
+                "wire_overhead_bytes": max(
+                    0,
+                    self.wire_bytes_sent
+                    + self.wire_bytes_received
+                    - (self.bits_charged_total + 7) // 8,
+                ),
+                "retries": self.retries,
+                "shard_sessions": self.shard_sessions,
+                "shard_resplits": self.shard_resplits,
+                "by_protocol": {
+                    name: dict(per) for name, per in sorted(self.by_protocol.items())
+                },
+            }
+
+    def format_report(self, title: str = "service metrics") -> str:
+        """Human-readable report (aggregate line plus a per-protocol table)."""
+        from repro.bench.reporting import format_table
+
+        report = self.report()
+        per_rows = [
+            {"protocol": name, **per} for name, per in report["by_protocol"].items()
+        ]
+        summary = (
+            f"{title}: {report['sessions_served']} served / "
+            f"{report['sessions_failed']} failed "
+            f"({report['sessions_started']} started, "
+            f"{report['rejected_hellos']} rejected), "
+            f"{report['rounds_total']} rounds, "
+            f"{report['bits_charged_total']} bits charged, "
+            f"{report['wire_bytes_sent'] + report['wire_bytes_received']} wire bytes, "
+            f"{report['retries']} retries, "
+            f"{report['shard_sessions']} shard sessions "
+            f"({report['shard_resplits']} resplits)"
+        )
+        if not per_rows:
+            return summary + "\n"
+        return summary + "\n" + format_table(per_rows)

@@ -1,0 +1,293 @@
+"""The asyncio sync server: many concurrent sessions on one event loop.
+
+:class:`SyncServer` accepts any number of simultaneous connections.  Each
+connection starts with the hello/ack handshake of :mod:`repro.service.hello`
+(protocol name, client role, wire options, public size statistics, optional
+shard restriction), after which the server builds its side of the named
+protocol from the registry and drives it with
+:func:`~repro.service.transport.run_party_async` -- one server-side party
+per connection, all multiplexed on a single event loop.  Blocking
+:class:`~repro.protocols.transports.SocketTransport` clients interoperate:
+the frame format is shared.
+
+The server is data-oriented: it is constructed with a mapping from protocol
+name to the dataset it serves for that protocol (its "side" of every
+session).  By default the server plays the role the client did not ask for
+-- a ``role="bob"`` client recovers the server's dataset, a ``role="alice"``
+client pushes its own.
+
+Per-session failures (a party raising, a codec over-running its budget, a
+client vanishing mid-frame) are contained: the connection is torn down, the
+failure is recorded in the shared :class:`~repro.service.metrics.ServiceMetrics`,
+and the server keeps serving.  A ``stats`` control request returns the
+metrics report without running a session.
+
+Concurrency note: the per-session ``field_kernel`` choice travels inside the
+options and is honored by the party builders themselves; the server
+deliberately does *not* use the scoped :func:`repro.field.use_kernel`
+override, whose process-global stack would leak across sessions interleaved
+on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+from repro.errors import ReproError, ServiceError
+from repro.protocols import registry
+from repro.protocols.transports import FRAME_CONTROL
+from repro.service.hello import (
+    ACK_LABEL,
+    HELLO_LABEL,
+    SERVED_INPUT_KINDS,
+    STATS_LABEL,
+    Hello,
+    PeerStats,
+    ack_payload,
+    error_payload,
+    options_from_wire,
+    placeholder_input,
+)
+from repro.service.metrics import ServiceMetrics, SessionRecord
+from repro.service.sharding import shard_input
+from repro.service.transport import AsyncSocketTransport, run_party_async
+
+#: How many (protocol, shard_bits, seed) partitions the server memoizes, so a
+#: sharded sync fanning out over one dataset partitions it once, not per
+#: connection.
+_SHARD_CACHE_SLOTS = 8
+
+
+class SyncServer:
+    """Serve reconciliation sessions for a set of named datasets.
+
+    Parameters
+    ----------
+    datasets:
+        ``protocol name -> server-side input``.  The input type must match
+        the protocol's registered ``input_kind`` (a set, a
+        :class:`~repro.core.setsofsets.types.SetOfSets`, or a
+        :class:`~repro.db.table.BinaryTable` reduced through a set-of-sets
+        protocol); only protocols with an entry are served.
+    host, port:
+        Listen address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    strict:
+        Enforce the byte-budget accounting on every outgoing message.
+    latency:
+        Simulated one-way wire delay per frame (benchmarks only).
+    metrics:
+        Optional shared :class:`ServiceMetrics`; one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        datasets: Mapping[str, Any],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        strict: bool = True,
+        latency: float = 0.0,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.datasets = dict(datasets)
+        self.host = host
+        self._requested_port = port
+        self.strict = strict
+        self.latency = latency
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._server: asyncio.AbstractServer | None = None
+        self._shard_cache: dict[tuple[str, int, int], list[Any]] = {}
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (does not block)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise ServiceError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "SyncServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # -- per-connection handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # The outgoing role is unknown until the hello names the client's;
+        # it is rewritten below before any session frame is sent.
+        transport = AsyncSocketTransport(
+            reader, writer, "bob", strict=self.strict, latency=self.latency
+        )
+        try:
+            await self._serve_one(transport)
+        except ReproError:
+            pass  # recorded where it happened; the connection is done either way
+        except asyncio.CancelledError:
+            return  # server shutting down mid-session; nothing left to serve
+        except Exception:
+            pass  # recorded as a failed session below; the server keeps serving
+        finally:
+            await transport.aclose()
+
+    async def _serve_one(self, transport: AsyncSocketTransport) -> None:
+        frame = await transport.receive_frame()
+        if frame.kind != FRAME_CONTROL or frame.label != HELLO_LABEL:
+            await self._refuse(transport, "expected a hello control frame")
+            return
+        try:
+            hello = Hello.from_json(frame.payload)
+        except ServiceError as exc:
+            await self._refuse(transport, str(exc))
+            return
+
+        if hello.want_stats:
+            self.metrics.record_stats_request()
+            await transport.send_frame(
+                FRAME_CONTROL,
+                STATS_LABEL,
+                payload=json.dumps(self.metrics.report()).encode(),
+            )
+            return
+
+        self.metrics.record_start()
+        try:
+            spec, dataset, options = self._negotiate(hello)
+        except ServiceError as exc:
+            self.metrics.record_rejected()
+            await self._refuse(transport, str(exc))
+            return
+
+        server_role = "bob" if hello.role == "alice" else "alice"
+        transport.role = server_role
+        client_stats = PeerStats.from_wire(hello.stats)
+        await transport.send_frame(
+            FRAME_CONTROL, ACK_LABEL, payload=ack_payload(options, PeerStats.of(dataset))
+        )
+
+        outcome = None
+        error: str | None = None
+        transcript = None
+        try:
+            placeholder = placeholder_input(spec.input_kind, client_stats)
+            if server_role == "alice":
+                build_alice, build_bob = dataset, placeholder
+            else:
+                build_alice, build_bob = placeholder, dataset
+            alice_party, bob_party = spec.build(build_alice, build_bob, options)
+            party = alice_party if server_role == "alice" else bob_party
+            outcome, transcript = await run_party_async(party, transport)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self.metrics.record_session(
+                SessionRecord(
+                    spec.name,
+                    server_role,
+                    bool(outcome is not None and outcome.success),
+                    rounds=transcript.num_rounds if transcript is not None else 0,
+                    messages=len(transcript) if transcript is not None else 0,
+                    bits_charged=(
+                        transcript.total_bits if transcript is not None else 0
+                    ),
+                    wire_bytes_sent=transport.bytes_sent,
+                    wire_bytes_received=transport.bytes_received,
+                    attempts=outcome.attempts if outcome is not None else 1,
+                    sharded=hello.shard is not None,
+                    error=error,
+                )
+            )
+
+    def _negotiate(self, hello: Hello):
+        """Resolve the hello into ``(spec, dataset, options)`` or refuse."""
+        if not hello.protocol:
+            raise ServiceError("hello names no protocol")
+        if hello.protocol not in registry.names():
+            raise ServiceError(f"unknown protocol {hello.protocol!r}")
+        spec = registry.get(hello.protocol)
+        if spec.input_kind not in SERVED_INPUT_KINDS:
+            raise ServiceError(
+                f"protocol {hello.protocol!r} has input kind {spec.input_kind!r}, "
+                f"which this service does not serve"
+            )
+        if hello.protocol not in self.datasets:
+            raise ServiceError(f"no dataset configured for {hello.protocol!r}")
+        options = options_from_wire(hello.options)
+        dataset = self.datasets[hello.protocol]
+        self._check_dataset_kind(hello.protocol, spec.input_kind, dataset)
+        if hello.shard is not None:
+            dataset = self._shard_dataset(hello, dataset)
+        return spec, dataset, options
+
+    @staticmethod
+    def _check_dataset_kind(protocol: str, input_kind: str, dataset: Any) -> None:
+        """Refuse at hello time when the configured dataset cannot feed the
+        protocol's party builder (a misconfiguration would otherwise escape
+        as an AttributeError after a successful ack)."""
+        if input_kind == "set":
+            valid = isinstance(dataset, (set, frozenset))
+        else:  # set_of_sets: the builders read the public size statistics
+            valid = all(
+                hasattr(dataset, name)
+                for name in ("num_children", "total_elements", "max_child_size")
+            )
+        if not valid:
+            raise ServiceError(
+                f"dataset configured for {protocol!r} is a "
+                f"{type(dataset).__name__}, which cannot feed a protocol "
+                f"with input kind {input_kind!r}"
+            )
+
+    def _shard_dataset(self, hello: Hello, dataset: Any):
+        shard = hello.shard
+        if not 0 <= shard.index < (1 << shard.bits):
+            raise ServiceError(
+                f"shard index {shard.index} out of range for {shard.bits} bits"
+            )
+        key = (hello.protocol, shard.bits, shard.seed)
+        partitioned = self._shard_cache.get(key)
+        if partitioned is None:
+            try:
+                partitioned = shard_input(dataset, shard.bits, shard.seed)
+            except ReproError as exc:
+                raise ServiceError(f"dataset cannot be sharded: {exc}") from exc
+            if len(self._shard_cache) >= _SHARD_CACHE_SLOTS:
+                self._shard_cache.pop(next(iter(self._shard_cache)))
+            self._shard_cache[key] = partitioned
+        return partitioned[shard.index]
+
+    async def _refuse(self, transport: AsyncSocketTransport, message: str) -> None:
+        try:
+            await transport.send_frame(
+                FRAME_CONTROL, ACK_LABEL, payload=error_payload(message)
+            )
+        except ReproError:
+            pass  # client already gone

@@ -1,0 +1,508 @@
+"""Sharded reconciliation: split one huge instance into key-prefix shards.
+
+A reconciliation over ``n = 10^5`` elements with ``d`` differences does not
+have to run as one monolithic session: hashing every key with the splitmix64
+finalizer and bucketing on the top ``b`` bits of the mixed value yields
+``2^b`` *shards* that partition both parties' data identically (the mixing
+seed is shared), so each shard is an independent reconciliation instance
+with an expected ``d / 2^b`` differences -- the balls-and-bins load split
+that tames hashing-based structures.  The engine here:
+
+* partitions sets (by element), sets-of-sets (by a child-content
+  fingerprint) and binary tables (by row) into shards.  Content sharding
+  sends the two versions of a *modified* child to different shards, so each
+  shard sees it as an unpartnered insertion/deletion: protocols that pay
+  per-child for unmatched children (``naive``, ``multiround``) shard
+  robustly, while ``iblt_of_iblts``/``cascading`` -- whose child sketches
+  assume similar pairs -- need child sketches sized for whole children;
+* runs the per-shard sessions -- serially, on a process pool
+  (CPU-bound decodes like CPI), or concurrently against a sync server
+  (:func:`repro.service.client.areconcile_sharded`);
+* scales the difference bound per shard (``ceil(shard_safety * d / 2^b)``)
+  and, instead of failing the whole reconciliation when one shard's decode
+  fails, *resplits* that shard one prefix bit deeper -- shard ``i`` at depth
+  ``b`` splits exactly into shards ``2i`` and ``2i + 1`` at depth ``b + 1``
+  with fresh derived randomness -- until :attr:`ShardPlan.max_shard_bits`;
+* merges the per-shard results into one
+  :class:`~repro.comm.result.ReconciliationResult` whose transcript is the
+  concatenation of every session transcript (failed attempts included --
+  those bits really crossed the wire), so the aggregate bit accounting is
+  exactly the sum of the shard transcripts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Iterable
+
+from repro.comm import ReconciliationResult, Transcript
+from repro.core.setsofsets.types import SetOfSets
+from repro.db.table import BinaryTable
+from repro.errors import ParameterError, ReconciliationError
+from repro.hashing import derive_seed
+from repro.hashing.mix import HAS_NUMPY, MASK64, fingerprint64, mix64
+from repro.protocols import registry
+from repro.protocols.options import ReconcileOptions
+
+#: Label mixed into the top-level seed to derive the shard-partition salt.
+_PARTITION_LABEL = "service-shard-partition"
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment: top-b bits of the mixed 64-bit key
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=64)
+def partition_salt(seed: int) -> int:
+    """The shared 64-bit salt both parties mix into shard assignment.
+
+    Cached: the scalar sharding loops call :func:`shard_of` once per key,
+    and one BLAKE2b digest per key would dominate the partitioning.
+    """
+    return derive_seed(seed, _PARTITION_LABEL) & MASK64
+
+
+def shard_of(key: int, shard_bits: int, seed: int) -> int:
+    """The shard index of one element key at depth ``shard_bits``.
+
+    Uses the *top* ``shard_bits`` bits of the mixed value, which makes shard
+    assignment prefix-consistent: the keys of shard ``i`` at depth ``b``
+    land exactly in shards ``2i`` and ``2i + 1`` at depth ``b + 1`` -- the
+    property the recursive resplit relies on.
+    """
+    if shard_bits == 0:
+        return 0
+    mixed = mix64(fingerprint64(key) ^ partition_salt(seed))
+    return mixed >> (64 - shard_bits)
+
+
+def child_shard_key(child: Iterable[int]) -> int:
+    """An order-independent 64-bit fingerprint of one child set's content.
+
+    Sets-of-sets (and binary tables, whose rows are child sets) shard by
+    child content.  A child that differs between the parties fingerprints
+    differently on each side, so the pair shows up as one deletion in one
+    shard and one insertion in another -- each shard still reconciles
+    independently and the union of shards recovers the full parent.
+    """
+    folded = 0
+    count = 0
+    for element in child:
+        folded ^= mix64(fingerprint64(element) + 1)
+        count += 1
+    return mix64(folded ^ count)
+
+
+def partition_set(items: Iterable[int], shard_bits: int, seed: int) -> list[set[int]]:
+    """Partition element keys into ``2^shard_bits`` shards (vectorized when
+    NumPy is available and every key fits 64 bits)."""
+    shards: list[set[int]] = [set() for _ in range(1 << shard_bits)]
+    if shard_bits == 0:
+        shards[0].update(items)
+        return shards
+    items = list(items)
+    if HAS_NUMPY and items and all(0 <= key < (1 << 64) for key in items):
+        import numpy as np
+
+        from repro.hashing.mix import mix64_array
+
+        keys = np.fromiter(items, dtype=np.uint64, count=len(items))
+        mixed = mix64_array(keys ^ np.uint64(partition_salt(seed)))
+        indices = (mixed >> np.uint64(64 - shard_bits)).astype(np.int64)
+        for key, index in zip(items, indices.tolist()):
+            shards[index].add(key)
+        return shards
+    for key in items:
+        shards[shard_of(key, shard_bits, seed)].add(key)
+    return shards
+
+
+def shard_input(data: Any, shard_bits: int, seed: int) -> list[Any]:
+    """Partition one protocol input into ``2^shard_bits`` same-typed inputs."""
+    if isinstance(data, SetOfSets):
+        buckets: list[list[frozenset[int]]] = [[] for _ in range(1 << shard_bits)]
+        for child in data.children:
+            buckets[shard_of(child_shard_key(child), shard_bits, seed)].append(child)
+        return [SetOfSets(bucket) for bucket in buckets]
+    if isinstance(data, BinaryTable):
+        buckets = [[] for _ in range(1 << shard_bits)]
+        for row in data.rows():
+            buckets[shard_of(child_shard_key(row), shard_bits, seed)].append(row)
+        return [BinaryTable(data.columns, bucket) for bucket in buckets]
+    if isinstance(data, (set, frozenset)):
+        return partition_set(data, shard_bits, seed)
+    raise ParameterError(
+        f"cannot shard input of type {type(data).__name__}; "
+        "supported: set, SetOfSets, BinaryTable"
+    )
+
+
+def split_shard(data: Any, bits: int, index: int, seed: int) -> tuple[Any, Any]:
+    """Split one depth-``bits`` shard into its two depth-``bits + 1`` children.
+
+    Prefix consistency of :func:`shard_of` guarantees every key of shard
+    ``index`` lands in child ``2 * index`` or ``2 * index + 1``; the split is
+    decided by the next prefix bit of the *same* mixed value (the original
+    partition salt), so re-sharding the full input at depth ``bits + 1``
+    would produce exactly these children.
+    """
+    if isinstance(data, SetOfSets):
+        halves: tuple[list, list] = ([], [])
+        for child in data.children:
+            halves[shard_of(child_shard_key(child), bits + 1, seed) & 1].append(child)
+        return SetOfSets(halves[0]), SetOfSets(halves[1])
+    if isinstance(data, BinaryTable):
+        halves = ([], [])
+        for row in data.rows():
+            halves[shard_of(child_shard_key(row), bits + 1, seed) & 1].append(row)
+        return BinaryTable(data.columns, halves[0]), BinaryTable(data.columns, halves[1])
+    if isinstance(data, (set, frozenset)):
+        halves = (set(), set())
+        for key in data:
+            halves[shard_of(key, bits + 1, seed) & 1].add(key)
+        return halves
+    raise ParameterError(
+        f"cannot shard input of type {type(data).__name__}; "
+        "supported: set, SetOfSets, BinaryTable"
+    )
+
+
+def merge_recovered(pieces: list[Any], template: Any) -> Any:
+    """Combine per-shard recovered values back into one input-shaped value."""
+    if isinstance(template, SetOfSets):
+        children: list[frozenset[int]] = []
+        for piece in pieces:
+            children.extend(piece.children)
+        return SetOfSets(children)
+    if isinstance(template, BinaryTable):
+        merged = BinaryTable(template.columns)
+        for piece in pieces:
+            for row in piece.rows():
+                merged.add_row(row)
+        return merged
+    merged_set: set[int] = set()
+    for piece in pieces:
+        merged_set.update(piece)
+    return merged_set
+
+
+# ---------------------------------------------------------------------------
+# The shard plan: per-shard options and the resplit schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one reconciliation is split into shards.
+
+    Attributes
+    ----------
+    protocol:
+        Registered protocol name run inside every shard.
+    shard_bits:
+        Initial prefix depth ``b`` (``2^b`` shards).
+    max_shard_bits:
+        Deepest prefix the resplit recovery may reach; a shard still failing
+        at this depth fails the whole reconciliation.
+    shard_safety:
+        Multiplier on the expected per-shard difference ``d / 2^b`` when
+        scaling a known difference bound down to one shard (slack for the
+        balls-and-bins imbalance).
+    options:
+        The top-level options; per-shard options are derived via
+        :meth:`options_for`.
+    """
+
+    protocol: str
+    shard_bits: int
+    options: ReconcileOptions
+    max_shard_bits: int = 12
+    shard_safety: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_bits <= self.max_shard_bits:
+            raise ParameterError(
+                "need 0 <= shard_bits <= max_shard_bits "
+                f"(got {self.shard_bits} / {self.max_shard_bits})"
+            )
+        if self.max_shard_bits > 24:
+            raise ParameterError("max_shard_bits above 24 is surely a mistake")
+        if self.shard_safety < 1.0:
+            raise ParameterError("shard_safety must be at least 1.0")
+
+    def shard_bound(self, bits: int) -> int | None:
+        """The difference bound one shard at depth ``bits`` runs with.
+
+        Scaled with the expected load down to the *initial* depth only:
+        resplit children (``bits > shard_bits``) keep the parent's bound, so
+        every resplit doubles the capacity-to-load ratio of the retries and
+        a failing shard converges in O(log) splits instead of chasing its
+        own shrinking bound.
+        """
+        if self.options.difference_bound is None:
+            return None
+        effective_bits = min(bits, self.shard_bits)
+        return max(
+            1,
+            math.ceil(
+                self.shard_safety
+                * self.options.difference_bound
+                / (1 << effective_bits)
+            ),
+        )
+
+    def options_for(self, bits: int, index: int) -> ReconcileOptions:
+        """Per-shard options: derived seed (fresh randomness per depth, so a
+        resplit retries with new hash functions) and a scaled bound."""
+        return self.options.merged(
+            seed=derive_seed(self.options.seed, "service-shard", bits, index),
+            difference_bound=self.shard_bound(bits),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Running the plan locally (serial or process pool)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSession:
+    """One finished per-shard session (possibly a failed, later-resplit one)."""
+
+    bits: int
+    index: int
+    success: bool
+    recovered: Any
+    transcript: Transcript
+    attempts: int
+    #: True when this session failed but its shard was resplit one bit deeper
+    #: -- its keys are covered by two child sessions, so the failure is a
+    #: recovered retry, not a terminal one.
+    resplit: bool = False
+
+    @property
+    def prefix_order(self) -> tuple[int, int]:
+        """Sort key putting sessions in key-prefix order, parents first."""
+        return (self.index << (64 - self.bits) if self.bits else 0, self.bits)
+
+
+def _run_shard(
+    protocol: str,
+    alice_shard: Any,
+    bob_shard: Any,
+    options: ReconcileOptions,
+) -> tuple[bool, Any, int, list[tuple[str, str, int]]]:
+    """One in-memory per-shard session, transcript stripped to its metadata.
+
+    Module-level (and returning only picklable pieces) so process pools can
+    run it; payload objects never cross the process boundary, the accounting
+    does.
+    """
+    result = registry.reconcile(
+        alice_shard, bob_shard, protocol=protocol, options=options
+    )
+    meta = [
+        (message.sender, message.label, message.size_bits)
+        for message in result.transcript.messages
+    ]
+    return result.success, result.recovered, result.attempts, meta
+
+
+def _transcript_from_meta(meta: list[tuple[str, str, int]]) -> Transcript:
+    transcript = Transcript()
+    for sender, label, size_bits in meta:
+        transcript.send(sender, label, size_bits)
+    return transcript
+
+
+def merge_sessions(
+    sessions: list[ShardSession], template: Any
+) -> ReconciliationResult:
+    """Combine every per-shard session into one aggregate result.
+
+    The merged transcript concatenates the session transcripts in key-prefix
+    order (failed ones included), so ``merged.total_bits`` equals the sum of
+    the per-session ``total_bits`` exactly.
+    """
+    ordered = sorted(sessions, key=lambda session: session.prefix_order)
+    transcript = Transcript()
+    for session in ordered:
+        transcript.extend(session.transcript)
+    # A resplit failure is covered by its two child sessions; success requires
+    # every *terminal* session (not resplit) to have succeeded.
+    success = all(session.success or session.resplit for session in ordered)
+    recovered = None
+    if success:
+        pieces = [
+            session.recovered
+            for session in ordered
+            if session.success and session.recovered is not None
+        ]
+        # An alice-role push has nothing to recover on this side; report
+        # None like the unsharded API, not an empty collection.
+        if pieces:
+            recovered = merge_recovered(pieces, template)
+    failed = [
+        {"shard_bits": s.bits, "shard_index": s.index}
+        for s in ordered
+        if not s.success and not s.resplit
+    ]
+    return ReconciliationResult(
+        success,
+        recovered,
+        transcript,
+        attempts=sum(session.attempts for session in ordered),
+        details={
+            "sharded": True,
+            "sessions": len(ordered),
+            "resplits": sum(1 for s in ordered if s.resplit),
+            "failed_shards": failed,
+            "per_shard": [
+                {
+                    "shard_bits": s.bits,
+                    "shard_index": s.index,
+                    "success": s.success,
+                    "resplit": s.resplit,
+                    "bits": s.transcript.total_bits,
+                    "rounds": s.transcript.num_rounds,
+                }
+                for s in ordered
+            ],
+        },
+    )
+
+
+def reconcile_sharded(
+    alice: Any,
+    bob: Any,
+    *,
+    protocol: str,
+    shard_bits: int = 4,
+    options: ReconcileOptions | None = None,
+    max_shard_bits: int = 12,
+    shard_safety: float = 2.0,
+    processes: int | None = None,
+    metrics: Any | None = None,
+    **overrides: Any,
+) -> ReconciliationResult:
+    """Reconcile ``alice`` and ``bob`` shard by shard (both inputs local).
+
+    Runs one in-memory session per shard -- serially by default, or on a
+    ``processes``-worker process pool when the per-shard decode is CPU-bound
+    (the CPI path) -- resplitting any shard whose session fails.  See
+    :class:`ShardPlan` for the knobs and :func:`merge_sessions` for the
+    aggregate accounting contract.  To run the shards against a remote sync
+    server instead, use :func:`repro.service.client.areconcile_sharded`.
+    """
+    spec = registry.get(protocol)
+    merged_options = (options if options is not None else ReconcileOptions()).merged(
+        **overrides
+    )
+    plan = ShardPlan(
+        protocol,
+        shard_bits,
+        merged_options,
+        max_shard_bits=max_shard_bits,
+        shard_safety=shard_safety,
+    )
+    seed = merged_options.seed
+    alice_shards = shard_input(alice, shard_bits, seed)
+    bob_shards = shard_input(bob, shard_bits, seed)
+    pending = [
+        (shard_bits, index, alice_shards[index], bob_shards[index])
+        for index in range(1 << shard_bits)
+    ]
+    sessions: list[ShardSession] = []
+
+    def finish(bits, index, alice_shard, bob_shard, success, recovered, attempts,
+               transcript):
+        resplit = not success and bits < plan.max_shard_bits
+        session = ShardSession(
+            bits, index, success, recovered, transcript, attempts, resplit=resplit
+        )
+        if metrics is not None:
+            from repro.service.metrics import SessionRecord
+
+            metrics.record_session(
+                SessionRecord(
+                    protocol,
+                    "local",
+                    success,
+                    rounds=transcript.num_rounds,
+                    messages=len(transcript),
+                    bits_charged=transcript.total_bits,
+                    attempts=attempts,
+                    sharded=True,
+                )
+            )
+        if resplit:
+            if metrics is not None:
+                metrics.record_resplit()
+            alice_halves = split_shard(alice_shard, bits, index, seed)
+            bob_halves = split_shard(bob_shard, bits, index, seed)
+            for half in (0, 1):
+                pending.append(
+                    (bits + 1, 2 * index + half, alice_halves[half], bob_halves[half])
+                )
+        sessions.append(session)
+
+    if processes is not None and processes > 1:
+        _run_pending_pooled(plan, pending, finish, processes)
+    else:
+        while pending:
+            bits, index, alice_shard, bob_shard = pending.pop(0)
+            result = registry.reconcile(
+                alice_shard,
+                bob_shard,
+                protocol=protocol,
+                options=plan.options_for(bits, index),
+            )
+            finish(
+                bits, index, alice_shard, bob_shard,
+                result.success, result.recovered, result.attempts, result.transcript,
+            )
+    del spec  # looked up early only to fail fast on unknown protocols
+    return merge_sessions(sessions, bob)
+
+
+def _run_pending_pooled(plan, pending, finish, processes) -> None:
+    """Drain the shard queue on a process pool, wave by wave.
+
+    Each wave submits every currently-pending shard; failures enqueue their
+    resplit children, which form the next (much smaller) wave.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        while pending:
+            wave, pending[:] = list(pending), []
+            futures = [
+                (
+                    bits,
+                    index,
+                    alice_shard,
+                    bob_shard,
+                    pool.submit(
+                        _run_shard,
+                        plan.protocol,
+                        alice_shard,
+                        bob_shard,
+                        plan.options_for(bits, index),
+                    ),
+                )
+                for bits, index, alice_shard, bob_shard in wave
+            ]
+            for bits, index, alice_shard, bob_shard, future in futures:
+                try:
+                    success, recovered, attempts, meta = future.result()
+                except Exception as exc:  # worker died: surface cleanly
+                    raise ReconciliationError(
+                        f"shard ({bits}, {index}) worker failed: {exc}"
+                    ) from exc
+                finish(
+                    bits, index, alice_shard, bob_shard,
+                    success, recovered, attempts, _transcript_from_meta(meta),
+                )

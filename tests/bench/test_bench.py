@@ -92,10 +92,13 @@ class TestBenchmarkTrajectory:
                 name,
                 headline[name],
             )
-        # All three trajectories are recorded in this repository.
-        assert {"cell_backend", "field_kernel", "setsofsets_encoding"} <= set(
-            headline
-        )
+        # All four trajectories are recorded in this repository.
+        assert {
+            "cell_backend",
+            "field_kernel",
+            "setsofsets_encoding",
+            "service_throughput",
+        } <= set(headline)
 
 
 class TestTable1Experiment:

@@ -1,0 +1,228 @@
+"""Session-layer failure paths on the socket transport.
+
+The satellite hardening contract: a peer disconnect, a truncated or garbage
+frame, a party raising mid-protocol, or a codec over-running its charged
+``size_bits`` must every one surface as a clean library error
+(:class:`ReconciliationError` / :class:`WireAccountingError`) on a finite
+timeline -- never a hang, never a leaked ``struct.error`` or
+``UnicodeDecodeError``.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ReconciliationError, ReproError
+from repro.protocols import (
+    END_OF_SESSION,
+    NULL_CODEC,
+    PartyOutcome,
+    Receive,
+    Send,
+    SocketTransport,
+    WireAccountingError,
+    run_party,
+)
+from repro.protocols.transports import FRAME_HEADER, FRAME_MESSAGE
+from repro.protocols.wire import PayloadCodec
+
+
+def socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(10)
+    right.settimeout(10)
+    return left, right
+
+
+def receiving_party():
+    payload = yield Receive(NULL_CODEC)
+    return PartyOutcome(payload is not END_OF_SESSION)
+
+
+class WordCodec(PayloadCodec):
+    """Codec for a single 64-bit word payload."""
+
+    def write(self, writer, payload):
+        writer.write(payload, 64)
+
+    def read(self, reader):
+        return reader.read(64)
+
+
+class OverrunCodec(WordCodec):
+    """Writes ten words no matter what the message charged."""
+
+    def write(self, writer, payload):
+        for _ in range(10):
+            writer.write(payload, 64)
+
+
+@pytest.mark.timeout(30)
+def test_peer_close_before_any_frame_raises_cleanly():
+    left, right = socket_pair()
+    left.close()
+    with pytest.raises(ReconciliationError, match="closed the connection"):
+        run_party(receiving_party(), SocketTransport(right, "bob"))
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_truncated_header_raises_reconciliation_error():
+    left, right = socket_pair()
+    left.sendall(b"\x00\x05")  # two bytes of a header, then gone
+    left.close()
+    with pytest.raises(ReconciliationError, match="closed the connection"):
+        run_party(receiving_party(), SocketTransport(right, "bob"))
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_truncated_payload_raises_reconciliation_error():
+    left, right = socket_pair()
+    # A valid header promising 100 payload bytes, of which 3 arrive.
+    left.sendall(
+        FRAME_HEADER.pack(FRAME_MESSAGE, 5, 1, 800, 100) + b"alicex" + b"yyy"
+    )
+    left.close()
+    with pytest.raises(ReconciliationError, match="closed the connection"):
+        run_party(receiving_party(), SocketTransport(right, "bob"))
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_oversized_frame_claim_is_refused():
+    left, right = socket_pair()
+    left.sendall(FRAME_HEADER.pack(FRAME_MESSAGE, 0, 0, 0, 1 << 31))
+    with pytest.raises(ReconciliationError, match="refusing"):
+        run_party(receiving_party(), SocketTransport(right, "bob"))
+    left.close()
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_undecodable_sender_bytes_raise_reconciliation_error():
+    left, right = socket_pair()
+    left.sendall(FRAME_HEADER.pack(FRAME_MESSAGE, 2, 0, 0, 0) + b"\xff\xfe")
+    with pytest.raises(ReconciliationError, match="undecodable"):
+        run_party(receiving_party(), SocketTransport(right, "bob"))
+    left.close()
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_send_after_peer_close_raises_reconciliation_error():
+    left, right = socket_pair()
+    left.close()
+
+    def sender():
+        yield Send("word", 64, payload=7, codec=WordCodec())
+        yield Send("word", 64, payload=8, codec=WordCodec())
+        return PartyOutcome(True)
+
+    transport = SocketTransport(right, "alice")
+    with pytest.raises(ReconciliationError, match="send failed"):
+        # The first frames land in the socket buffer; repeating the send
+        # eventually hits the closed peer and must raise cleanly.
+        for _ in range(10_000):
+            transport.send_message(
+                Send("word", 64, payload=7, codec=WordCodec())
+            )
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_party_raising_mid_protocol_unblocks_the_peer():
+    """A crash on one side FINs the stream; the peer aborts, neither hangs."""
+    left, right = socket_pair()
+
+    def crashing_party():
+        yield Send("word", 64, payload=1, codec=WordCodec())
+        raise ReproError("deliberate mid-protocol crash")
+
+    def patient_party():
+        first = yield Receive(WordCodec())
+        second = yield Receive(WordCodec())  # never sent: peer crashed
+        return PartyOutcome(
+            first == 1 and second is not END_OF_SESSION, details={"second": second}
+        )
+
+    results = {}
+
+    def run_peer():
+        results["peer"] = run_party(patient_party(), SocketTransport(right, "bob"))
+
+    thread = threading.Thread(target=run_peer)
+    thread.start()
+    with pytest.raises(ReproError, match="deliberate"):
+        run_party(crashing_party(), SocketTransport(left, "alice"))
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "peer hung after the crash"
+    outcome, transcript = results["peer"]
+    assert not outcome.success
+    assert transcript.total_bits == 64  # the one message that did arrive
+    left.close()
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_codec_overrun_raises_wire_accounting_error_and_unblocks_peer():
+    """Charging 64 bits but serializing 640 must fail at send time."""
+    left, right = socket_pair()
+    results = {}
+
+    def run_peer():
+        results["peer"] = run_party(receiving_party(), SocketTransport(right, "bob"))
+
+    thread = threading.Thread(target=run_peer)
+    thread.start()
+
+    def overcharging_party():
+        yield Send("word", 64, payload=7, codec=OverrunCodec())
+        return PartyOutcome(True)
+
+    with pytest.raises(WireAccountingError, match="charged 64 bits"):
+        run_party(overcharging_party(), SocketTransport(left, "alice"))
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "peer hung after the accounting failure"
+    outcome, _ = results["peer"]
+    assert not outcome.success  # peer saw END_OF_SESSION, nothing delivered
+    left.close()
+    right.close()
+
+
+@pytest.mark.timeout(30)
+def test_tcp_sockets_get_nodelay():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    SocketTransport(client, "alice")
+    SocketTransport(server, "bob")
+    assert client.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+    assert server.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+    client.close()
+    server.close()
+
+
+@pytest.mark.timeout(30)
+def test_socketpair_without_tcp_is_tolerated():
+    left, right = socket_pair()  # AF_UNIX: setsockopt(TCP_NODELAY) must not raise
+    SocketTransport(left, "alice")
+    SocketTransport(right, "bob")
+    left.close()
+    right.close()
+
+
+def test_malformed_header_struct_error_is_wrapped():
+    from repro.protocols.transports import parse_frame_header
+
+    with pytest.raises(ReconciliationError, match="malformed frame header"):
+        parse_frame_header(b"\x00\x01")
+    assert not isinstance(
+        pytest.raises(ReconciliationError, parse_frame_header, b"xx").value,
+        struct.error,
+    )

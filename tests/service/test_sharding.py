@@ -1,0 +1,346 @@
+"""The sharded reconciliation engine.
+
+Pins the acceptance contract: sharded reconciliation of an ``n = 10^5`` set
+with ``d = 512`` succeeds, and the merged transcript's bit accounting equals
+the sum of the per-shard session transcripts *exactly* (property-tested over
+random shard counts as well).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import Transcript
+from repro.core.setsofsets.types import SetOfSets
+from repro.db.table import BinaryTable
+from repro.errors import ParameterError
+from repro.hashing.mix import HAS_NUMPY
+from repro.service import reconcile_sharded, shard_input, shard_of, split_shard
+from repro.service.metrics import ServiceMetrics
+from repro.service.sharding import (
+    ShardPlan,
+    ShardSession,
+    merge_sessions,
+    partition_set,
+)
+from repro.protocols.options import ReconcileOptions
+
+UNIVERSE = 1 << 20
+SEED = 2018
+
+
+def planted_instance(rng, size, differences):
+    alice = set(rng.sample(range(UNIVERSE), size))
+    bob = set(alice)
+    for element in rng.sample(sorted(alice), differences // 2):
+        bob.discard(element)
+    added = 0
+    while added < differences - differences // 2:
+        element = rng.randrange(UNIVERSE)
+        if element not in alice:
+            bob.add(element)
+            added += 1
+    return alice, bob
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0), st.integers(0, 10), st.integers(0, 2**64 - 1))
+def test_shard_assignment_is_prefix_consistent(key, bits, seed):
+    """Depth b+1 refines depth b: child index // 2 == parent index."""
+    parent = shard_of(key, bits, seed)
+    child = shard_of(key, bits + 1, seed)
+    assert child // 2 == parent
+
+
+def test_partition_set_covers_and_respects_shard_of():
+    rng = random.Random(SEED)
+    items = set(rng.sample(range(UNIVERSE), 3000))
+    shards = partition_set(items, 4, SEED)
+    assert len(shards) == 16
+    assert set().union(*shards) == items
+    assert sum(len(shard) for shard in shards) == len(items)
+    for index, shard in enumerate(shards):
+        for key in shard:
+            assert shard_of(key, 4, SEED) == index
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+def test_vectorized_partition_matches_scalar_for_wide_keys():
+    """Keys over 64 bits force the scalar path; both paths must agree."""
+    rng = random.Random(SEED + 1)
+    narrow = [rng.randrange(1 << 60) for _ in range(500)]
+    wide = [rng.randrange(1 << 90) for _ in range(10)]
+    mixed = set(narrow) | set(wide)
+    by_partition = partition_set(mixed, 3, SEED)
+    for index, shard in enumerate(by_partition):
+        for key in shard:
+            assert shard_of(key, 3, SEED) == index
+
+
+def test_split_shard_matches_full_repartition():
+    rng = random.Random(SEED + 2)
+    items = set(rng.sample(range(UNIVERSE), 2000))
+    shards = partition_set(items, 2, SEED)
+    deeper = partition_set(items, 3, SEED)
+    for index, shard in enumerate(shards):
+        left, right = split_shard(shard, 2, index, SEED)
+        assert left == deeper[2 * index]
+        assert right == deeper[2 * index + 1]
+
+
+def test_split_shard_set_of_sets_and_table_round_trip():
+    rng = random.Random(SEED + 3)
+    children = [frozenset(rng.sample(range(UNIVERSE), 5)) for _ in range(100)]
+    sos = SetOfSets(children)
+    shards = shard_input(sos, 2, SEED)
+    assert sum(shard.num_children for shard in shards) == sos.num_children
+    merged = {child for shard in shards for child in shard.children}
+    assert merged == sos.children
+
+    columns = [f"c{i}" for i in range(20)]
+    table = BinaryTable(
+        columns, [frozenset(rng.sample(range(20), 3)) for _ in range(60)]
+    )
+    table_shards = shard_input(table, 1, SEED)
+    assert {row for shard in table_shards for row in shard.rows()} == table.rows()
+    for shard in table_shards:
+        assert shard.columns == table.columns
+
+
+def test_unshardable_input_raises():
+    with pytest.raises(ParameterError, match="cannot shard"):
+        shard_input([1, 2, 3], 1, SEED)
+
+
+def test_shard_plan_validation():
+    with pytest.raises(ParameterError):
+        ShardPlan("ibf", 5, ReconcileOptions(), max_shard_bits=4)
+    with pytest.raises(ParameterError):
+        ShardPlan("ibf", 1, ReconcileOptions(), shard_safety=0.5)
+    plan = ShardPlan("ibf", 3, ReconcileOptions(difference_bound=64))
+    assert plan.shard_bound(3) == 16  # ceil(2.0 * 64 / 8)
+    # Resplit children keep the parent depth's bound (capacity ratio doubles).
+    assert plan.shard_bound(5) == plan.shard_bound(3)
+    assert ShardPlan("ibf", 2, ReconcileOptions()).shard_bound(2) is None
+    # Per-shard seeds differ by shard and depth.
+    seeds = {plan.options_for(b, i).seed for b in (3, 4) for i in (0, 1)}
+    assert len(seeds) == 4
+
+
+# ---------------------------------------------------------------------------
+# Merged accounting
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    shard_bits=st.integers(0, 4),
+    size=st.integers(50, 250),
+    differences=st.integers(2, 24),
+    seed=st.integers(0, 2**20),
+)
+def test_merged_bits_equal_sum_of_shard_bits(shard_bits, size, differences, seed):
+    """The acceptance property, over random shard counts and instances."""
+    rng = random.Random(seed)
+    alice, bob = planted_instance(rng, size, differences)
+    result = reconcile_sharded(
+        alice, bob,
+        protocol="ibf",
+        shard_bits=shard_bits,
+        universe_size=UNIVERSE,
+        difference_bound=differences,
+        seed=seed,
+    )
+    assert result.success and result.recovered == alice
+    per_shard = result.details["per_shard"]
+    assert len(per_shard) >= (1 << shard_bits)
+    assert result.total_bits == sum(entry["bits"] for entry in per_shard)
+    assert result.transcript.num_rounds >= 1
+
+
+def test_merge_sessions_transcript_is_exact_concatenation():
+    transcripts = []
+    sessions = []
+    for index in range(4):
+        transcript = Transcript()
+        transcript.send("alice", "payload", 100 + index)
+        transcript.send("bob", "reply", 10 * index)
+        transcripts.append(transcript)
+        sessions.append(
+            ShardSession(2, index, True, {index}, transcript, attempts=1)
+        )
+    merged = merge_sessions(sessions, set())
+    assert merged.success and merged.recovered == {0, 1, 2, 3}
+    assert merged.total_bits == sum(t.total_bits for t in transcripts)
+    assert len(merged.transcript) == sum(len(t) for t in transcripts)
+    assert merged.attempts == 4
+
+
+@pytest.mark.timeout(300)
+def test_acceptance_n_1e5_d_512_exact_aggregate_accounting():
+    """The headline acceptance pin: n = 10^5, d = 512, sharded."""
+    rng = random.Random(SEED)
+    alice, bob = planted_instance(rng, 100_000, 512)
+    result = reconcile_sharded(
+        alice, bob,
+        protocol="ibf",
+        shard_bits=4,
+        universe_size=UNIVERSE,
+        difference_bound=512,
+        seed=SEED,
+    )
+    assert result.success
+    assert result.recovered == alice
+    per_shard = result.details["per_shard"]
+    assert len(per_shard) >= 16
+    assert result.total_bits == sum(entry["bits"] for entry in per_shard)
+
+
+# ---------------------------------------------------------------------------
+# Failure recovery and execution modes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.timeout(120)
+def test_decode_failure_resplits_instead_of_failing():
+    rng = random.Random(SEED + 4)
+    alice, bob = planted_instance(rng, 5000, 160)
+    metrics = ServiceMetrics()
+    # Bound 20 at one-bit sharding is far below the ~80 per-shard truth:
+    # the initial shards must fail and recovery must come from resplits.
+    result = reconcile_sharded(
+        alice, bob,
+        protocol="ibf",
+        shard_bits=1,
+        universe_size=UNIVERSE,
+        difference_bound=20,
+        shard_safety=1.0,
+        seed=SEED,
+        metrics=metrics,
+    )
+    assert result.success and result.recovered == alice
+    assert result.details["resplits"] >= 1
+    assert metrics.shard_resplits == result.details["resplits"]
+    assert metrics.shard_sessions == result.details["sessions"]
+    assert result.total_bits == sum(
+        entry["bits"] for entry in result.details["per_shard"]
+    )
+
+
+@pytest.mark.timeout(120)
+def test_terminal_failure_at_max_shard_bits_is_reported():
+    rng = random.Random(SEED + 5)
+    alice, bob = planted_instance(rng, 2000, 64)
+    result = reconcile_sharded(
+        alice, bob,
+        protocol="cpi",  # CPI cannot succeed above its bound; no peel luck
+        shard_bits=1,
+        max_shard_bits=2,
+        universe_size=UNIVERSE,
+        difference_bound=4,
+        shard_safety=1.0,
+        seed=SEED,
+    )
+    assert not result.success
+    assert result.recovered is None
+    assert result.details["failed_shards"]
+    assert all(
+        entry["shard_bits"] == 2 for entry in result.details["failed_shards"]
+    )
+    # Accounting still holds for the failed run: every session's bits count.
+    assert result.total_bits == sum(
+        entry["bits"] for entry in result.details["per_shard"]
+    )
+
+
+@pytest.mark.timeout(300)
+def test_process_pool_matches_serial_execution():
+    rng = random.Random(SEED + 6)
+    alice, bob = planted_instance(rng, 3000, 96)
+    kwargs = dict(
+        protocol="cpi",
+        shard_bits=3,
+        universe_size=UNIVERSE,
+        difference_bound=96,
+        seed=SEED,
+    )
+    serial = reconcile_sharded(alice, bob, **kwargs)
+    pooled = reconcile_sharded(alice, bob, processes=2, **kwargs)
+    assert serial.success and pooled.success
+    assert serial.recovered == pooled.recovered == alice
+    assert serial.total_bits == pooled.total_bits
+    assert serial.details["per_shard"] == pooled.details["per_shard"]
+
+
+@pytest.mark.timeout(120)
+def test_sharded_set_of_sets_and_table():
+    # Content sharding sends the two versions of a modified child to
+    # *different* shards, so each shard sees an unpartnered child; multiround
+    # (like naive) pays per-child for exactly that case and stays robust.
+    rng = random.Random(SEED + 7)
+    children = [frozenset(rng.sample(range(UNIVERSE), 6)) for _ in range(200)]
+    alice_sos = SetOfSets(children)
+    bob_children = [set(child) for child in children]
+    for index in rng.sample(range(len(children)), 3):
+        bob_children[index].add(rng.randrange(UNIVERSE))
+    result = reconcile_sharded(
+        alice_sos, SetOfSets(bob_children),
+        protocol="multiround",
+        shard_bits=2,
+        universe_size=UNIVERSE,
+        difference_bound=6,
+        seed=SEED,
+    )
+    assert result.success and result.recovered == alice_sos
+
+    columns = [f"c{i}" for i in range(24)]
+    rows = [frozenset(rng.sample(range(24), 4)) for _ in range(150)]
+    alice_table = BinaryTable(columns, rows)
+    bob_table = BinaryTable(columns, rows)
+    flipped = next(iter(alice_table.rows()))
+    bob_table.remove_row(flipped)
+    bob_table.add_row((set(flipped) | {23}) - {min(flipped)})
+    table_result = reconcile_sharded(
+        alice_table, bob_table,
+        protocol="db",
+        shard_bits=1,
+        difference_bound=4,
+        seed=SEED,
+    )
+    assert table_result.success
+    assert table_result.recovered.rows() == alice_table.rows()
+
+
+@pytest.mark.timeout(180)
+def test_network_sharded_sync_matches_local_engine():
+    """areconcile_sharded over a real server == reconcile_sharded in memory."""
+    import asyncio
+
+    from repro.service import SyncServer, areconcile_sharded
+
+    rng = random.Random(SEED + 8)
+    alice, bob = planted_instance(rng, 4000, 64)
+    options = ReconcileOptions(
+        seed=SEED, universe_size=UNIVERSE, difference_bound=64
+    )
+    local = reconcile_sharded(alice, bob, protocol="ibf", shard_bits=3,
+                              options=options)
+
+    async def scenario():
+        async with SyncServer({"ibf": alice}) as server:
+            return await areconcile_sharded(
+                "127.0.0.1", server.port, "ibf", bob,
+                shard_bits=3, options=options,
+            )
+
+    networked = asyncio.run(scenario())
+    assert networked.success and local.success
+    assert networked.recovered == local.recovered == alice
+    assert networked.total_bits == local.total_bits
+    assert networked.details["per_shard"] == local.details["per_shard"]
