@@ -1,4 +1,4 @@
-"""Cell-store backend comparison: pure-Python vs vectorized NumPy.
+"""Cell-store backend comparison: pure-Python vs NumPy vs the compiled tier.
 
 Times the three IBLT primitives every protocol is built from --
 encode (batch insert of n keys), subtract, and decode (batch peeling) --
@@ -6,6 +6,16 @@ at n in {10^3, 10^4, 10^5} per backend, asserting that both backends
 recover identical sets.  The acceptance bar for the vectorized backend is
 a >= 5x end-to-end (encode + subtract + decode) speedup over the reference
 backend at n = 10^5.
+
+The large-scale row (``compare_large``, n = 10^7) runs all three tiers --
+python, numpy, and ``backend="numba"`` resolved down the fallback chain when
+numba is not installed -- in one run, asserts byte-identical serializations
+across them, and times the decode phase both through the legacy per-round
+driver and through the in-store vectorized peel that replaced it.  The
+acceptance bar is >= 2x on the peel/decode phase for the in-store peel of
+the fastest tier over the reference tier's peel (the legacy-driver
+comparison on the same store is reported alongside, unfloored: the generic
+driver already runs batched store primitives, so its gap is small).
 
 Run under pytest-benchmark like the other benchmarks, or standalone::
 
@@ -25,13 +35,17 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
-from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.cli import DEFAULT_SEED, benchmark_config, benchmark_parser
 from repro.bench.reporting import write_benchmark_record
 from repro.iblt import IBLT, IBLTParameters, NumpyCellStore
+from repro.iblt.backends import CellStore
+from repro.iblt.table import DecodeResult
 
 SIZES = (1_000, 10_000, 100_000)
 KEY_BITS = 48
 SPEEDUP_FLOOR = 5.0  # acceptance bar at the largest size
+LARGE_N = 10_000_000
+PEEL_SPEEDUP_FLOOR = 2.0  # fastest tier's in-store peel vs the reference peel at 1e7
 _UNIVERSE = 1 << (KEY_BITS - 1)
 
 
@@ -100,6 +114,99 @@ def compare(sizes=SIZES, seed: int = 20180611) -> list[dict]:
     return rows
 
 
+def _legacy_decode(table: IBLT) -> DecodeResult:
+    """Decode through the pre-in-store driver.
+
+    Runs the generic per-round peel over the store's primitive API
+    (``pure_cells`` + per-round ``apply_batch``), the loop shape
+    ``IBLT.try_decode`` used before whole-round peeling moved into the
+    store -- the baseline the in-store peel is measured against.
+    """
+    work = table.copy()
+    positive, negative = CellStore.peel_rounds(
+        work._store, work._checksum, work._family
+    )
+    return DecodeResult(work._store.is_empty(), set(positive), set(negative))
+
+
+def compare_large(n: int = LARGE_N, seed: int = DEFAULT_SEED) -> dict:
+    """The n=1e7 row: all three tiers in one run, plus the peel phase.
+
+    Encodes, subtracts, and decodes under the python, numpy, and numba
+    tiers (a ``numba`` request resolves down the fallback chain when numba
+    is not installed; the resolved store is recorded), asserts byte-identical
+    serializations and identical recovered sets across all three, then times
+    the decode phase of the fastest tier twice: through the legacy per-round
+    driver and through the in-store vectorized peel that replaced it.
+
+    ``peel_speedup`` (floored at :data:`PEEL_SPEEDUP_FLOOR`) is the
+    reference tier's peel over the fastest tier's in-store peel -- the
+    peel/decode-phase gain of the vectorized/compiled tier.
+    ``legacy_driver_speedup`` isolates the in-store refactor on the fastest
+    store itself and is reported unfloored.
+    """
+    alice, bob = _instance(n, seed)
+    params = IBLTParameters.for_difference(
+        2 * max(2, n // 100), KEY_BITS, seed=seed
+    )
+    tiers: dict[str, dict] = {}
+    serialized: dict[str, list] = {}
+    reference = None
+    fastest_difference = None
+    for backend in ("python", "numpy", "numba"):
+        start = time.perf_counter()
+        alice_table = IBLT.from_items(params, alice, backend=backend)
+        bob_table = IBLT.from_items(params, bob, backend=backend)
+        encoded = time.perf_counter()
+        difference = alice_table.subtract(bob_table)
+        subtracted = time.perf_counter()
+        result = difference.try_decode()
+        decoded = time.perf_counter()
+        assert result.success, f"{backend} decode failed at n={n}"
+        serialized[backend] = difference.serialize()
+        tiers[backend] = {
+            "resolved_backend": difference.backend,
+            "encode_s": round(encoded - start, 6),
+            "subtract_s": round(subtracted - encoded, 6),
+            "decode_s": round(decoded - subtracted, 6),
+            "total_s": round(decoded - start, 6),
+        }
+        if reference is None:
+            reference = result
+        else:
+            assert result.positive == reference.positive
+            assert result.negative == reference.negative
+        if backend == "numba":
+            fastest_difference = difference
+    assert serialized["python"] == serialized["numpy"] == serialized["numba"]
+
+    start = time.perf_counter()
+    legacy = _legacy_decode(fastest_difference)
+    legacy_s = time.perf_counter() - start
+    start = time.perf_counter()
+    instore = fastest_difference.try_decode()
+    instore_s = time.perf_counter() - start
+    assert legacy == instore  # identical round structure, identical sets
+
+    return {
+        "n": n,
+        "recovered": len(reference.positive) + len(reference.negative),
+        "python": {k: v for k, v in tiers["python"].items() if k != "resolved_backend"},
+        "numpy": {k: v for k, v in tiers["numpy"].items() if k != "resolved_backend"},
+        "numba": {k: v for k, v in tiers["numba"].items() if k != "resolved_backend"},
+        "numba_resolved_backend": tiers["numba"]["resolved_backend"],
+        "identical_serializations": True,
+        "legacy_decode_s": round(legacy_s, 6),
+        "instore_decode_s": round(instore_s, 6),
+        "legacy_driver_speedup": round(legacy_s / instore_s, 2),
+        "peel_speedup": round(tiers["python"]["decode_s"] / instore_s, 2),
+        "peel_speedup_floor": PEEL_SPEEDUP_FLOOR,
+        "speedup": round(
+            tiers["python"]["total_s"] / tiers["numba"]["total_s"], 2
+        ),
+    }
+
+
 # ---------------------------------------------------------------------------
 # pytest-benchmark entry points
 # ---------------------------------------------------------------------------
@@ -132,6 +239,17 @@ def test_numpy_backend_speedup_floor(benchmark):
     assert rows[0]["speedup"] >= SPEEDUP_FLOOR, rows
 
 
+@needs_numpy
+def test_all_tiers_identical_and_instore_peel_matches_legacy(benchmark):
+    """CI smoke for the large-scale row at a small n: three tiers in one
+    run, byte-identical serializations, legacy driver == in-store peel."""
+    from conftest import run_once
+
+    row = run_once(benchmark, compare_large, n=50_000)
+    assert row["identical_serializations"]
+    assert row["recovered"] == 500
+
+
 def main() -> None:
     args = benchmark_parser(
         "IBLT cell-store backend comparison",
@@ -151,17 +269,48 @@ def main() -> None:
         sys.exit(
             f"speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
         )
+    large = compare_large(seed=args.seed)
+    print(
+        f"n={large['n']:>8}  python={large['python']['total_s']:.1f}s  "
+        f"numpy={large['numpy']['total_s']:.1f}s  "
+        f"numba({large['numba_resolved_backend']})="
+        f"{large['numba']['total_s']:.1f}s  "
+        f"peel ref={large['python']['decode_s']:.3f}s "
+        f"in-store={large['instore_decode_s']:.3f}s "
+        f"({large['peel_speedup']:.1f}x; legacy driver "
+        f"{large['legacy_driver_speedup']:.1f}x)"
+    )
+    if large["peel_speedup"] < PEEL_SPEEDUP_FLOOR:
+        sys.exit(
+            f"in-store peel speedup {large['peel_speedup']}x over the "
+            f"reference peel is below the {PEEL_SPEEDUP_FLOOR}x floor "
+            f"at n={large['n']}"
+        )
+    rows.append(large)
+    config = benchmark_config(args.seed, sizes=list(SIZES), large_n=LARGE_N)
+    if args.profile:
+        config["profile"] = {
+            f"{tier}_{phase}_s": large[tier][f"{phase}_s"]
+            for tier in ("python", "numpy", "numba")
+            for phase in ("encode", "subtract", "decode")
+        } | {
+            "peel_legacy_s": large["legacy_decode_s"],
+            "peel_instore_s": large["instore_decode_s"],
+        }
     output = args.output
     write_benchmark_record(
         output,
         benchmark="bench_backend_comparison",
         description=(
             "IBLT encode+subtract+decode wall-clock per cell-store "
-            "backend; identical recovered sets asserted per size"
+            "backend; identical recovered sets asserted per size; the "
+            "n=1e7 row runs all three tiers plus the legacy-vs-in-store "
+            "peel comparison"
         ),
-        config=benchmark_config(args.seed, sizes=list(SIZES)),
+        config=config,
         key_bits=KEY_BITS,
         speedup_floor=SPEEDUP_FLOOR,
+        peel_speedup_floor=PEEL_SPEEDUP_FLOOR,
         results=rows,
     )
     print(f"wrote {output}")

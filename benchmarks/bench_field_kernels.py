@@ -8,6 +8,13 @@ finding) -- under each registered field kernel, asserting bit-identical
 vectorized kernel is a >= 8x ``cpi_decode`` speedup over the reference
 kernel at ``n = 600, d = 48``.
 
+The large-scale row (``compare_gcd_phase``, d = 10^4) times the phase that
+dominates CPI decoding at large difference bounds: the Cantor-Zassenhaus
+root-finding gcd chain on degree-d polynomials.  It compares the scalar
+reference chain against the vectorized Euclid chain (and the compiled
+kernel, resolved down the fallback chain when numba is missing), asserting
+exact coefficient identity; acceptance bar >= 2x on the gcd phase.
+
 Run under pytest like the other benchmarks (the small-``d`` cases double as
 the CI smoke test), or standalone::
 
@@ -38,6 +45,9 @@ SET_SIZE = 600
 DIFFERENCES = (4, 16, 48)
 SPEEDUP_FLOOR = 8.0  # acceptance bar for cpi_decode at the largest d
 ROUNDS = 7  # interleaved measurement rounds per (kernel, d)
+GCD_DEGREE = 10_000
+GCD_SPEEDUP_FLOOR = 2.0  # vectorized gcd chain vs scalar reference at d=1e4
+PRIME = 1048583  # the CPI prime just above UNIVERSE
 
 
 def _instance(size: int, difference: int, seed: int) -> tuple[set[int], set[int]]:
@@ -128,6 +138,66 @@ def compare(differences=DIFFERENCES, seed: int = DEFAULT_SEED) -> list[dict]:
     return rows
 
 
+def compare_gcd_phase(degree: int = GCD_DEGREE, seed: int = DEFAULT_SEED) -> dict:
+    """The d=1e4 row: the root-finding gcd chain at characteristic scale.
+
+    Cantor-Zassenhaus splitting -- the phase that dominates ``cpi_decode``
+    at large difference bounds -- is a chain of large-degree polynomial
+    gcds.  This row builds two degree-``degree`` products of linears
+    sharing ``degree // 2`` roots (the shape a split sees) and times one
+    gcd under three tiers: the scalar reference chain, the vectorized
+    NumPy Euclid chain, and the ``field_kernel="numba"`` request resolved
+    down the fallback chain when numba is not installed.  All tiers must
+    produce exactly the same coefficients.
+    """
+    from repro.config import resolve_field_kernel
+    from repro.field import Polynomial, prime_field
+    from repro.field.kernels import _poly_gcd_scalar
+
+    rng = random.Random(seed)
+    field = prime_field(PRIME)
+    pool = rng.sample(range(1, PRIME), degree + degree // 2)
+    a = Polynomial.from_roots(field, pool[:degree])
+    b = Polynomial.from_roots(field, pool[degree // 2 :])
+    a_coeffs, b_coeffs = list(a.coeffs), list(b.coeffs)
+
+    start = time.perf_counter()
+    scalar_gcd = _poly_gcd_scalar(PRIME, a_coeffs, b_coeffs)
+    scalar_s = time.perf_counter() - start
+
+    numpy_kernel = NumpyFieldKernel()
+    numpy_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        numpy_gcd = numpy_kernel.poly_gcd(PRIME, a_coeffs, b_coeffs)
+        numpy_times.append(time.perf_counter() - start)
+
+    numba_cls = resolve_field_kernel("numba", PRIME)
+    numba_kernel = numba_cls()
+    numba_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        numba_gcd = numba_kernel.poly_gcd(PRIME, a_coeffs, b_coeffs)
+        numba_times.append(time.perf_counter() - start)
+
+    assert scalar_gcd == numpy_gcd == numba_gcd
+    assert len(scalar_gcd) - 1 == degree // 2  # exactly the shared roots
+    return {
+        "n": SET_SIZE,
+        "d": degree,
+        "phase": "root-finding gcd chain",
+        "shared_roots": degree // 2,
+        "python": {"gcd_s": round(scalar_s, 6)},
+        "numpy": {"gcd_s": round(min(numpy_times), 6)},
+        "numba": {"gcd_s": round(min(numba_times), 6)},
+        "numba_resolved_kernel": numba_cls.name,
+        "identical_coefficients": True,
+        "speedup": round(scalar_s / min(numpy_times), 2),
+        "gcd_speedup": round(scalar_s / min(numpy_times), 2),
+        "gcd_speedup_floor": GCD_SPEEDUP_FLOOR,
+    }
+
+
 # ---------------------------------------------------------------------------
 # pytest entry points (the small-d cases are the CI smoke test)
 # ---------------------------------------------------------------------------
@@ -169,6 +239,17 @@ def test_numpy_kernel_speedup_floor(benchmark):
     assert rows[0]["speedup"] >= SPEEDUP_FLOOR, rows
 
 
+@needs_numpy
+def test_gcd_phase_tiers_identical(benchmark):
+    """CI smoke for the large-degree gcd row at a small degree: every tier
+    produces exactly the same coefficients."""
+    from conftest import run_once
+
+    row = run_once(benchmark, compare_gcd_phase, degree=600)
+    assert row["identical_coefficients"]
+    assert row["shared_roots"] == 300
+
+
 def main() -> None:
     args = benchmark_parser(
         "CPI field-kernel comparison",
@@ -189,18 +270,49 @@ def main() -> None:
         sys.exit(
             f"decode speedup {largest['speedup']}x below the {SPEEDUP_FLOOR}x floor"
         )
+    gcd_row = compare_gcd_phase(seed=args.seed)
+    print(
+        f"n={gcd_row['n']}  d={gcd_row['d']:>5}  gcd phase  "
+        f"python={gcd_row['python']['gcd_s']:.2f}s  "
+        f"numpy={gcd_row['numpy']['gcd_s']:.2f}s  "
+        f"numba({gcd_row['numba_resolved_kernel']})="
+        f"{gcd_row['numba']['gcd_s']:.2f}s  "
+        f"speedup={gcd_row['speedup']:.1f}x"
+    )
+    if gcd_row["speedup"] < GCD_SPEEDUP_FLOOR:
+        sys.exit(
+            f"gcd-phase speedup {gcd_row['speedup']}x below the "
+            f"{GCD_SPEEDUP_FLOOR}x floor at d={gcd_row['d']}"
+        )
+    rows.append(gcd_row)
+    config = benchmark_config(
+        args.seed, differences=list(DIFFERENCES), gcd_degree=GCD_DEGREE
+    )
+    if args.profile:
+        config["profile"] = {
+            "python_encode_s": rows[-2]["python"]["encode_s"],
+            "python_field_s": rows[-2]["python"]["decode_s"],
+            "numpy_encode_s": rows[-2]["numpy"]["encode_s"],
+            "numpy_field_s": rows[-2]["numpy"]["decode_s"],
+            "gcd_python_s": gcd_row["python"]["gcd_s"],
+            "gcd_numpy_s": gcd_row["numpy"]["gcd_s"],
+            "gcd_numba_s": gcd_row["numba"]["gcd_s"],
+        }
     output = args.output
     write_benchmark_record(
         output,
         benchmark="bench_field_kernels",
         description=(
             "CPI encode/decode wall-clock per GF(p) field kernel; "
-            "bit-identical evaluations and recovered sets asserted per d"
+            "bit-identical evaluations and recovered sets asserted per d; "
+            "the d=1e4 row times the root-finding gcd chain under all "
+            "three tiers"
         ),
-        config=benchmark_config(args.seed, differences=list(DIFFERENCES)),
+        config=config,
         universe=UNIVERSE,
         set_size=SET_SIZE,
         speedup_floor=SPEEDUP_FLOOR,
+        gcd_speedup_floor=GCD_SPEEDUP_FLOOR,
         results=rows,
     )
     print(f"wrote {output}")

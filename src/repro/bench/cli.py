@@ -8,7 +8,8 @@ they all share now:
 
 * :func:`benchmark_parser` -- an ``argparse`` parser with the common flags
   (``--seed`` defaulting to :data:`DEFAULT_SEED`, ``--output`` overriding
-  the record path);
+  the record path, ``--profile`` asking the benchmark to embed per-phase
+  encode/subtract/peel/field timings into the record's ``config`` block);
 * :func:`benchmark_config` -- the ``config`` dict embedded verbatim in the
   written ``BENCH_*.json`` record, so every record names the exact seed and
   knobs that produced it and a reader can rerun it bit-for-bit.
@@ -41,6 +42,12 @@ def benchmark_parser(
         default=Path(default_output) if default_output is not None else None,
         help="where to write the BENCH_*.json record"
         + (" (default: %(default)s)" if default_output is not None else ""),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="embed per-phase (encode/subtract/peel/field) wall-clock "
+        "timings into the record's config block",
     )
     return parser
 

@@ -1,0 +1,145 @@
+"""numba-compiled GF(p) loops for :class:`~repro.field.kernels_numba.NumbaFieldKernel`.
+
+Importing this module compiles (or loads from numba's on-disk cache) the
+modmul-heavy inner loops of the CPI path:
+
+* :func:`pmul` -- schoolbook polynomial convolution mod ``p``,
+* :func:`horner_many` -- one coefficient vector Horner-evaluated at many
+  points,
+* :func:`eval_from_roots` -- ``prod (z - r)`` at many points,
+* :func:`gcd_chain` -- the full Euclidean remainder chain (returns the
+  monic gcd), and
+* :func:`inv_many` -- Montgomery batch inversion.
+
+Only import it behind :func:`repro.jit.numba_available`; the kernels are
+module level (a ``cache=True`` requirement) and the import fails outright
+without numba.  All arithmetic is exact int64 with eager reduction -- the
+kernels assume ``2 < p < 2**31`` (the compiled tier's ``supports`` gate), so
+every product of canonical residues fits a signed 64-bit word and results
+are bit-identical to the scalar helpers in :mod:`repro.field.kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jit import get_njit
+
+njit = get_njit()
+
+
+@njit(cache=True, inline="always")
+def _modpow(base, exponent, p):
+    result = np.int64(1)
+    base = base % p
+    while exponent > 0:
+        if exponent & 1:
+            result = result * base % p
+        base = base * base % p
+        exponent >>= 1
+    return result
+
+
+@njit(cache=True, inline="always")
+def _modinv(value, p):
+    # p is prime, so Fermat's little theorem gives the inverse.
+    return _modpow(value, p - 2, p)
+
+
+@njit(cache=True)
+def pmul(a, b, p):
+    """Schoolbook product of canonical int64 coefficient arrays mod ``p``."""
+    out = np.zeros(a.shape[0] + b.shape[0] - 1, dtype=np.int64)
+    for i in range(a.shape[0]):
+        ai = a[i]
+        if ai == 0:
+            continue
+        for j in range(b.shape[0]):
+            bj = b[j]
+            if bj != 0:
+                out[i + j] = (out[i + j] + ai * bj) % p
+    return out
+
+
+@njit(cache=True)
+def horner_many(coeffs, points, p):
+    """Horner-evaluate one (low-first) coefficient vector at many points."""
+    out = np.empty(points.shape[0], dtype=np.int64)
+    degree = coeffs.shape[0] - 1
+    for k in range(points.shape[0]):
+        z = points[k] % p
+        acc = np.int64(0)
+        for idx in range(degree, -1, -1):
+            acc = (acc * z + coeffs[idx]) % p
+        out[k] = acc
+    return out
+
+
+@njit(cache=True)
+def eval_from_roots(roots, points, p):
+    """Evaluate ``prod (z - r)`` at every point, one fused loop per point."""
+    out = np.empty(points.shape[0], dtype=np.int64)
+    for k in range(points.shape[0]):
+        z = points[k] % p
+        acc = np.int64(1)
+        for idx in range(roots.shape[0]):
+            acc = acc * ((z - roots[idx]) % p) % p
+        out[k] = acc
+    return out
+
+
+@njit(cache=True)
+def gcd_chain(a, b, p):
+    """Monic gcd of canonical int64 coefficient arrays (trimmed result).
+
+    The same Euclidean remainder chain as ``_poly_gcd_scalar``, compiled:
+    in-place reduction of the larger operand by the smaller, swap, repeat.
+    """
+    x = a.copy()
+    y = b.copy()
+    len_x = x.shape[0]
+    while len_x and x[len_x - 1] == 0:
+        len_x -= 1
+    len_y = y.shape[0]
+    while len_y and y[len_y - 1] == 0:
+        len_y -= 1
+    while len_y > 0:
+        deg_y = len_y - 1
+        if len_x > deg_y:
+            inv_lead = _modinv(y[deg_y], p)
+            for idx in range(len_x - 1, deg_y - 1, -1):
+                coeff = x[idx]
+                if coeff != 0:
+                    factor = coeff * inv_lead % p
+                    base = idx - deg_y
+                    for j in range(deg_y):
+                        x[base + j] = (x[base + j] - factor * y[j]) % p
+            len_x = deg_y
+            while len_x and x[len_x - 1] == 0:
+                len_x -= 1
+        x, y = y, x
+        len_x, len_y = len_y, len_x
+    result = x[:len_x].copy()
+    if len_x and result[len_x - 1] != 1:
+        inv_lead = _modinv(result[len_x - 1], p)
+        for idx in range(len_x):
+            result[idx] = result[idx] * inv_lead % p
+    return result
+
+
+@njit(cache=True)
+def inv_many(values, p):
+    """Montgomery batch inversion; values must be canonical and nonzero."""
+    n = values.shape[0]
+    prefix = np.empty(n, dtype=np.int64)
+    acc = np.int64(1)
+    for i in range(n):
+        acc = acc * values[i] % p
+        prefix[i] = acc
+    inv_acc = _modinv(acc, p)
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n - 1, 0, -1):
+        out[i] = inv_acc * prefix[i - 1] % p
+        inv_acc = inv_acc * values[i] % p
+    out[0] = inv_acc
+    return out

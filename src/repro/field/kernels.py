@@ -18,6 +18,11 @@ IBLT cell-store registry (:mod:`repro.config`):
   ``int64`` arrays.  Safe only for ``p < 2**31`` (products of two canonical
   residues then fit in a signed 64-bit word); larger moduli transparently
   fall back to the reference kernel via the registry.
+* :class:`~repro.field.kernels_numba.NumbaFieldKernel` (registered from its
+  own module) -- the compiled tier: the modmul-heavy inner loops (schoolbook
+  convolution, Horner evaluation, root-product evaluation, the Euclidean
+  gcd chain) JIT-compiled by numba, falling back along
+  ``numba -> numpy -> python`` when a dependency is missing.
 
 Determinism: kernels are observationally identical.  All arithmetic is
 exact (integer, never floating point), so batched evaluation, elimination
@@ -296,9 +301,10 @@ class FieldKernel(ABC):
     def poly_gcd(self, modulus: int, a: Sequence[int], b: Sequence[int]) -> list[int]:
         """Monic greatest common divisor of two coefficient sequences.
 
-        One kernel call instead of a per-Euclid-step dispatch; the degrees
-        the protocols see are small, so the shared scalar chain is optimal
-        for every kernel.
+        One kernel call instead of a per-Euclid-step dispatch.  The default
+        is the shared scalar chain, which is optimal for the small degrees
+        most protocols see; vectorized kernels override it for the large
+        degrees of the d=1e4 CZ regime (bit-identical results either way).
         """
         return _poly_gcd_scalar(modulus, a, b)
 
@@ -494,8 +500,55 @@ _DIV_SCALAR_CUTOFF = 32  # divisor length (the vectorized inner-loop width)
 # Largest intermediate we allow in int64 vector arithmetic (margin below 2**63).
 _INT64_SAFE = 1 << 62
 
+# Below this divisor length the Euclidean remainder chain stays on the scalar
+# helpers; at or above it each reduction step runs whole-array (the d=1e4 CZ
+# regime spends nearly all of its time in these chains).
+_GCD_VECTOR_CUTOFF = 48
+
 
 if HAS_NUMPY:
+
+    def _trim_arr(arr):
+        """Array counterpart of :func:`_trim` (returns a view)."""
+        nonzero = _np.nonzero(arr)[0]
+        return arr[: int(nonzero[-1]) + 1] if nonzero.size else arr[:0]
+
+    def _pmod_vec(p, a, b):
+        """Remainder of canonical int64 arrays ``a mod b`` (``len(b) >= 2``).
+
+        Same long-division chain as :func:`_poly_mod_scalar`, with each
+        reduction step a whole-array multiply-subtract; returns a trimmed
+        array.  ``a`` is not modified.
+        """
+        width = len(b)
+        if len(a) < width:
+            return _trim_arr(a.copy())
+        remainder = a.copy()
+        inv_lead = pow(int(b[-1]), -1, p)
+        body = b[:-1]
+        for idx in range(len(remainder) - 1, width - 2, -1):
+            coeff = int(remainder[idx])
+            if coeff == 0:
+                continue
+            factor = coeff * inv_lead % p
+            shift = idx - width + 1
+            remainder[shift:idx] = (remainder[shift:idx] - factor * body) % p
+        return _trim_arr(remainder[: width - 1])
+
+    def _poly_gcd_vec(p, a, b):
+        """Monic gcd with vectorized remainder steps for large operands.
+
+        Bit-identical to :func:`_poly_gcd_scalar` (exact arithmetic over the
+        same Euclidean chain); hands the tail of the chain to the scalar
+        helper once both degrees drop below :data:`_GCD_VECTOR_CUTOFF`.
+        """
+        x = _trim_arr(_np.asarray(a, dtype=_np.int64) % p)
+        y = _trim_arr(_np.asarray(b, dtype=_np.int64) % p)
+        while len(y) >= _GCD_VECTOR_CUTOFF:
+            if len(x) >= len(y):
+                x = _pmod_vec(p, x, y)
+            x, y = y, x
+        return _poly_gcd_scalar(p, [int(v) for v in x], [int(v) for v in y])
 
     def _pmul_np(p, a, b):
         """Exact product of canonical int64 coefficient arrays mod ``p``.
@@ -724,6 +777,23 @@ class NumpyFieldKernel(FieldKernel):
         b_arr = a_arr if b is a else _np.asarray(b, dtype=_np.int64)
         return _trim([int(v) for v in _pmul_np(modulus, a_arr, b_arr)])
 
+    def poly_gcd(self, modulus, a, b):
+        if min(len(a), len(b)) < _GCD_VECTOR_CUTOFF:
+            return _poly_gcd_scalar(modulus, a, b)
+        return _poly_gcd_vec(modulus, a, b)
+
+    @staticmethod
+    def _poly_mod_auto(modulus, a, b):
+        """Remainder with the gcd chain's scalar/vector dispatch (lists in/out)."""
+        if min(len(a), len(b)) < _GCD_VECTOR_CUTOFF:
+            return _poly_mod_scalar(modulus, a, b)
+        remainder = _pmod_vec(
+            modulus,
+            _np.asarray(a, dtype=_np.int64) % modulus,
+            _np.asarray(b, dtype=_np.int64) % modulus,
+        )
+        return [int(v) for v in remainder]
+
     def poly_divmod(self, modulus, a, b):
         quotient_len = max(0, len(a) - len(b) + 1)
         if len(b) < _DIV_SCALAR_CUTOFF or quotient_len == 0:
@@ -942,7 +1012,7 @@ class NumpyFieldKernel(FieldKernel):
         x_p = ctx.mul_linear(ctx.mulmod(h, h), 0)
         x_p_minus_x = [int(v) for v in x_p]
         x_p_minus_x[1] = (x_p_minus_x[1] - 1) % p
-        linear_part = _poly_gcd_scalar(p, f, _trim(x_p_minus_x))
+        linear_part = self.poly_gcd(p, f, _trim(x_p_minus_x))
 
         pending: list[list[int]] = []
 
@@ -958,15 +1028,15 @@ class NumpyFieldKernel(FieldKernel):
             factor: list[int], probe: list[int], target: list[list[int]]
         ) -> bool:
             """Try gcd-splitting ``factor``; resolve or re-queue onto ``target``."""
-            part = _poly_gcd_scalar(p, factor, probe)
+            part = self.poly_gcd(p, factor, probe)
             if not 0 < len(part) - 1 < len(factor) - 1:
                 return False
             resolve(part, target)
-            resolve(_poly_divmod_scalar(p, factor, part)[0], target)
+            resolve(self.poly_divmod(p, factor, part)[0], target)
             return True
 
         g_degree = len(linear_part) - 1
-        h_probe = _minus_one(p, _poly_mod_scalar(p, [int(v) for v in h], linear_part))
+        h_probe = _minus_one(p, self._poly_mod_auto(p, [int(v) for v in h], linear_part))
         if g_degree <= 2:
             roots.extend(_small_degree_roots(p, linear_part))
         elif not split_with(linear_part, h_probe, pending):

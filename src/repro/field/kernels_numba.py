@@ -1,0 +1,109 @@
+"""The compiled field-kernel tier: numba-JIT GF(p) inner loops.
+
+:class:`NumbaFieldKernel` keeps :class:`~repro.field.kernels.NumpyFieldKernel`'s
+batched strategy (level-batched Cantor-Zassenhaus, vectorized linear algebra)
+and replaces the loops that NumPy cannot fuse -- schoolbook convolution,
+Horner evaluation, root-product evaluation, Montgomery batch inversion, and
+the Euclidean gcd chain that dominates large-degree root finding -- with
+numba-compiled kernels from :mod:`repro.field._numba_kernels`.
+
+All arithmetic is exact (eagerly reduced int64, valid for the same
+``2 < p < 2**31`` moduli as the NumPy kernel), so results are bit-identical
+across the whole tier chain; requests for ``field_kernel="numba"`` resolve
+down ``numba -> numpy -> python`` when numba (or NumPy) is missing, exactly
+like the cell-store registry.  The first compiled call per process pays
+numba's JIT warm-up (amortized by ``cache=True`` artifacts).
+"""
+
+from __future__ import annotations
+
+from repro.config import register_field_kernel
+from repro.field.kernels import NumpyFieldKernel, _poly_gcd_scalar, _trim
+from repro.hashing.mix import HAS_NUMPY
+from repro.jit import numba_available
+
+if HAS_NUMPY:
+    import numpy as _np
+
+_COMPILED = None
+
+
+def _kernels():
+    """Import (once) the JIT-compiled kernel module."""
+    global _COMPILED
+    if _COMPILED is None:
+        from repro.field import _numba_kernels
+
+        _COMPILED = _numba_kernels
+    return _COMPILED
+
+
+@register_field_kernel
+class NumbaFieldKernel(NumpyFieldKernel):
+    """Compiled kernel: NumPy batching with numba-JIT modmul loops."""
+
+    name = "numba"
+    vectorized = True
+    priority = 20
+
+    @classmethod
+    def available(cls):
+        return HAS_NUMPY and numba_available()
+
+    @classmethod
+    def supports(cls, modulus):
+        return cls.available() and 2 < modulus < 2**31
+
+    def poly_mul(self, modulus, a, b):
+        if not a or not b:
+            return []
+        product = _kernels().pmul(
+            _np.asarray(a, dtype=_np.int64) % modulus,
+            _np.asarray(b, dtype=_np.int64) % modulus,
+            modulus,
+        )
+        return _trim([int(v) for v in product])
+
+    def poly_eval_many(self, modulus, coeffs, points):
+        if not len(points):
+            return []
+        if not coeffs:
+            return [0] * len(points)
+        evals = _kernels().horner_many(
+            _np.asarray([c % modulus for c in coeffs], dtype=_np.int64),
+            self._residues(modulus, points),
+            modulus,
+        )
+        return evals.tolist()
+
+    def evaluate_from_roots_many(self, modulus, roots, points):
+        root_array = self._residues(modulus, roots)
+        if root_array.size == 0:
+            return [1] * len(points)
+        if not len(points):
+            return []
+        evals = _kernels().eval_from_roots(
+            root_array, self._residues(modulus, points), modulus
+        )
+        return evals.tolist()
+
+    def poly_gcd(self, modulus, a, b):
+        if min(len(a), len(b)) < 2:
+            return _poly_gcd_scalar(modulus, a, b)
+        result = _kernels().gcd_chain(
+            _np.asarray(a, dtype=_np.int64) % modulus,
+            _np.asarray(b, dtype=_np.int64) % modulus,
+            modulus,
+        )
+        return [int(v) for v in result]
+
+    def inv_many(self, modulus, values):
+        canonical = [v % modulus for v in values]
+        if not canonical:
+            return []
+        if min(canonical) == 0:
+            raise ZeroDivisionError("cannot invert zero in a prime field")
+        inverses = _kernels().inv_many(
+            _np.asarray(canonical, dtype=_np.int64), modulus
+        )
+        return inverses.tolist()

@@ -38,33 +38,46 @@ def _linear_factor_product(poly: Polynomial) -> Polynomial:
 
 
 def _split_roots(poly: Polynomial, rng: random.Random, roots: list[int]) -> None:
-    """Recursively split a product of distinct linear factors into roots."""
+    """Split a product of distinct linear factors into roots.
+
+    Runs the classic recursive Cantor-Zassenhaus split on an explicit
+    work-stack: a split can be maximally unbalanced (one linear factor off a
+    degree-d product per step), so the recursive formulation overflows
+    Python's recursion limit for adversarial degrees near 1e4.  The stack is
+    processed depth-first with the split-off factor handled before its
+    complementary cofactor -- the exact order the recursion visited them, so
+    the rng draw sequence (and therefore every downstream value) is
+    unchanged.
+    """
     field = poly.field
-    degree = poly.degree
-    if degree <= 0:
-        return
-    if degree == 1:
-        # poly = x + c (monic), root = -c.
-        constant = poly.coeffs[0]
-        roots.append(field.neg(constant))
-        return
-    if field.modulus == 2:  # pragma: no cover - universes are always larger
-        for candidate in (0, 1):
-            if poly.evaluate(candidate) == 0:
-                roots.append(candidate)
-        return
     exponent = (field.modulus - 1) // 2
     one = Polynomial.one(field)
-    while True:
-        shift = field.uniform_element(rng)
-        shifted = Polynomial.from_coefficients(field, [shift, 1])
-        probe = shifted.pow_mod(exponent, poly) - one
-        factor = poly.gcd(probe)
-        if 0 < factor.degree < degree:
-            break
-    complementary = (poly // factor).monic()
-    _split_roots(factor.monic(), rng, roots)
-    _split_roots(complementary, rng, roots)
+    stack = [poly]
+    while stack:
+        current = stack.pop()
+        degree = current.degree
+        if degree <= 0:
+            continue
+        if degree == 1:
+            # current = x + c (monic), root = -c.
+            roots.append(field.neg(current.coeffs[0]))
+            continue
+        if field.modulus == 2:  # pragma: no cover - universes are always larger
+            for candidate in (0, 1):
+                if current.evaluate(candidate) == 0:
+                    roots.append(candidate)
+            continue
+        while True:
+            shift = field.uniform_element(rng)
+            shifted = Polynomial.from_coefficients(field, [shift, 1])
+            probe = shifted.pow_mod(exponent, current) - one
+            factor = current.gcd(probe)
+            if 0 < factor.degree < degree:
+                break
+        complementary = (current // factor).monic()
+        # Pop order: factor first, then its cofactor (matches the recursion).
+        stack.append(complementary)
+        stack.append(factor.monic())
 
 
 def _find_roots_reference(poly: Polynomial, rng: random.Random) -> list[int]:

@@ -1,0 +1,141 @@
+"""numba-compiled inner loops for :class:`~repro.iblt.backends_numba.NumbaCellStore`.
+
+Importing this module compiles (or loads from numba's on-disk cache) the two
+kernels the compiled cell-store tier runs:
+
+* :func:`scatter` -- fused hash-and-update batch insert/delete, and
+* :func:`peel` -- the entire peeling decode loop.
+
+Only import it behind :func:`repro.jit.numba_available`; the kernels are
+defined at module level (a ``cache=True`` requirement -- numba cannot cache
+closures) and the import fails outright without numba.
+
+Determinism: the kernels re-derive bucket indices and checksums from the
+splitmix64 finalizer exactly as :mod:`repro.hashing.mix` defines it, and the
+peel loop chooses the first pure cell in ascending cell order for a key that
+is pure in several cells -- the same tie-break as the Python and NumPy
+stores -- so cell contents, per-round key sets, and round structure are
+bit-identical across tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jit import get_njit
+
+njit = get_njit()
+
+_MULT_A = np.uint64(0xBF58476D1CE4E5B9)
+_MULT_B = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+@njit(cache=True, inline="always")
+def _mix64(value):
+    """Splitmix64 finalizer on one ``uint64`` word (wraps modulo 2**64)."""
+    value ^= value >> _S30
+    value *= _MULT_A
+    value ^= value >> _S27
+    value *= _MULT_B
+    value ^= value >> _S31
+    return value
+
+
+@njit(cache=True)
+def scatter(counts, key_xor, check_xor, keys, deltas, seeds, starts, sizes,
+            check_seed, check_mask):
+    """Scatter ``keys`` into their cells with per-key ``deltas``, fused with hashing."""
+    num_hashes = seeds.shape[0]
+    for index in range(keys.shape[0]):
+        key = keys[index]
+        delta = deltas[index]
+        check = _mix64(key ^ check_seed) & check_mask
+        for hash_index in range(num_hashes):
+            bucket = _mix64(key ^ seeds[hash_index]) % sizes[hash_index]
+            cell = starts[hash_index] + np.int64(bucket)
+            counts[cell] += delta
+            key_xor[cell] ^= key
+            check_xor[cell] ^= check
+
+
+@njit(cache=True)
+def peel(counts, key_xor, check_xor, seeds, starts, sizes, check_seed,
+         check_mask, max_rounds):
+    """Run the whole peeling loop in place; return recovered (keys, signs).
+
+    Each round snapshots every verified pure cell before any removal,
+    dedups keys (first cell in ascending order wins), removes the chosen
+    keys, and appends them to the output.  Matches the generic
+    :meth:`~repro.iblt.backends.CellStore.peel_rounds` round for round.
+    """
+    num_cells = counts.shape[0]
+    num_hashes = seeds.shape[0]
+
+    cand_keys = np.empty(num_cells, dtype=np.uint64)
+    cand_signs = np.empty(num_cells, dtype=np.int64)
+    cand_checks = np.empty(num_cells, dtype=np.uint64)
+
+    capacity = 64
+    out_keys = np.empty(capacity, dtype=np.uint64)
+    out_signs = np.empty(capacity, dtype=np.int64)
+    recovered = 0
+
+    for _ in range(max_rounds):
+        # Phase 1: snapshot this round's verified pure cells.
+        found = 0
+        for cell in range(num_cells):
+            count = counts[cell]
+            if count == 1 or count == -1:
+                key = key_xor[cell]
+                check = _mix64(key ^ check_seed) & check_mask
+                if check_xor[cell] == check:
+                    cand_keys[found] = key
+                    cand_signs[found] = count
+                    cand_checks[found] = check
+                    found += 1
+        if found == 0:
+            break
+
+        # Phase 2: dedup -- for each distinct key keep the smallest original
+        # index (= first cell in ascending order).  argsort groups equal keys
+        # without assuming the sort is stable.
+        order = np.argsort(cand_keys[:found])
+        run_start = 0
+        while run_start < found:
+            run_end = run_start + 1
+            key = cand_keys[order[run_start]]
+            winner = order[run_start]
+            while run_end < found and cand_keys[order[run_end]] == key:
+                if order[run_end] < winner:
+                    winner = order[run_end]
+                run_end += 1
+
+            sign = cand_signs[winner]
+            check = cand_checks[winner]
+            # Phase 3 (per chosen key): remove and record.  The count/XOR
+            # updates commute, so applying them serially leaves the same
+            # cells as the NumPy store's batched scatter.
+            for hash_index in range(num_hashes):
+                bucket = _mix64(key ^ seeds[hash_index]) % sizes[hash_index]
+                cell = starts[hash_index] + np.int64(bucket)
+                counts[cell] -= sign
+                key_xor[cell] ^= key
+                check_xor[cell] ^= check
+            if recovered == capacity:
+                capacity *= 2
+                grown_keys = np.empty(capacity, dtype=np.uint64)
+                grown_signs = np.empty(capacity, dtype=np.int64)
+                grown_keys[:recovered] = out_keys
+                grown_signs[:recovered] = out_signs
+                out_keys = grown_keys
+                out_signs = grown_signs
+            out_keys[recovered] = key
+            out_signs[recovered] = sign
+            recovered += 1
+
+            run_start = run_end
+
+    return out_keys[:recovered], out_signs[:recovered]

@@ -8,17 +8,23 @@ that seam:
 
 * :class:`CellStore` -- the abstract backend interface.  A backend owns the
   three accumulators and implements batch scatter updates, batch pure-cell
-  scans, in-place combination, and snapshot/load for serialization.
+  scans, the whole peeling loop (:meth:`CellStore.peel_rounds`), in-place
+  combination, and snapshot/load for serialization.
 * :class:`PythonCellStore` -- the reference implementation over plain Python
   lists.  Handles keys of any width; always available.
 * :class:`NumpyCellStore` -- vectorized implementation over NumPy ``int64``
   count and ``uint64`` XOR arrays.  Batch inserts hash whole key arrays
   through :meth:`~repro.hashing.family.HashFamily.cells_for_array` and
-  scatter with ``ufunc.at``; the peeler's pure-cell scan is a couple of
-  vector comparisons.  Requires keys and checksums of at most 64 bits, so
+  scatter with ``ufunc.at``; the peeler runs whole rounds (pure-cell scan,
+  checksum verification, per-key dedup, batch removal) as vector
+  operations.  Requires keys and checksums of at most 64 bits, so
   tables whose keys are serialized child IBLTs (Section 3.2) transparently
   fall back to :class:`PythonCellStore` via the registry
   (:mod:`repro.config`).
+* :class:`~repro.iblt.backends_numba.NumbaCellStore` (registered from its
+  own module) -- the compiled tier: the same array layout as the NumPy
+  store with the scatter and peel loops JIT-compiled by numba.  Falls back
+  along ``numba -> numpy -> python`` when a dependency is missing.
 
 Both backends derive every bucket index and checksum from the same 64-bit
 mixing core (:mod:`repro.hashing.mix`), so a given parameter set and key
@@ -38,6 +44,18 @@ from repro.hashing.mix import HAS_NUMPY
 
 if HAS_NUMPY:
     import numpy as _np
+
+
+def max_peel_rounds(num_cells: int) -> int:
+    """The peeling round cap every backend's :meth:`CellStore.peel_rounds` obeys.
+
+    A successful peel removes at least one key per round and never needs
+    more rounds than keys; the cap only guards degenerate adversarial
+    states.  It is part of the cross-backend observational contract (all
+    tiers stop after identical round sequences), so it lives here rather
+    than in any one peel implementation.
+    """
+    return 4 * num_cells + 16
 
 
 def _validate_key_scalar(key: int, key_bits: int) -> None:
@@ -98,6 +116,44 @@ class CellStore(ABC):
     @abstractmethod
     def combine(self, other: "CellStore", sign: int) -> None:
         """In-place cell-wise ``self += sign * other`` (counts add, XORs fold)."""
+
+    # -- peeling --------------------------------------------------------------------
+
+    def peel_rounds(self, checksum: Checksum, family: HashFamily) -> tuple[list[int], list[int]]:
+        """Run the entire peeling loop in-store; return recovered keys.
+
+        Peels the table in place, round by round: every currently pure cell
+        (count of +-1, checksum-verified) is found in one scan, each key is
+        chosen exactly once per round (first cell in ascending cell order
+        wins, which fixes the order deterministically), and all chosen keys
+        are removed in one batch update.  Stops when a round finds no pure
+        cell or after :func:`max_peel_rounds` rounds.
+
+        Returns the keys recovered with positive and negative counts.
+        Backends override this to run whole rounds in vectorized or compiled
+        code; every implementation must peel the identical per-round key
+        sets (ordering within a round may differ -- callers consume sets)
+        and leave identical final cell contents, so the round structure and
+        decode results match across tiers (the cross-backend determinism
+        suites pin both).
+        """
+        positive: list[int] = []
+        negative: list[int] = []
+        for _ in range(max_peel_rounds(self.num_cells)):
+            keys, signs = self.pure_cells(checksum)
+            if not keys:
+                break
+            # One key can be pure in several cells; remove it exactly once.
+            chosen: dict[int, int] = {}
+            for key, sign in zip(keys, signs):
+                if key not in chosen:
+                    chosen[key] = sign
+            deltas = []
+            for key, sign in chosen.items():
+                (positive if sign == 1 else negative).append(key)
+                deltas.append(-sign)
+            self.apply_batch(self.coerce_keys(list(chosen)), deltas, family, checksum)
+        return positive, negative
 
     # -- inspection -----------------------------------------------------------------
 
@@ -308,6 +364,46 @@ class NumpyCellStore(CellStore):
             self._counts -= other_counts
         self._key_xor ^= other_keys
         self._check_xor ^= other_checks
+
+    def peel_rounds(self, checksum, family):
+        counts, key_xor, check_xor = self._counts, self._key_xor, self._check_xor
+        num_hashes = family.num_hashes
+        positive: list[int] = []
+        negative: list[int] = []
+        for _ in range(max_peel_rounds(self.num_cells)):
+            candidates = _np.nonzero((counts == 1) | (counts == -1))[0]
+            if candidates.size == 0:
+                break
+            keys = key_xor[candidates]
+            checks = checksum.of_keys_array(keys)
+            verified = check_xor[candidates] == checks
+            keys = keys[verified]
+            if keys.size == 0:
+                break
+            signs = counts[candidates][verified]
+            # First cell in ascending order wins for a key pure in several
+            # cells: np.unique returns first-occurrence indices and the
+            # candidate scan is already in cell order.
+            unique_keys, first = _np.unique(keys, return_index=True)
+            chosen_signs = signs[first]
+            positive.extend(unique_keys[chosen_signs == 1].tolist())
+            negative.extend(unique_keys[chosen_signs == -1].tolist())
+            cells = family.cells_for_array(unique_keys).reshape(-1)
+            _np.add.at(counts, cells, _np.tile(-chosen_signs, num_hashes))
+            _np.bitwise_xor.at(key_xor, cells, _np.tile(unique_keys, num_hashes))
+            _np.bitwise_xor.at(
+                check_xor, cells, _np.tile(checks[verified][first], num_hashes)
+            )
+        return positive, negative
+
+    def dense_cells(self):
+        """The live ``(counts, key_xor, check_xor)`` arrays (not copies).
+
+        Lets same-parameter batch layers (:mod:`repro.iblt.multi`) stack many
+        stores into one tensor without a round trip through Python lists.
+        Callers must not mutate the arrays.
+        """
+        return self._counts, self._key_xor, self._check_xor
 
     def is_empty(self):
         return not (

@@ -29,12 +29,79 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ParameterError
 from repro.hashing.mix import HAS_NUMPY
-from repro.iblt.table import IBLT, IBLTParameters
+from repro.iblt.backends import max_peel_rounds
+from repro.iblt.table import IBLT, DecodeResult, IBLTParameters
 
 if HAS_NUMPY:
     import numpy as _np
+
+
+if HAS_NUMPY:
+
+    def _peel_tensor(counts, key_xor, check_xor, family, checksum):
+        """Peel every row of an ``(s, num_cells)`` cell tensor, in place.
+
+        Rows never share cells, so one *global* round (pure-cell scan over the
+        whole flattened tensor, per-(row, key) dedup, one batched removal)
+        advances every still-active row exactly as its own isolated peeling
+        round would -- a row with no pure cells is simply untouched and stays
+        frozen.  Each row therefore evolves bit-identically to
+        ``IBLT.try_decode`` on that row alone, at a fraction of the dispatch
+        cost.  Returns one :class:`~repro.iblt.table.DecodeResult` per row.
+        """
+        num_tables, num_cells = counts.shape
+        flat_counts = counts.reshape(-1)
+        flat_keys = key_xor.reshape(-1)
+        flat_checks = check_xor.reshape(-1)
+        num_hashes = family.num_hashes
+        positive: list[list[int]] = [[] for _ in range(num_tables)]
+        negative: list[list[int]] = [[] for _ in range(num_tables)]
+        for _ in range(max_peel_rounds(num_cells)):
+            candidates = _np.nonzero((flat_counts == 1) | (flat_counts == -1))[0]
+            if candidates.size == 0:
+                break
+            keys = flat_keys[candidates]
+            checks = checksum.of_keys_array(keys)
+            verified = flat_checks[candidates] == checks
+            candidates = candidates[verified]
+            if candidates.size == 0:
+                break
+            keys = keys[verified]
+            checks = checks[verified]
+            signs = flat_counts[candidates]
+            rows = candidates // num_cells
+            # First cell in ascending cell order wins per (row, key) pair --
+            # the same tie-break as every in-store peel.  Sort by (row, key,
+            # candidate position) and keep each group's first element.
+            order = _np.lexsort((_np.arange(candidates.size), keys, rows))
+            sorted_rows = rows[order]
+            sorted_keys = keys[order]
+            boundary = _np.ones(order.size, dtype=bool)
+            boundary[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+                sorted_keys[1:] != sorted_keys[:-1]
+            )
+            winners = order[boundary]
+            chosen_keys = keys[winners]
+            chosen_signs = signs[winners]
+            chosen_checks = checks[winners]
+            row_offsets = rows[winners] * num_cells
+            cells = (family.cells_for_array(chosen_keys) + row_offsets).reshape(-1)
+            _np.add.at(flat_counts, cells, _np.tile(-chosen_signs, num_hashes))
+            _np.bitwise_xor.at(flat_keys, cells, _np.tile(chosen_keys, num_hashes))
+            _np.bitwise_xor.at(flat_checks, cells, _np.tile(chosen_checks, num_hashes))
+            for row, key, sign in zip(
+                rows[winners].tolist(), chosen_keys.tolist(), chosen_signs.tolist()
+            ):
+                (positive[row] if sign == 1 else negative[row]).append(key)
+        decoded = ~(
+            counts.any(axis=1) | key_xor.any(axis=1) | check_xor.any(axis=1)
+        )
+        return [
+            DecodeResult(bool(decoded[row]), set(positive[row]), set(negative[row]))
+            for row in range(num_tables)
+        ]
 
 
 class IBLTArray:
@@ -135,6 +202,49 @@ class IBLTArray:
         self._key_xor = key_xor.reshape(shape)
         self._check_xor = check_xor.reshape(shape)
 
+    @classmethod
+    def from_difference(
+        cls, minuend: IBLT, subtrahends: Sequence[IBLT]
+    ) -> "IBLTArray | None":
+        """Batch the differences ``minuend - subtrahends[i]`` into one array.
+
+        Row ``i`` holds exactly the cells of
+        ``minuend.subtract(subtrahends[i])``, stacked into one tensor so
+        :meth:`decode_all` can peel every difference at once -- the decode
+        side of the sets-of-sets candidate loops.  Returns ``None`` when any
+        operand is off the tensor path (non-vectorized store), in which case
+        callers should fall back to per-pair ``subtract().try_decode()``
+        (whose lazy early exit is the better economics there anyway).
+        """
+        stores = [minuend._store] + [table._store for table in subtrahends]
+        if not HAS_NUMPY or not all(
+            hasattr(store, "dense_cells") for store in stores
+        ):
+            return None
+        for table in subtrahends:
+            if table.params != minuend.params:
+                raise ParameterError("cannot combine IBLTs with different parameters")
+        num_cells = minuend.params.num_cells
+        base_counts, base_keys, base_checks = minuend._store.dense_cells()
+        counts = _np.empty((len(subtrahends), num_cells), dtype=_np.int64)
+        key_xor = _np.empty((len(subtrahends), num_cells), dtype=_np.uint64)
+        check_xor = _np.empty((len(subtrahends), num_cells), dtype=_np.uint64)
+        for index, table in enumerate(subtrahends):
+            other_counts, other_keys, other_checks = table._store.dense_cells()
+            counts[index] = base_counts - other_counts
+            key_xor[index] = base_keys ^ other_keys
+            check_xor[index] = base_checks ^ other_checks
+        array = cls.__new__(cls)
+        array.params = minuend.params
+        array.num_tables = len(subtrahends)
+        array._template = minuend
+        array._vectorized = True
+        array._tables = None
+        array._counts = counts
+        array._key_xor = key_xor
+        array._check_xor = check_xor
+        return array
+
     # -- materialization -------------------------------------------------------------
 
     def table(self, index: int) -> IBLT:
@@ -156,6 +266,27 @@ class IBLTArray:
     def tables(self) -> list[IBLT]:
         """Materialize every row (see :meth:`table`)."""
         return [self.table(index) for index in range(self.num_tables)]
+
+    # -- decoding --------------------------------------------------------------------
+
+    def decode_all(self) -> list[DecodeResult]:
+        """Decode every row; row ``i`` equals ``self.table(i).try_decode()``.
+
+        On the tensor path all rows peel together through one whole-tensor
+        round loop (:func:`_peel_tensor`) without materializing a single
+        per-row :class:`IBLT`; the fallback path decodes each materialized
+        table through the ordinary in-store peel.  Results are bit-identical
+        either way.
+        """
+        if self._tables is not None:
+            return [table.try_decode() for table in self._tables]
+        return _peel_tensor(
+            self._counts.copy(),
+            self._key_xor.copy(),
+            self._check_xor.copy(),
+            self._template._family,
+            self._template._checksum,
+        )
 
     # -- serialization ---------------------------------------------------------------
 

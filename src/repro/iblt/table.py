@@ -291,39 +291,18 @@ class IBLT:
         """Peel the table and report what was recovered.
 
         The table itself is not modified; peeling happens on a working copy.
-        Peeling proceeds in rounds: every currently pure cell is found in one
-        backend scan, then all recovered keys are removed in one batch
-        update.  The round structure is identical across backends, so decode
-        results are too.
+        The whole peeling loop runs inside the backend
+        (:meth:`~repro.iblt.backends.CellStore.peel_rounds`): every currently
+        pure cell is found in one scan, then all recovered keys are removed
+        in one batch update, round after round, entirely in the store's
+        vectorized or compiled code.  The round structure is identical
+        across backends, so decode results are too; this method only
+        collects the recovered keys.  On a failed peel the partial sets are
+        kept (useful to the cascading protocol) but flagged.
         """
         work = self.copy()
-        store, family, checksum = work._store, work._family, work._checksum
-        positive: set[int] = set()
-        negative: set[int] = set()
-        # A successful peel removes at least one key per round and never more
-        # rounds than keys; the cap only guards degenerate adversarial states.
-        for _ in range(4 * work.params.num_cells + 16):
-            keys, signs = store.pure_cells(checksum)
-            if not keys:
-                break
-            # One key can be pure in several cells; remove it exactly once
-            # (first cell wins, which fixes the order deterministically).
-            chosen: dict[int, int] = {}
-            for key, sign in zip(keys, signs):
-                if key not in chosen:
-                    chosen[key] = sign
-            deltas = []
-            for key, sign in chosen.items():
-                (positive if sign == 1 else negative).add(key)
-                deltas.append(-sign)
-            store.apply_batch(
-                store.coerce_keys(list(chosen)), deltas, family, checksum
-            )
-        if not store.is_empty():
-            # A failed peel must not report partial sets that overlap; we keep
-            # what was recovered (useful to the cascading protocol) but flag it.
-            return DecodeResult(False, positive, negative)
-        return DecodeResult(True, positive, negative)
+        positive, negative = work._store.peel_rounds(work._checksum, work._family)
+        return DecodeResult(work._store.is_empty(), set(positive), set(negative))
 
     def decode(self) -> tuple[set[int], set[int]]:
         """Peel the table; raise :class:`DecodeError` if it does not empty."""
@@ -349,28 +328,54 @@ class IBLT:
         width is fully determined by the parameters, a serialized table can be
         used as a fixed-width key of a *parent* IBLT (Section 3.2).  The
         encoding is backend-independent: equal contents serialize equally.
+
+        Cells are joined by balanced pairwise folding: appending one cell at
+        a time re-copies the whole accumulated big integer per cell, which
+        is quadratic in table size and dominates everything else at the
+        hundreds-of-thousands-of-cells tables the n=1e7 benchmarks build.
         """
         params = self.params
         counts, key_xors, check_xors = self._store.snapshot()
         count_limit = 1 << params.count_bits
         half = count_limit >> 1
-        encoded = 0
+        cell_bits = params.count_bits + params.key_bits + params.checksum_bits
+        chunks = []
         for cell in range(params.num_cells):
             count = counts[cell]
             if not -half <= count < half:
                 raise CapacityError(
                     f"cell count {count} does not fit in {params.count_bits} bits"
                 )
-            encoded = (encoded << params.count_bits) | (count % count_limit)
-            encoded = (encoded << params.key_bits) | key_xors[cell]
-            encoded = (encoded << params.checksum_bits) | check_xors[cell]
-        return encoded
+            chunks.append(
+                ((((count % count_limit) << params.key_bits) | key_xors[cell])
+                 << params.checksum_bits) | check_xors[cell]
+            )
+        if not chunks:
+            return 0
+        widths = [cell_bits] * len(chunks)
+        while len(chunks) > 1:
+            joined_chunks, joined_widths = [], []
+            for index in range(0, len(chunks) - 1, 2):
+                joined_chunks.append(
+                    (chunks[index] << widths[index + 1]) | chunks[index + 1]
+                )
+                joined_widths.append(widths[index] + widths[index + 1])
+            if len(chunks) % 2:
+                joined_chunks.append(chunks[-1])
+                joined_widths.append(widths[-1])
+            chunks, widths = joined_chunks, joined_widths
+        return chunks[0]
 
     @classmethod
     def deserialize(
         cls, params: IBLTParameters, encoded: int, backend: str | None = None
     ) -> "IBLT":
-        """Inverse of :meth:`serialize`."""
+        """Inverse of :meth:`serialize`.
+
+        Splits the big integer by recursive halving (the mirror image of
+        serialize's pairwise fold): shifting one cell off the end at a time
+        re-copies the remaining integer per cell, quadratic in table size.
+        """
         if encoded < 0 or encoded.bit_length() > params.size_bits:
             raise ParameterError("encoded value does not match the parameters")
         table = cls(params, backend=backend)
@@ -378,16 +383,26 @@ class IBLT:
         half = count_limit >> 1
         key_mask = (1 << params.key_bits) - 1
         check_mask = (1 << params.checksum_bits) - 1
+        cell_bits = params.count_bits + params.key_bits + params.checksum_bits
+
+        def split(value: int, count: int) -> list[int]:
+            if count == 1:
+                return [value]
+            right_count = count // 2
+            right_bits = cell_bits * right_count
+            left = value >> right_bits
+            right = value & ((1 << right_bits) - 1)
+            return split(left, count - right_count) + split(right, right_count)
+
         counts = [0] * params.num_cells
         key_xors = [0] * params.num_cells
         check_xors = [0] * params.num_cells
-        for cell in range(params.num_cells - 1, -1, -1):
-            check_xors[cell] = encoded & check_mask
-            encoded >>= params.checksum_bits
-            key_xors[cell] = encoded & key_mask
-            encoded >>= params.key_bits
-            raw_count = encoded & (count_limit - 1)
-            encoded >>= params.count_bits
+        packed_cells = split(encoded, params.num_cells) if params.num_cells else []
+        for cell, packed in enumerate(packed_cells):
+            check_xors[cell] = packed & check_mask
+            packed >>= params.checksum_bits
+            key_xors[cell] = packed & key_mask
+            raw_count = packed >> params.key_bits
             counts[cell] = raw_count - count_limit if raw_count >= half else raw_count
         table._store.load(counts, key_xors, check_xors)
         return table

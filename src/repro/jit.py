@@ -1,0 +1,45 @@
+"""Optional numba JIT seam: availability probe shared by the compiled tier.
+
+The compiled backend tier (:class:`repro.iblt.backends_numba.NumbaCellStore`,
+:class:`repro.field.kernels_numba.NumbaFieldKernel`) compiles its inner loops
+with `numba <https://numba.pydata.org>`_ when it is importable.  numba is an
+*optional* accelerator exactly like NumPy: nothing in the library requires
+it, and the registries in :mod:`repro.config` fall back along the chain
+``numba -> numpy -> python`` when it (or NumPy, which numba needs) is
+missing.  This module is the one place that probes for it, mirroring
+``repro.hashing.mix.HAS_NUMPY``.
+
+Importing numba is noticeably slower than importing NumPy, so the probe is
+deliberately lazy: :func:`numba_available` only attempts the import the
+first time a caller (typically a registry ``available()`` classmethod) asks,
+and remembers the answer for the rest of the process.
+"""
+
+from __future__ import annotations
+
+_PROBED: bool | None = None
+
+
+def numba_available() -> bool:
+    """True when numba is importable (probed once, then cached)."""
+    global _PROBED
+    if _PROBED is None:
+        try:
+            import numba  # noqa: F401
+
+            _PROBED = True
+        except Exception:  # pragma: no cover - exercised on numba-free installs
+            _PROBED = False
+    return _PROBED
+
+
+def get_njit():
+    """Return ``numba.njit`` (raises ``ImportError`` when numba is missing).
+
+    Callers must gate on :func:`numba_available` first; the compiled tier
+    only reaches this from code paths its ``available()`` probe has already
+    approved.
+    """
+    from numba import njit
+
+    return njit

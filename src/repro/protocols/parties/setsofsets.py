@@ -43,7 +43,7 @@ from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
 from repro.estimator import L0Estimator, SetDifferenceEstimator
 from repro.hashing import SeededHasher, derive_seed
-from repro.iblt import IBLT, IBLTParameters
+from repro.iblt import IBLT, IBLTArray, IBLTParameters
 from repro.protocols.party import (
     END_OF_SESSION,
     PartyOutcome,
@@ -355,10 +355,24 @@ def _recover_child(
     to a set matching the encoding's hash.  Candidate tables come from the
     per-reconcile cache, so each candidate's table is built exactly once no
     matter how many of Alice's keys it is tried against.
+
+    On a vectorized backend every candidate difference peels in one batched
+    :meth:`~repro.iblt.multi.IBLTArray.decode_all` pass; otherwise the
+    candidates are tried lazily one by one (keeping the early exit on the
+    first hash match, which is the better economics for the scalar store).
+    Either way the answer is the first candidate, in order, whose decode
+    matches the hash -- bit-identical across backends.
     """
     alice_table, alice_hash = scheme.decode(alice_key, backend=backend)
-    for candidate in candidate_children:
-        decode = alice_table.subtract(candidate_tables.get(candidate)).try_decode()
+    tables = [candidate_tables.get(candidate) for candidate in candidate_children]
+    batched = IBLTArray.from_difference(alice_table, tables)
+    if batched is not None:
+        decodes = batched.decode_all()
+    else:
+        decodes = (
+            alice_table.subtract(table).try_decode() for table in tables
+        )
+    for candidate, decode in zip(candidate_children, decodes):
         if not decode.success:
             continue
         recovered = frozenset(

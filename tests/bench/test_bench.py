@@ -92,6 +92,16 @@ class TestBenchmarkTrajectory:
                 name,
                 headline[name],
             )
+            # Phase-specific floors ride on individual rows: any row that
+            # records a "<metric>_floor" must also hold the matching metric
+            # (e.g. peel_speedup vs peel_speedup_floor at n=1e7, gcd's
+            # speedup vs gcd_speedup_floor at d=1e4).
+            for row in record.get("results", []):
+                for metric in ("peel_speedup", "gcd_speedup"):
+                    floor = row.get(f"{metric}_floor", record.get(f"{metric}_floor"))
+                    if floor is None or metric not in row:
+                        continue
+                    assert row[metric] >= floor, (name, metric, row)
         # All four trajectories are recorded in this repository.
         assert {
             "cell_backend",

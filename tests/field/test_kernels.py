@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import (
     AUTO_BACKEND,
+    _resolve_field_kernel_cached,
     available_field_kernels,
     default_field_kernel,
     field_kernel_names,
@@ -23,11 +24,15 @@ from repro.config import (
 from repro.errors import ParameterError
 from repro.field import Polynomial, find_roots, prime_field
 from repro.field.kernels import (
+    _GCD_VECTOR_CUTOFF,
     NumpyFieldKernel,
     PythonFieldKernel,
+    _poly_gcd_scalar,
+    _poly_mul_scalar,
     kernel_for,
     use_kernel,
 )
+from repro.field.kernels_numba import NumbaFieldKernel
 from repro.field.linalg import (
     gaussian_elimination,
     rational_interpolation_system,
@@ -52,6 +57,15 @@ def both_kernels():
     return kernels
 
 
+def vectorized_kernels():
+    kernels = []
+    if NumpyFieldKernel.available():
+        kernels.append(NumpyFieldKernel())
+    if NumbaFieldKernel.available():
+        kernels.append(NumbaFieldKernel())
+    return kernels
+
+
 # ---------------------------------------------------------------------------
 # Registry and selection
 # ---------------------------------------------------------------------------
@@ -71,7 +85,9 @@ class TestRegistry:
 
     def test_auto_prefers_vectorized_when_supported(self):
         cls = resolve_field_kernel(AUTO_BACKEND, 1048583)
-        if NumpyFieldKernel.available():
+        if NumbaFieldKernel.available():
+            assert cls is NumbaFieldKernel
+        elif NumpyFieldKernel.available():
             assert cls is NumpyFieldKernel
         else:
             assert cls is PythonFieldKernel
@@ -91,9 +107,12 @@ class TestRegistry:
             set_default_field_kernel("python")
             assert kernel_for(1048583).name == "python"
             with use_kernel(AUTO_BACKEND):
-                expected = (
-                    "numpy" if NumpyFieldKernel.available() else "python"
-                )
+                if NumbaFieldKernel.available():
+                    expected = "numba"
+                elif NumpyFieldKernel.available():
+                    expected = "numpy"
+                else:
+                    expected = "python"
                 assert kernel_for(1048583).name == expected
             assert kernel_for(1048583).name == "python"
         finally:
@@ -285,3 +304,120 @@ class TestPolynomialIntegration:
         poly = Polynomial.from_roots(field, [11, 22, 33, 44, 55])
         for kernel in both_kernels():
             assert find_roots(poly, kernel=kernel) == [11, 22, 33, 44, 55]
+
+
+# ---------------------------------------------------------------------------
+# Compiled tier: registry fallback chain (numba -> numpy -> python)
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledTierChain:
+    """``field_kernel="numba"`` requests degrade gracefully down the chain.
+
+    The resolver is cached, so every availability monkeypatch must clear
+    :func:`repro.config._resolve_field_kernel_cached` both after patching
+    and after undoing the patch.
+    """
+
+    def test_numba_kernel_registered(self):
+        assert "numba" in field_kernel_names()
+
+    def test_numba_request_resolves_down_the_chain(self):
+        resolved = resolve_field_kernel("numba", 1048583)
+        if NumbaFieldKernel.available():
+            assert resolved is NumbaFieldKernel
+        elif NumpyFieldKernel.available():
+            assert resolved is NumpyFieldKernel
+        else:
+            assert resolved is PythonFieldKernel
+
+    def test_large_modulus_forces_reference(self):
+        # 2**61 - 1 exceeds the exact int64 range of the whole vectorized
+        # tier, so even an explicit "numba" request lands on the reference.
+        assert resolve_field_kernel("numba", BIG_PRIME) is PythonFieldKernel
+
+    @needs_numpy
+    def test_numba_absent_resolves_to_numpy(self, monkeypatch):
+        monkeypatch.setattr(
+            NumbaFieldKernel, "available", classmethod(lambda cls: False)
+        )
+        _resolve_field_kernel_cached.cache_clear()
+        try:
+            assert resolve_field_kernel("numba", 1048583) is NumpyFieldKernel
+        finally:
+            monkeypatch.undo()
+            _resolve_field_kernel_cached.cache_clear()
+
+    def test_numba_and_numpy_absent_resolve_to_reference(self, monkeypatch):
+        monkeypatch.setattr(
+            NumbaFieldKernel, "available", classmethod(lambda cls: False)
+        )
+        monkeypatch.setattr(
+            NumpyFieldKernel, "available", classmethod(lambda cls: False)
+        )
+        _resolve_field_kernel_cached.cache_clear()
+        try:
+            assert resolve_field_kernel("numba", 1048583) is PythonFieldKernel
+            assert (
+                resolve_field_kernel(AUTO_BACKEND, 1048583) is PythonFieldKernel
+            )
+        finally:
+            monkeypatch.undo()
+            _resolve_field_kernel_cached.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized Euclid chain (large-degree gcds above _GCD_VECTOR_CUTOFF)
+# ---------------------------------------------------------------------------
+
+
+class TestLargeDegreeGcd:
+    """The vectorized gcd chain is exact: bit-identical to the scalar
+    reference on operands large enough to engage it."""
+
+    @staticmethod
+    def _operands(p, rng, common_degree=60, extra=35):
+        common = [rng.randrange(p) for _ in range(common_degree)] + [1]
+        left = _poly_mul_scalar(
+            p, common, [rng.randrange(p) for _ in range(extra)] + [1]
+        )
+        right = _poly_mul_scalar(
+            p, common, [rng.randrange(p) for _ in range(extra + 7)] + [1]
+        )
+        return left, right
+
+    @pytest.mark.parametrize("p", [65537, 1048583, (1 << 29) + 11])
+    def test_matches_scalar_reference(self, p):
+        rng = random.Random(p)
+        a, b = self._operands(p, rng)
+        assert min(len(a), len(b)) > _GCD_VECTOR_CUTOFF
+        expected = _poly_gcd_scalar(p, a, b)
+        for kernel in vectorized_kernels():
+            assert kernel.poly_gcd(p, a, b) == expected
+
+    @needs_numpy
+    def test_gcd_recovers_planted_common_factor(self):
+        p = 1048583
+        field = prime_field(p)
+        a = Polynomial.from_roots(field, range(1, 120))
+        b = Polynomial.from_roots(field, range(60, 200))
+        expected = Polynomial.from_roots(field, range(60, 120))
+        for kernel in vectorized_kernels():
+            assert kernel.poly_gcd(p, a.coeffs, b.coeffs) == list(
+                expected.coeffs
+            )
+
+    @needs_numpy
+    def test_root_finding_at_degree_200_exercises_the_chain(self):
+        # Degree 200 keeps every top-level gcd above the cutoff, so the
+        # Cantor-Zassenhaus driver runs through the vectorized Euclid path.
+        p = 1048583
+        field = prime_field(p)
+        rng = random.Random(11)
+        roots = sorted(rng.sample(range(1, p), 200))
+        poly = Polynomial.from_roots(field, roots)
+        for kernel in vectorized_kernels():
+            produced = kernel.find_distinct_roots(
+                p, poly.coeffs, random.Random(5)
+            )
+            assert produced == roots

@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ParameterError
 from repro.field import PrimeField, Polynomial, find_roots
 from repro.field.linalg import gaussian_elimination, solve_linear_system, solve_nullspace_vector
-from repro.field.roots import roots_with_multiplicity
+from repro.field.roots import _split_roots, roots_with_multiplicity
 
 FIELD = PrimeField(10007)
 
@@ -119,3 +119,33 @@ class TestRootFinding:
     def test_random_root_sets_recovered(self, roots):
         p = Polynomial.from_roots(FIELD, roots)
         assert find_roots(p, random.Random(11)) == sorted(roots)
+
+
+class TestSplitRootsWorkStack:
+    """Regression: maximally unbalanced Cantor-Zassenhaus splits at d=5000.
+
+    A probe that peels exactly one linear factor per split used to drive the
+    recursive ``_split_roots`` to call depth ``d`` -- a ``RecursionError``
+    well below d=5000 under CPython's default limit.  The explicit work-stack
+    must recover every root.  The probe is forced via ``pow_mod`` so the
+    worst case is deterministic rather than a (vanishingly unlikely) run of
+    unlucky random shifts.
+    """
+
+    def test_deeply_unbalanced_split_peels_all_roots(self, monkeypatch):
+        degree = 5000
+        assert FIELD.modulus > degree  # all roots distinct mod p
+        poly = Polynomial.from_roots(FIELD, range(1, degree + 1))
+        peeled = iter(range(1, degree + 1))
+
+        def one_linear_factor(self, exponent, modulus):
+            # probe = pow_mod(...) - 1 must equal (x - r): return (x - r) + 1.
+            r = next(peeled)
+            return Polynomial.from_coefficients(
+                FIELD, [(1 - r) % FIELD.modulus, 1]
+            )
+
+        monkeypatch.setattr(Polynomial, "pow_mod", one_linear_factor)
+        roots: list[int] = []
+        _split_roots(poly, random.Random(0), roots)
+        assert sorted(roots) == list(range(1, degree + 1))

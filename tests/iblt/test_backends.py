@@ -11,7 +11,13 @@ from repro.config import (
     set_default_cell_backend,
 )
 from repro.errors import CapacityError, ParameterError
-from repro.iblt import IBLT, IBLTParameters, NumpyCellStore, PythonCellStore
+from repro.iblt import (
+    IBLT,
+    IBLTParameters,
+    NumbaCellStore,
+    NumpyCellStore,
+    PythonCellStore,
+)
 
 HAS_NUMPY = NumpyCellStore.available()
 BACKENDS = ["python"] + (["numpy"] if HAS_NUMPY else [])
@@ -53,8 +59,12 @@ class TestRegistry:
         assert IBLT(make_params()).backend == "python"
 
     @needs_numpy
-    def test_auto_prefers_numpy(self):
-        assert resolve_cell_backend("auto", make_params()) is NumpyCellStore
+    def test_auto_prefers_fastest_vectorized_tier(self):
+        resolved = resolve_cell_backend("auto", make_params())
+        if NumbaCellStore.available():
+            assert resolved is NumbaCellStore
+        else:
+            assert resolved is NumpyCellStore
 
     @needs_numpy
     def test_wide_keys_fall_back_to_python(self):

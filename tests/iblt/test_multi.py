@@ -101,3 +101,58 @@ class TestBackendSelection:
         for index, child in enumerate(children):
             positive, negative = array.table(index).decode()
             assert positive == set(child) and negative == set()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBatchedDecode:
+    def test_decode_all_matches_per_row_try_decode(self, backend):
+        children = random_children(25, seed=31, max_size=5)
+        array = IBLTArray(PARAMS, children, backend=backend)
+        assert array.decode_all() == [
+            array.table(index).try_decode() for index in range(len(array))
+        ]
+
+    def test_decode_all_reports_undecodable_rows(self, backend):
+        # Row 1 holds far more keys than the table can peel.
+        children = [[1, 2], list(range(1000, 1200)), [7]]
+        array = IBLTArray(PARAMS, children, backend=backend)
+        results = array.decode_all()
+        assert [r.success for r in results] == [True, False, True]
+        assert results[0].positive == {1, 2}
+        assert results[2].positive == {7}
+
+    def test_decode_all_empty_array(self, backend):
+        assert IBLTArray(PARAMS, [], backend=backend).decode_all() == []
+
+
+@pytest.mark.skipif(not NumpyCellStore.available(), reason="NumPy not installed")
+class TestFromDifference:
+    def test_matches_subtract_then_decode(self):
+        alice = IBLT.from_items(PARAMS, [1, 2, 3, 99], backend="numpy")
+        candidates = [
+            IBLT.from_items(PARAMS, child, backend="numpy")
+            for child in ([1, 2, 3], [1, 2, 3, 99], [500, 501], [])
+        ]
+        batched = IBLTArray.from_difference(alice, candidates)
+        assert batched is not None
+        assert batched.decode_all() == [
+            alice.subtract(candidate).try_decode() for candidate in candidates
+        ]
+
+    def test_scalar_store_returns_none(self):
+        alice = IBLT.from_items(PARAMS, [1], backend="python")
+        other = IBLT.from_items(PARAMS, [2], backend="python")
+        assert IBLTArray.from_difference(alice, [other]) is None
+
+    def test_parameter_mismatch_rejected(self):
+        alice = IBLT.from_items(PARAMS, [1], backend="numpy")
+        other_params = IBLTParameters.for_difference(
+            6, 24, seed=98, num_hashes=3, checksum_bits=24, count_bits=16
+        )
+        other = IBLT.from_items(other_params, [2], backend="numpy")
+        with pytest.raises(ParameterError):
+            IBLTArray.from_difference(alice, [other])
+
+    def test_empty_candidate_list(self):
+        alice = IBLT.from_items(PARAMS, [1], backend="numpy")
+        assert IBLTArray.from_difference(alice, []).decode_all() == []

@@ -153,13 +153,23 @@ class TestDecode:
         st.sets(st.integers(min_value=0, max_value=2**32 - 1), max_size=15),
     )
     def test_subtract_decode_property(self, alice_keys, bob_keys):
-        params = IBLTParameters.for_difference(30, 32, seed=99)
-        alice = IBLT.from_items(params, alice_keys)
-        bob = IBLT.from_items(params, bob_keys)
-        result = alice.subtract(bob).try_decode()
-        assert result.success
-        assert result.positive == alice_keys - bob_keys
-        assert result.negative == bob_keys - alice_keys
+        # IBLT decode has an intrinsic (tiny) failure probability per seed:
+        # e.g. for seed=99 the keys {2608, 44057} land on identical cell
+        # sets, leaving no pure cell.  A logic bug breaks every seed, an
+        # honest hash collision breaks at most one, so require success
+        # under at least one of two independent seeds and full consistency
+        # from any seed that does succeed.
+        succeeded = 0
+        for seed in (99, 1099):
+            params = IBLTParameters.for_difference(30, 32, seed=seed)
+            alice = IBLT.from_items(params, alice_keys)
+            bob = IBLT.from_items(params, bob_keys)
+            result = alice.subtract(bob).try_decode()
+            if result.success:
+                succeeded += 1
+                assert result.positive == alice_keys - bob_keys
+                assert result.negative == bob_keys - alice_keys
+        assert succeeded >= 1
 
 
 class TestSerialization:

@@ -112,6 +112,18 @@ class TestCPIAcrossKernels:
             forced.transcript
         )
 
+    def test_numba_tier_matches_python(self):
+        # Resolves compiled when numba is installed, down the fallback chain
+        # (numpy, then python) otherwise -- identical bytes either way.
+        alice, bob = make_sets(150, 11, seed=5)
+        result_numba = reconcile_cpi(alice, bob, 12, UNIVERSE, 9, field_kernel="numba")
+        result_py = reconcile_cpi(alice, bob, 12, UNIVERSE, 9, field_kernel="python")
+        assert result_numba.success and result_py.success
+        assert result_numba.recovered == result_py.recovered
+        assert transcript_fingerprint(result_numba.transcript) == (
+            transcript_fingerprint(result_py.transcript)
+        )
+
 
 class TestMultiroundAcrossKernels:
     def run(self, field_kernel, unknown=False):
