@@ -268,6 +268,20 @@ def main() -> None:
             f"throughput speedup {latency_row['speedup']}x below the "
             f"{SPEEDUP_FLOOR}x floor"
         )
+    config = benchmark_config(
+        args.seed,
+        clients=NUM_CLIENTS,
+        protocol=PROTOCOL,
+        set_size=SET_SIZE,
+        differences=DIFFERENCES,
+        one_way_latency_s=ONE_WAY_LATENCY_S,
+    )
+    if args.profile:
+        config["profile"] = {
+            f"latency{row['one_way_latency_ms']:g}ms_{phase}_s": row[f"{phase}_s"]
+            for row in rows
+            for phase in ("serial", "concurrent")
+        }
     write_benchmark_record(
         args.output,
         benchmark="bench_service_throughput",
@@ -277,14 +291,7 @@ def main() -> None:
             "WAN latency (zero-latency row recorded for transparency); "
             "identical recovered sets asserted on every session"
         ),
-        config=benchmark_config(
-            args.seed,
-            clients=NUM_CLIENTS,
-            protocol=PROTOCOL,
-            set_size=SET_SIZE,
-            differences=DIFFERENCES,
-            one_way_latency_s=ONE_WAY_LATENCY_S,
-        ),
+        config=config,
         speedup_floor=SPEEDUP_FLOOR,
         results=rows,
     )

@@ -20,6 +20,7 @@ BENCHMARK_RECORDS = {
     "field_kernel": "BENCH_field_kernels.json",
     "setsofsets_encoding": "BENCH_setsofsets.json",
     "service_throughput": "BENCH_service.json",
+    "sketch_store": "BENCH_store.json",
 }
 
 

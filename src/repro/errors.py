@@ -50,3 +50,13 @@ class ServiceError(ReproError):
 class CapacityError(ReproError):
     """Raised when a fixed-capacity structure would overflow (e.g. a key wider
     than the IBLT's configured key width)."""
+
+
+class StoreError(ReproError):
+    """Raised when the sketch store cannot apply, persist, or recover a
+    sketch (corrupt journal interior, mutation that poisons the live
+    sketches, durability requested on an in-memory store).
+
+    A snapshot or journal that merely disagrees with the requesting
+    configuration is *not* an error: it is treated as a cache miss and
+    counted as an invalidation."""

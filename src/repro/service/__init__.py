@@ -23,13 +23,19 @@ See docs/service.md for the architecture and failure model.
 
 from repro.service.client import (
     afetch_stats,
+    amutate,
     areconcile,
     areconcile_sharded,
     fetch_stats_blocking,
+    mutate_server,
     reconcile_with_server,
 )
 from repro.service.hello import Hello, PeerStats, ShardRequest
-from repro.service.metrics import ServiceMetrics, SessionRecord
+from repro.service.metrics import (
+    ServiceMetrics,
+    SessionRecord,
+    format_stats_report,
+)
 from repro.service.server import SyncServer
 from repro.service.sharding import (
     ShardPlan,
@@ -51,12 +57,15 @@ __all__ = [
     "ShardRequest",
     "SyncServer",
     "afetch_stats",
+    "amutate",
     "areconcile",
     "areconcile_sharded",
     "fetch_stats_blocking",
+    "format_stats_report",
     "merge_sessions",
-    "reconcile_sharded",
+    "mutate_server",
     "reconcile_with_server",
+    "reconcile_sharded",
     "run_party_async",
     "shard_input",
     "shard_of",

@@ -9,12 +9,16 @@ files):
   for the structured protocols, then run until interrupted;
 * ``sync`` -- connect as a client whose copy of the demo set has a few
   seeded mutations, reconcile over a named protocol, and print the result;
-* ``stats`` -- fetch and print the server's metrics report.
+* ``mutate`` -- push a delta into a server-side dataset (requires the
+  server to run with ``--store``, so its live sketches absorb the delta);
+* ``stats`` -- fetch the server's metrics report and render it as a
+  human-readable table (``--json`` for the raw dict).
 
 Example::
 
-    python -m repro.service serve --port 8642 &
+    python -m repro.service serve --port 8642 --store /tmp/sketches &
     python -m repro.service sync --port 8642 --protocol ibf --mutations 12
+    python -m repro.service mutate --port 8642 --insert 17 23 --delete 4
     python -m repro.service stats --port 8642
 """
 
@@ -30,8 +34,10 @@ from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError, ReproError
 from repro.hashing import derive_seed
 from repro.protocols.options import ReconcileOptions
-from repro.service.client import areconcile, areconcile_sharded, afetch_stats
+from repro.service.client import amutate, areconcile, areconcile_sharded, afetch_stats
+from repro.service.metrics import format_stats_report
 from repro.service.server import SyncServer
+from repro.store import SketchStore
 
 DEFAULT_SEED = 2018
 DEFAULT_UNIVERSE = 1 << 20
@@ -99,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser("serve", help="run the demo sync server")
     _common_arguments(serve)
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="keep live sketches in a durable SketchStore "
+                            "rooted at DIR (enables mutate; syncs are "
+                            "answered from the store)")
+    serve.add_argument("--anti-entropy", type=float, default=None,
+                       metavar="SECONDS",
+                       help="snapshot dirty datasets every SECONDS in the "
+                            "background (requires --store)")
 
     sync = commands.add_parser("sync", help="reconcile a mutated demo copy")
     _common_arguments(sync)
@@ -111,9 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
     sync.add_argument("--shard-bits", type=int, default=0,
                       help="run a sharded sync over 2^bits concurrent sessions")
 
+    mutate = commands.add_parser(
+        "mutate", help="apply a delta to a server-side dataset"
+    )
+    mutate.add_argument("--host", default="127.0.0.1")
+    mutate.add_argument("--port", type=int, default=8642)
+    mutate.add_argument("--dataset", default="ibf",
+                        help="dataset (protocol name) to mutate (default: ibf)")
+    mutate.add_argument("--insert", type=int, nargs="*", default=[],
+                        metavar="KEY", help="keys to insert")
+    mutate.add_argument("--delete", type=int, nargs="*", default=[],
+                        metavar="KEY", help="keys to delete")
+
     stats = commands.add_parser("stats", help="print the server metrics report")
     stats.add_argument("--host", default="127.0.0.1")
     stats.add_argument("--port", type=int, default=8642)
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw JSON report instead of the table")
     return parser
 
 
@@ -128,8 +156,19 @@ async def _serve(args: argparse.Namespace) -> None:
         "cascading": demo_sos,
         "naive": demo_sos,
     }
-    async with SyncServer(datasets, host=args.host, port=args.port) as server:
-        print(f"serving {sorted(datasets)} on {args.host}:{server.port}", flush=True)
+    store = SketchStore(args.store) if args.store else None
+    async with SyncServer(
+        datasets,
+        host=args.host,
+        port=args.port,
+        store=store,
+        anti_entropy_interval=args.anti_entropy,
+    ) as server:
+        extra = f" (store: {args.store})" if args.store else ""
+        print(
+            f"serving {sorted(datasets)} on {args.host}:{server.port}{extra}",
+            flush=True,
+        )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -171,8 +210,24 @@ async def _sync(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+async def _mutate(args: argparse.Namespace) -> int:
+    ack = await amutate(
+        args.host, args.port, args.dataset,
+        insert=args.insert, delete=args.delete,
+    )
+    print(
+        f"mutated {args.dataset}: +{ack['inserted']} / -{ack['deleted']} keys "
+        f"(size now {ack['size']})"
+    )
+    return 0
+
+
 async def _stats(args: argparse.Namespace) -> None:
-    print(json.dumps(await afetch_stats(args.host, args.port), indent=2))
+    report = await afetch_stats(args.host, args.port)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_stats_report(report), end="")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "sync":
             return asyncio.run(_sync(args))
+        if args.command == "mutate":
+            return asyncio.run(_mutate(args))
         asyncio.run(_stats(args))
         return 0
     except KeyboardInterrupt:

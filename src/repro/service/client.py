@@ -34,12 +34,16 @@ from repro.protocols.transports import FRAME_CONTROL
 from repro.service.hello import (
     ACK_LABEL,
     HELLO_LABEL,
+    MUTATE_ACK_LABEL,
+    MUTATE_LABEL,
     STATS_LABEL,
     Hello,
     PeerStats,
     ShardRequest,
+    mutate_payload,
     options_to_wire,
     parse_ack,
+    parse_mutate_ack,
     placeholder_input,
 )
 from repro.service.sharding import (
@@ -149,6 +153,41 @@ async def afetch_stats(host: str, port: int) -> dict[str, Any]:
         await transport.aclose()
 
 
+async def amutate(
+    host: str,
+    port: int,
+    dataset: str,
+    *,
+    insert: Any = (),
+    delete: Any = (),
+) -> dict[str, int]:
+    """Apply a delta to a server-side dataset and its live sketches.
+
+    Requires the server to host a :class:`~repro.store.SketchStore`.
+    Returns the *effective* delta (keys already present are not
+    re-inserted, absent keys are not deleted) plus the dataset's new size.
+    A refusal (no store, unknown dataset, immutable dataset, malformed
+    keys) raises :class:`~repro.errors.ServiceError`.
+    """
+    reader, writer = await _connect(host, port)
+    transport = AsyncSocketTransport(reader, writer, "bob")
+    try:
+        await transport.send_frame(
+            FRAME_CONTROL,
+            MUTATE_LABEL,
+            payload=mutate_payload(dataset, insert, delete),
+        )
+        frame = await transport.receive_frame()
+        if frame.kind != FRAME_CONTROL or frame.label != MUTATE_ACK_LABEL:
+            raise ServiceError(
+                f"expected a mutate-ack, got frame kind {frame.kind} "
+                f"label {frame.label!r}"
+            )
+        return parse_mutate_ack(frame.payload)
+    finally:
+        await transport.aclose()
+
+
 async def areconcile_sharded(
     host: str,
     port: int,
@@ -238,3 +277,8 @@ def reconcile_with_server(*args: Any, **kwargs: Any) -> ReconciliationResult:
 def fetch_stats_blocking(host: str, port: int) -> dict[str, Any]:
     """Blocking wrapper around :func:`afetch_stats`."""
     return asyncio.run(afetch_stats(host, port))
+
+
+def mutate_server(*args: Any, **kwargs: Any) -> dict[str, int]:
+    """Blocking wrapper around :func:`amutate`."""
+    return asyncio.run(amutate(*args, **kwargs))

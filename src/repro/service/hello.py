@@ -36,6 +36,9 @@ from repro.protocols.options import ReconcileOptions
 HELLO_LABEL = "hello"
 ACK_LABEL = "hello-ack"
 STATS_LABEL = "stats"
+#: Control-frame labels of the mutation path (sketch-store servers).
+MUTATE_LABEL = "mutate"
+MUTATE_ACK_LABEL = "mutate-ack"
 
 #: Handshake version; bumped on incompatible changes to the JSON shapes.
 SERVICE_VERSION = 1
@@ -229,6 +232,87 @@ def error_payload(message: str) -> bytes:
     return json.dumps(
         {"ok": False, "version": SERVICE_VERSION, "error": message}
     ).encode()
+
+
+def mutate_payload(
+    dataset: str, insert: "list[int] | tuple[int, ...]", delete: "list[int] | tuple[int, ...]"
+) -> bytes:
+    """The client's ``mutate`` control payload (apply a delta server-side)."""
+    return json.dumps(
+        {
+            "version": SERVICE_VERSION,
+            "dataset": dataset,
+            "insert": sorted(int(key) for key in insert),
+            "delete": sorted(int(key) for key in delete),
+        }
+    ).encode()
+
+
+def parse_mutate(payload: bytes) -> tuple[str, list[int], list[int]]:
+    """Parse and validate a ``mutate`` payload into ``(dataset, ins, dels)``."""
+    try:
+        body = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed mutate payload: {exc}") from exc
+    if body.get("version") != SERVICE_VERSION:
+        raise ServiceError(
+            f"unsupported service version {body.get('version')!r} "
+            f"(this side speaks {SERVICE_VERSION})"
+        )
+    dataset = body.get("dataset")
+    if not isinstance(dataset, str) or not dataset:
+        raise ServiceError("mutate names no dataset")
+
+    def keys(name: str) -> list[int]:
+        raw = body.get(name, [])
+        if not isinstance(raw, list):
+            raise ServiceError(f"mutate {name!r} must be a list of keys")
+        parsed = []
+        for key in raw:
+            if isinstance(key, bool) or not isinstance(key, int) or key < 0:
+                raise ServiceError(
+                    f"mutate {name!r} keys must be non-negative integers, got {key!r}"
+                )
+            parsed.append(key)
+        return parsed
+
+    insert, delete = keys("insert"), keys("delete")
+    overlap = set(insert) & set(delete)
+    if overlap:
+        raise ServiceError(
+            f"mutate inserts and deletes overlap on {len(overlap)} key(s)"
+        )
+    return dataset, insert, delete
+
+
+def mutate_ack_payload(inserted: int, deleted: int, size: int) -> bytes:
+    """A successful ``mutate-ack``: the *effective* delta plus the new size."""
+    return json.dumps(
+        {
+            "ok": True,
+            "version": SERVICE_VERSION,
+            "inserted": inserted,
+            "deleted": deleted,
+            "size": size,
+        }
+    ).encode()
+
+
+def parse_mutate_ack(payload: bytes) -> dict[str, int]:
+    """Parse a ``mutate-ack``; raises :class:`ServiceError` on refusal."""
+    try:
+        body = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed mutate-ack payload: {exc}") from exc
+    if not body.get("ok"):
+        raise ServiceError(
+            f"server refused the mutation: {body.get('error', 'unknown error')}"
+        )
+    return {
+        "inserted": int(body.get("inserted", 0)),
+        "deleted": int(body.get("deleted", 0)),
+        "size": int(body.get("size", 0)),
+    }
 
 
 def parse_ack(payload: bytes) -> tuple[ReconcileOptions, PeerStats]:

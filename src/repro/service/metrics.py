@@ -60,6 +60,22 @@ class ServiceMetrics:
     shard_resplits: int = 0
     stats_requests: int = 0
     rejected_hellos: int = 0
+    sessions_drained: int = 0
+    sessions_aborted: int = 0
+    mutations_applied: int = 0
+    mutations_rejected: int = 0
+    keys_inserted: int = 0
+    keys_deleted: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_invalidations: int = 0
+    journal_replays: int = 0
+    journal_entries_replayed: int = 0
+    snapshots_written: int = 0
+    snapshot_failures: int = 0
+    anti_entropy_cycles: int = 0
+    store_dirty_datasets: int = 0
+    store_journal_lag: int = 0
     by_protocol: dict[str, dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -82,6 +98,56 @@ class ServiceMetrics:
     def record_resplit(self, count: int = 1) -> None:
         with self._lock:
             self.shard_resplits += count
+
+    def record_drain(self, drained: int, aborted: int) -> None:
+        with self._lock:
+            self.sessions_drained += drained
+            self.sessions_aborted += aborted
+
+    def record_mutation(self, inserted: int, deleted: int) -> None:
+        with self._lock:
+            self.mutations_applied += 1
+            self.keys_inserted += inserted
+            self.keys_deleted += deleted
+
+    def record_mutation_rejected(self) -> None:
+        with self._lock:
+            self.mutations_rejected += 1
+
+    def record_store_hit(self) -> None:
+        with self._lock:
+            self.store_hits += 1
+
+    def record_store_miss(self) -> None:
+        with self._lock:
+            self.store_misses += 1
+
+    def record_store_invalidation(self) -> None:
+        with self._lock:
+            self.store_invalidations += 1
+
+    def record_journal_replay(self, entries: int) -> None:
+        with self._lock:
+            self.journal_replays += 1
+            self.journal_entries_replayed += entries
+
+    def record_snapshot(self) -> None:
+        with self._lock:
+            self.snapshots_written += 1
+
+    def record_snapshot_failure(self) -> None:
+        with self._lock:
+            self.snapshot_failures += 1
+
+    def record_anti_entropy_cycle(self) -> None:
+        with self._lock:
+            self.anti_entropy_cycles += 1
+
+    def record_store_staleness(self, dirty_datasets: int, journal_lag: int) -> None:
+        """Gauges (latest sweep's values, not running totals)."""
+        with self._lock:
+            self.store_dirty_datasets = dirty_datasets
+            self.store_journal_lag = journal_lag
 
     def record_session(self, record: SessionRecord) -> None:
         with self._lock:
@@ -132,31 +198,86 @@ class ServiceMetrics:
                 "retries": self.retries,
                 "shard_sessions": self.shard_sessions,
                 "shard_resplits": self.shard_resplits,
+                "sessions_drained": self.sessions_drained,
+                "sessions_aborted": self.sessions_aborted,
+                "mutations": {
+                    "applied": self.mutations_applied,
+                    "rejected": self.mutations_rejected,
+                    "keys_inserted": self.keys_inserted,
+                    "keys_deleted": self.keys_deleted,
+                },
+                "store": {
+                    "hits": self.store_hits,
+                    "misses": self.store_misses,
+                    "invalidations": self.store_invalidations,
+                    "journal_replays": self.journal_replays,
+                    "journal_entries_replayed": self.journal_entries_replayed,
+                    "snapshots_written": self.snapshots_written,
+                    "snapshot_failures": self.snapshot_failures,
+                    "anti_entropy_cycles": self.anti_entropy_cycles,
+                    "dirty_datasets": self.store_dirty_datasets,
+                    "journal_lag": self.store_journal_lag,
+                },
                 "by_protocol": {
                     name: dict(per) for name, per in sorted(self.by_protocol.items())
                 },
             }
 
     def format_report(self, title: str = "service metrics") -> str:
-        """Human-readable report (aggregate line plus a per-protocol table)."""
-        from repro.bench.reporting import format_table
+        """Human-readable report (aggregate lines plus a per-protocol table)."""
+        return format_stats_report(self.report(), title=title)
 
-        report = self.report()
-        per_rows = [
-            {"protocol": name, **per} for name, per in report["by_protocol"].items()
-        ]
-        summary = (
-            f"{title}: {report['sessions_served']} served / "
-            f"{report['sessions_failed']} failed "
-            f"({report['sessions_started']} started, "
-            f"{report['rejected_hellos']} rejected), "
-            f"{report['rounds_total']} rounds, "
-            f"{report['bits_charged_total']} bits charged, "
-            f"{report['wire_bytes_sent'] + report['wire_bytes_received']} wire bytes, "
-            f"{report['retries']} retries, "
-            f"{report['shard_sessions']} shard sessions "
-            f"({report['shard_resplits']} resplits)"
+
+def format_stats_report(report: dict[str, Any], title: str = "service metrics") -> str:
+    """Render a :meth:`ServiceMetrics.report` dict for humans.
+
+    Shared by :meth:`ServiceMetrics.format_report` (server side) and the
+    ``python -m repro.service stats`` CLI (which only holds the JSON dict
+    fetched over the wire): an aggregate summary, mutation/store lines when
+    those subsystems saw traffic, and the per-protocol breakdown through
+    the benchmark harness's :func:`~repro.bench.reporting.format_table`.
+    """
+    from repro.bench.reporting import format_table
+
+    wire_bytes = report["wire_bytes_sent"] + report["wire_bytes_received"]
+    lines = [
+        f"{title}: {report['sessions_served']} served / "
+        f"{report['sessions_failed']} failed "
+        f"({report['sessions_started']} started, "
+        f"{report['rejected_hellos']} rejected), "
+        f"{report['rounds_total']} rounds, "
+        f"{report['bits_charged_total']} bits charged, "
+        f"{wire_bytes} wire bytes "
+        f"({report['wire_overhead_bytes']} overhead), "
+        f"{report['retries']} retries, "
+        f"{report['shard_sessions']} shard sessions "
+        f"({report['shard_resplits']} resplits), "
+        f"{report['sessions_drained']} drained / "
+        f"{report['sessions_aborted']} aborted on shutdown"
+    ]
+    mutations = report.get("mutations", {})
+    if any(mutations.values()):
+        lines.append(
+            f"mutations: {mutations['applied']} applied / "
+            f"{mutations['rejected']} rejected "
+            f"(+{mutations['keys_inserted']} / -{mutations['keys_deleted']} keys)"
         )
-        if not per_rows:
-            return summary + "\n"
-        return summary + "\n" + format_table(per_rows)
+    store = report.get("store", {})
+    if any(store.values()):
+        lines.append(
+            f"store: {store['hits']} hits / {store['misses']} misses, "
+            f"{store['invalidations']} invalidations, "
+            f"{store['journal_replays']} journal replays "
+            f"({store['journal_entries_replayed']} entries), "
+            f"{store['snapshots_written']} snapshots "
+            f"({store['snapshot_failures']} failed), "
+            f"{store['anti_entropy_cycles']} anti-entropy cycles, "
+            f"{store['dirty_datasets']} dirty "
+            f"(journal lag {store['journal_lag']})"
+        )
+    per_rows = [
+        {"protocol": name, **per} for name, per in report["by_protocol"].items()
+    ]
+    if not per_rows:
+        return "\n".join(lines) + "\n"
+    return "\n".join(lines) + "\n" + format_table(per_rows, title="per-protocol")

@@ -35,24 +35,30 @@ import asyncio
 import json
 from typing import Any, Mapping
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import ReproError, ServiceError, StoreError
 from repro.protocols import registry
-from repro.protocols.transports import FRAME_CONTROL
+from repro.protocols.transports import FRAME_CONTROL, Frame
 from repro.service.hello import (
     ACK_LABEL,
     HELLO_LABEL,
+    MUTATE_ACK_LABEL,
+    MUTATE_LABEL,
     SERVED_INPUT_KINDS,
     STATS_LABEL,
     Hello,
     PeerStats,
     ack_payload,
     error_payload,
+    mutate_ack_payload,
     options_from_wire,
+    parse_mutate,
     placeholder_input,
 )
 from repro.service.metrics import ServiceMetrics, SessionRecord
 from repro.service.sharding import shard_input
 from repro.service.transport import AsyncSocketTransport, run_party_async
+from repro.store import AntiEntropyLoop, SketchConfig, SketchStore, StoreView
+from repro.store.parties import stored_ibf_party
 
 #: How many (protocol, shard_bits, seed) partitions the server memoizes, so a
 #: sharded sync fanning out over one dataset partitions it once, not per
@@ -80,6 +86,19 @@ class SyncServer:
         Simulated one-way wire delay per frame (benchmarks only).
     metrics:
         Optional shared :class:`ServiceMetrics`; one is created otherwise.
+    store:
+        Optional :class:`~repro.store.SketchStore`.  When present, ``ibf``
+        sessions over plain set datasets are answered from the store's live
+        sketches (O(d) per sync instead of O(n) re-encoding), ``mutate``
+        control frames are accepted, and -- for a durable store -- the
+        anti-entropy loop can persist dirty datasets in the background.
+        The store's metrics sink defaults to this server's.
+    anti_entropy_interval:
+        Seconds between background snapshot sweeps; requires a durable
+        ``store``.  ``None`` (default) disables the loop.
+    drain_deadline:
+        How long :meth:`aclose` waits for in-flight sessions before
+        cancelling them (see :meth:`adrain`).
     """
 
     def __init__(
@@ -91,6 +110,9 @@ class SyncServer:
         strict: bool = True,
         latency: float = 0.0,
         metrics: ServiceMetrics | None = None,
+        store: SketchStore | None = None,
+        anti_entropy_interval: float | None = None,
+        drain_deadline: float = 5.0,
     ) -> None:
         self.datasets = dict(datasets)
         self.host = host
@@ -98,8 +120,20 @@ class SyncServer:
         self.strict = strict
         self.latency = latency
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.store = store
+        if store is not None and store.metrics is None:
+            store.metrics = self.metrics
+        if anti_entropy_interval is not None and (store is None or not store.durable):
+            raise ServiceError(
+                "anti_entropy_interval requires a durable store "
+                "(SketchStore with a root directory)"
+            )
+        self.anti_entropy_interval = anti_entropy_interval
+        self.drain_deadline = drain_deadline
         self._server: asyncio.AbstractServer | None = None
         self._shard_cache: dict[tuple[str, int, int], list[Any]] = {}
+        self._sessions: set[asyncio.Task] = set()
+        self._anti_entropy_task: asyncio.Task | None = None
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -108,6 +142,11 @@ class SyncServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
+        if self.anti_entropy_interval is not None:
+            loop = AntiEntropyLoop(
+                self.store, interval=self.anti_entropy_interval, metrics=self.metrics
+            )
+            self._anti_entropy_task = asyncio.create_task(loop.run())
 
     @property
     def port(self) -> int:
@@ -121,11 +160,47 @@ class SyncServer:
             await self.start()
         await self._server.serve_forever()
 
-    async def aclose(self) -> None:
+    async def adrain(self, deadline: float | None = None) -> dict[str, int]:
+        """Gracefully shut down: stop accepting, finish in-flight sessions.
+
+        The listener closes first (new connections are refused), then
+        in-flight sessions get up to ``deadline`` seconds to complete;
+        stragglers are cancelled.  Returns ``{"drained": ..., "aborted": ...}``
+        and records the same split in the metrics.  A durable store is
+        flushed so nothing rides only on the journal after shutdown.
+        """
+        if deadline is None:
+            deadline = self.drain_deadline
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+            try:
+                await self._anti_entropy_task
+            except asyncio.CancelledError:
+                pass
+            self._anti_entropy_task = None
+        pending = {task for task in self._sessions if not task.done()}
+        drained = aborted = 0
+        if pending:
+            done, still_running = await asyncio.wait(pending, timeout=deadline)
+            drained, aborted = len(done), len(still_running)
+            for task in still_running:
+                task.cancel()
+            if still_running:
+                await asyncio.gather(*still_running, return_exceptions=True)
+        self.metrics.record_drain(drained, aborted)
+        if self.store is not None and self.store.durable:
+            try:
+                self.store.flush()
+            except (OSError, ReproError):
+                pass  # journal still protects the unflushed state
+        return {"drained": drained, "aborted": aborted}
+
+    async def aclose(self) -> None:
+        await self.adrain(self.drain_deadline)
 
     async def __aenter__(self) -> "SyncServer":
         await self.start()
@@ -144,6 +219,10 @@ class SyncServer:
         transport = AsyncSocketTransport(
             reader, writer, "bob", strict=self.strict, latency=self.latency
         )
+        task = asyncio.current_task()
+        if task is not None:
+            self._sessions.add(task)
+            task.add_done_callback(self._sessions.discard)
         try:
             await self._serve_one(transport)
         except ReproError:
@@ -157,6 +236,9 @@ class SyncServer:
 
     async def _serve_one(self, transport: AsyncSocketTransport) -> None:
         frame = await transport.receive_frame()
+        if frame.kind == FRAME_CONTROL and frame.label == MUTATE_LABEL:
+            await self._handle_mutate(transport, frame)
+            return
         if frame.kind != FRAME_CONTROL or frame.label != HELLO_LABEL:
             await self._refuse(transport, "expected a hello control frame")
             return
@@ -194,13 +276,17 @@ class SyncServer:
         error: str | None = None
         transcript = None
         try:
-            placeholder = placeholder_input(spec.input_kind, client_stats)
-            if server_role == "alice":
-                build_alice, build_bob = dataset, placeholder
+            view = self._store_view(spec, hello, options, dataset)
+            if view is not None:
+                party = stored_ibf_party(server_role, view, options.difference_bound)
             else:
-                build_alice, build_bob = placeholder, dataset
-            alice_party, bob_party = spec.build(build_alice, build_bob, options)
-            party = alice_party if server_role == "alice" else bob_party
+                placeholder = placeholder_input(spec.input_kind, client_stats)
+                if server_role == "alice":
+                    build_alice, build_bob = dataset, placeholder
+                else:
+                    build_alice, build_bob = placeholder, dataset
+                alice_party, bob_party = spec.build(build_alice, build_bob, options)
+                party = alice_party if server_role == "alice" else bob_party
             outcome, transcript = await run_party_async(party, transport)
         except asyncio.CancelledError:
             raise
@@ -225,6 +311,67 @@ class SyncServer:
                     error=error,
                 )
             )
+
+    def _store_view(
+        self, spec: Any, hello: Hello, options: Any, dataset: Any
+    ) -> StoreView | None:
+        """The store-backed view for this session, or ``None`` to build the
+        party from scratch.
+
+        Only the plain-set ``ibf`` protocol over the full (unsharded)
+        dataset is served from the store: shards are ephemeral subsets with
+        no maintained sketch, and a custom estimator factory would diverge
+        from the store's live estimators.
+        """
+        if (
+            self.store is None
+            or spec.name != "ibf"
+            or hello.shard is not None
+            or not isinstance(dataset, (set, frozenset))
+            or options.estimator_factory is not None
+        ):
+            return None
+        config = SketchConfig.from_options(options)
+        return StoreView(self.store, hello.protocol, config, dataset)
+
+    async def _handle_mutate(
+        self, transport: AsyncSocketTransport, frame: Frame
+    ) -> None:
+        """Apply a client-sent delta to a dataset and its live sketches.
+
+        The store is updated *before* the dataset: a store failure leaves
+        the dataset untouched (and invalidates the store entry), so the two
+        can never silently diverge.
+        """
+        try:
+            name, inserted, deleted = parse_mutate(frame.payload)
+            if self.store is None:
+                raise ServiceError("this server has no sketch store; cannot mutate")
+            dataset = self.datasets.get(name)
+            if dataset is None:
+                raise ServiceError(f"no dataset configured for {name!r}")
+            if not isinstance(dataset, set) or isinstance(dataset, frozenset):
+                raise ServiceError(
+                    f"dataset {name!r} is a {type(dataset).__name__}; "
+                    "only mutable set datasets accept mutations"
+                )
+            eff_ins = sorted(key for key in inserted if key not in dataset)
+            eff_del = sorted(key for key in deleted if key in dataset)
+            self.store.apply(name, eff_ins, eff_del, dataset=dataset)
+            dataset.difference_update(eff_del)
+            dataset.update(eff_ins)
+        except (ServiceError, StoreError) as exc:
+            self.metrics.record_mutation_rejected()
+            await transport.send_frame(
+                FRAME_CONTROL, MUTATE_ACK_LABEL, payload=error_payload(str(exc))
+            )
+            return
+        self.metrics.record_mutation(len(eff_ins), len(eff_del))
+        await transport.send_frame(
+            FRAME_CONTROL,
+            MUTATE_ACK_LABEL,
+            payload=mutate_ack_payload(len(eff_ins), len(eff_del), len(dataset)),
+        )
 
     def _negotiate(self, hello: Hello):
         """Resolve the hello into ``(spec, dataset, options)`` or refuse."""

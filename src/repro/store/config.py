@@ -1,0 +1,135 @@
+"""The protocol configuration a stored sketch is keyed on.
+
+A live sketch is only reusable by a session that would have built the exact
+same sketch from scratch: same universe (key width), same seed (bucket and
+checksum hash functions), same hash count, same backend choice.  Those
+fields -- the wire-serializable subset of
+:class:`~repro.protocols.options.ReconcileOptions` the ``ibf`` builder
+reads -- make up :class:`SketchConfig`; its :attr:`~SketchConfig.fingerprint`
+is the cache key, and a persisted sketch whose recorded parameters no longer
+match the parameters recomputed from its recorded config is discarded as an
+invalidation (the library's sizing rules or hash derivations changed
+underneath it).
+
+The field kernel is deliberately absent: GF(p) arithmetic never touches an
+IBLT or estimator sketch, so a kernel change cannot invalidate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.setrecon.difference import max_element_bits
+from repro.hashing import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.iblt import IBLTParameters
+    from repro.protocols.options import ReconcileOptions
+    from repro.protocols.parties.setrecon import SetReconContext
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """The (hashable, persistable) identity of one sketch family.
+
+    Mirrors exactly what :class:`~repro.protocols.registry.IBFProtocol`
+    feeds into :class:`~repro.protocols.parties.setrecon.SetReconContext`,
+    minus the unserializable ``estimator_factory`` (sessions carrying one
+    bypass the store).
+    """
+
+    universe_size: int
+    seed: int = 0
+    num_hashes: int = 4
+    backend: str | None = None
+    safety_factor: float = 2.0
+
+    @classmethod
+    def from_options(cls, options: "ReconcileOptions") -> "SketchConfig":
+        return cls(
+            universe_size=options.universe_size,
+            seed=options.seed,
+            num_hashes=options.num_hashes,
+            backend=options.backend,
+            safety_factor=options.safety_factor,
+        )
+
+    def context(self) -> "SetReconContext":
+        """The shared protocol context a session with this config derives."""
+        from repro.protocols.parties.setrecon import SetReconContext
+
+        return SetReconContext(
+            self.universe_size,
+            self.seed,
+            self.num_hashes,
+            self.backend,
+            safety_factor=self.safety_factor,
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """The cache key: every field that shapes sketch *contents*.
+
+        ``safety_factor`` only scales the derived difference bound -- two
+        configs differing only there share every sketch -- so it is not
+        part of the fingerprint.
+        """
+        return (
+            f"u{self.universe_size}/s{self.seed}/k{self.num_hashes}"
+            f"/b{self.backend or 'default'}"
+        )
+
+    # -- derived identities the invalidation rules check against ---------------------
+
+    @property
+    def table_seed(self) -> int:
+        """Seed every IBLT of this config is built with."""
+        return derive_seed(self.seed, "setrecon")
+
+    @property
+    def key_bits(self) -> int:
+        """Key width every IBLT of this config is built with."""
+        return max_element_bits(self.universe_size)
+
+    def expected_params(self, num_cells: int) -> "IBLTParameters":
+        """The table parameters this config derives for a given cell count."""
+        from repro.iblt import IBLTParameters
+
+        return IBLTParameters(
+            num_cells=num_cells,
+            key_bits=self.key_bits,
+            seed=self.table_seed,
+            num_hashes=self.num_hashes,
+        )
+
+    def admits_params(self, params: "IBLTParameters") -> bool:
+        """Whether table parameters could have come from this config.
+
+        This is the invalidation rule for persisted (and received) tables:
+        a table whose seed, key width, hash count, or cell layout disagrees
+        with what the config derives today cannot be combined with this
+        config's live sketches.
+        """
+        return params == self.expected_params(params.num_cells)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "universe_size": self.universe_size,
+            "seed": self.seed,
+            "num_hashes": self.num_hashes,
+            "backend": self.backend,
+            "safety_factor": self.safety_factor,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "SketchConfig":
+        return cls(
+            universe_size=int(wire["universe_size"]),
+            seed=int(wire["seed"]),
+            num_hashes=int(wire["num_hashes"]),
+            backend=wire.get("backend"),
+            safety_factor=float(wire.get("safety_factor", 2.0)),
+        )

@@ -102,12 +102,13 @@ class TestBenchmarkTrajectory:
                     if floor is None or metric not in row:
                         continue
                     assert row[metric] >= floor, (name, metric, row)
-        # All four trajectories are recorded in this repository.
+        # All five trajectories are recorded in this repository.
         assert {
             "cell_backend",
             "field_kernel",
             "setsofsets_encoding",
             "service_throughput",
+            "sketch_store",
         } <= set(headline)
 
 

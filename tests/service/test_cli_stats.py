@@ -1,0 +1,109 @@
+"""The ``python -m repro.service`` CLI: stats renders the reporting-style
+table (with ``--json`` for the raw dict), sync and mutate round-trip."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.service import SyncServer
+from repro.service.__main__ import demo_set, main
+
+UNIVERSE = 1 << 20
+SIZE = 512
+SEED = 2018
+
+
+class ServerThread:
+    """The demo server on its own event-loop thread, port 0."""
+
+    def __init__(self, store_root=None):
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self.port = None
+        self._store_root = store_root
+
+    def __enter__(self):
+        def body():
+            async def serve():
+                from repro.store import SketchStore
+
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+                demo = demo_set(UNIVERSE, SIZE, SEED)
+                store = (
+                    SketchStore(self._store_root) if self._store_root else None
+                )
+                async with SyncServer({"ibf": demo}, store=store) as server:
+                    self.port = server.port
+                    self._ready.set()
+                    await self._stop.wait()
+
+            asyncio.run(serve())
+
+        self._thread = threading.Thread(target=body, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(30), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+def run_cli(*argv):
+    return main([str(arg) for arg in argv])
+
+
+@pytest.mark.timeout(120)
+def test_sync_then_stats_renders_the_table(capsys):
+    with ServerThread() as server:
+        code = run_cli(
+            "sync", "--port", server.port, "--size", SIZE,
+            "--protocol", "ibf", "--mutations", "8", "--difference-bound", "16",
+        )
+        assert code == 0
+        assert "reconciled" in capsys.readouterr().out
+
+        assert run_cli("stats", "--port", server.port) == 0
+        out = capsys.readouterr().out
+        # The reporting-style aggregate line plus the per-protocol table.
+        assert "service metrics: 1 served / 0 failed" in out
+        assert "wire bytes" in out and "overhead" in out
+        assert "per-protocol" in out
+        assert "protocol" in out and "ibf" in out
+
+
+@pytest.mark.timeout(120)
+def test_stats_json_flag_prints_the_raw_report(capsys):
+    with ServerThread() as server:
+        assert run_cli("stats", "--port", server.port, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sessions_served"] == 0
+        assert "store" in report and "mutations" in report
+
+
+@pytest.mark.timeout(120)
+def test_mutate_subcommand_round_trips(tmp_path, capsys):
+    with ServerThread(store_root=tmp_path) as server:
+        code = run_cli(
+            "mutate", "--port", server.port,
+            "--insert", 1, 2, "--delete",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+2 / -0 keys" in out
+
+        assert run_cli("stats", "--port", server.port) == 0
+        out = capsys.readouterr().out
+        assert "mutations: 1 applied / 0 rejected" in out
+
+
+@pytest.mark.timeout(120)
+def test_mutate_against_storeless_server_fails_cleanly(capsys):
+    with ServerThread() as server:
+        code = run_cli("mutate", "--port", server.port, "--insert", 1)
+        assert code == 2
+        assert "no sketch store" in capsys.readouterr().err

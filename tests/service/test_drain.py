@@ -1,0 +1,123 @@
+"""Graceful drain: a shutting-down server stops accepting, finishes
+in-flight sessions within a deadline, and counts the drained/aborted split."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ReconciliationError, ServiceError
+from repro.protocols.options import ReconcileOptions
+from repro.service import SyncServer, areconcile
+
+UNIVERSE = 1 << 20
+SEED = 2018
+LATENCY = 0.05  # per-frame delay keeps sessions in flight while we drain
+
+
+def make_sets(num_clients=8):
+    rng = random.Random(SEED)
+    server_set = set(rng.sample(range(UNIVERSE), 300))
+    clients = []
+    for _ in range(num_clients):
+        mine = set(server_set)
+        mine.add(rng.randrange(UNIVERSE))
+        clients.append(mine)
+    return server_set, clients
+
+
+def options(client_id):
+    return ReconcileOptions(
+        seed=SEED + client_id, universe_size=UNIVERSE, difference_bound=8
+    )
+
+
+@pytest.mark.timeout(120)
+def test_drain_finishes_in_flight_sessions():
+    server_set, clients = make_sets()
+
+    async def scenario():
+        server = SyncServer({"ibf": server_set}, latency=LATENCY)
+        await server.start()
+        port = server.port
+
+        async def one(client_id, mine):
+            result = await areconcile(
+                "127.0.0.1", port, "ibf", mine,
+                options=options(client_id), latency=LATENCY,
+            )
+            assert result.success and result.recovered == server_set
+
+        burst = [asyncio.create_task(one(i, c)) for i, c in enumerate(clients)]
+        await asyncio.sleep(LATENCY)  # let every session get in flight
+        summary = await server.adrain(deadline=30.0)
+        assert summary == {"drained": len(clients), "aborted": 0}
+        assert server.metrics.sessions_drained == len(clients)
+        assert server.metrics.sessions_aborted == 0
+        await asyncio.gather(*burst)  # every client completed successfully
+
+        # The listener is closed: new connections are refused.
+        with pytest.raises(ServiceError):
+            await areconcile(
+                "127.0.0.1", port, "ibf", clients[0], options=options(0)
+            )
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.timeout(120)
+def test_zero_deadline_aborts_in_flight_sessions():
+    server_set, clients = make_sets(4)
+
+    async def scenario():
+        server = SyncServer({"ibf": server_set}, latency=LATENCY)
+        await server.start()
+        port = server.port
+
+        async def one(client_id, mine):
+            return await areconcile(
+                "127.0.0.1", port, "ibf", mine,
+                options=options(client_id), latency=LATENCY,
+            )
+
+        burst = [asyncio.create_task(one(i, c)) for i, c in enumerate(clients)]
+        await asyncio.sleep(LATENCY)
+        summary = await server.adrain(deadline=0)
+        assert summary["aborted"] >= 1
+        assert server.metrics.sessions_aborted == summary["aborted"]
+        outcomes = await asyncio.gather(*burst, return_exceptions=True)
+        failures = [
+            outcome
+            for outcome in outcomes
+            if isinstance(outcome, (ReconciliationError, ServiceError))
+        ]
+        assert len(failures) >= summary["aborted"]
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.timeout(120)
+def test_aclose_drains_by_default():
+    server_set, clients = make_sets(2)
+
+    async def scenario():
+        async with SyncServer(
+            {"ibf": server_set}, latency=LATENCY, drain_deadline=30.0
+        ) as server:
+            port = server.port
+            burst = [
+                asyncio.create_task(
+                    areconcile(
+                        "127.0.0.1", port, "ibf", mine,
+                        options=options(i), latency=LATENCY,
+                    )
+                )
+                for i, mine in enumerate(clients)
+            ]
+            await asyncio.sleep(LATENCY)
+        # __aexit__ ran aclose -> adrain: the burst finished cleanly.
+        results = await asyncio.gather(*burst)
+        assert all(result.success for result in results)
+        assert server.metrics.sessions_drained == len(clients)
+
+    asyncio.run(scenario())

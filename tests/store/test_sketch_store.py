@@ -1,0 +1,235 @@
+"""SketchStore invariants: live sketches equal from-scratch encodes,
+bit for bit, through arbitrary mutation histories; durability round-trips;
+config disagreement invalidates instead of serving stale bytes."""
+
+import dataclasses
+import json
+import random
+
+import pytest
+
+from repro.errors import ParameterError, StoreError
+from repro.iblt import IBLT
+from repro.protocols.parties.setrecon import set_verification_hash
+from repro.service.metrics import ServiceMetrics
+from repro.store import SketchConfig, SketchStore
+
+UNIVERSE = 1 << 24
+SEED = 2018
+
+
+def make_dataset(size=500, seed=SEED):
+    return set(random.Random(seed).sample(range(UNIVERSE), size))
+
+
+def fresh_table(config, bound, dataset):
+    params = config.context().table_params(bound)
+    return IBLT.from_items(params, dataset, backend=config.backend)
+
+
+def test_live_table_equals_fresh_encode_after_mutations():
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore()
+    store.table_for("d", config, 20, dataset)  # prime
+
+    rng = random.Random(SEED + 1)
+    for _ in range(5):
+        deletes = rng.sample(sorted(dataset), 4)
+        inserts = []
+        while len(inserts) < 4:
+            key = rng.randrange(UNIVERSE)
+            if key not in dataset:
+                inserts.append(key)
+        store.apply("d", inserts, deletes)
+        dataset.difference_update(deletes)
+        dataset.update(inserts)
+
+    live = store.table_for("d", config, 20, dataset)
+    assert live.serialize() == fresh_table(config, 20, dataset).serialize()
+    assert store.size_of("d") == len(dataset)
+    assert store.verification_hash("d", config, dataset) == set_verification_hash(
+        SEED, dataset
+    )
+
+
+def test_same_geometry_shares_one_table_and_counts_hits():
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    metrics = ServiceMetrics()
+    store = SketchStore(metrics=metrics)
+    first = store.table_for("d", config, 20, dataset)
+    assert metrics.store_misses == 1 and metrics.store_hits == 0
+    again = store.table_for("d", config, 20, dataset)
+    assert again is first
+    assert metrics.store_hits == 1
+    # A different bound mapping to a different cell count is a fresh table.
+    other = store.table_for("d", config, 200, dataset)
+    assert other is not first
+    assert metrics.store_misses == 2
+
+
+def test_live_estimator_equals_fresh_one():
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore()
+    store.estimator_for("d", config, 1, dataset)  # prime
+
+    inserts, deletes = [UNIVERSE - 1, UNIVERSE - 2], sorted(dataset)[:2]
+    store.apply("d", inserts, deletes)
+    dataset.difference_update(deletes)
+    dataset.update(inserts)
+
+    fresh = config.context().make_estimator()
+    fresh.update_all(dataset, 1)
+    live = store.estimator_for("d", config, 1, dataset)
+    probe = config.context().make_estimator()
+    probe.update_all(make_dataset(seed=SEED + 9), 2)
+    assert probe.merge(live).query() == probe.merge(fresh).query()
+
+
+def test_estimator_side_must_be_1_or_2():
+    store = SketchStore()
+    with pytest.raises(ParameterError):
+        store.estimator_for("d", SketchConfig(UNIVERSE), 3, make_dataset())
+
+
+def test_foreign_params_are_refused():
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore()
+    params = config.context().table_params(20)
+    doctored = dataclasses.replace(params, seed=params.seed + 1)
+    with pytest.raises(StoreError):
+        store.table_for_params("d", config, doctored, dataset)
+
+
+def test_apply_requires_loaded_entry_or_dataset():
+    store = SketchStore()
+    with pytest.raises(StoreError):
+        store.apply("never-seen", [1], [])
+
+
+def test_snapshot_and_restart_roundtrip(tmp_path):
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore(tmp_path)
+    store.table_for("d", config, 20, dataset)
+    store.estimator_for("d", config, 1, dataset)
+    store.verification_hash("d", config, dataset)
+    store.apply("d", [UNIVERSE - 1], [])
+    dataset.add(UNIVERSE - 1)
+    assert store.is_dirty("d")
+    store.snapshot("d")
+    assert not store.is_dirty("d")
+    # Post-snapshot mutations live only in the journal.
+    victim = next(iter(dataset))
+    store.apply("d", [], [victim])
+    dataset.discard(victim)
+    store.close()
+
+    metrics = ServiceMetrics()
+    reopened = SketchStore(tmp_path, metrics=metrics)
+    live = reopened.table_for("d", config, 20, None)
+    assert live.serialize() == fresh_table(config, 20, dataset).serialize()
+    assert reopened.size_of("d") == len(dataset)
+    assert metrics.journal_replays == 1
+    assert metrics.journal_entries_replayed == 1
+    assert metrics.store_hits == 1 and metrics.store_misses == 0
+    reopened.close()
+
+
+def test_restart_with_changed_config_invalidates(tmp_path):
+    dataset = make_dataset()
+    store = SketchStore(tmp_path)
+    store.table_for("d", SketchConfig(UNIVERSE, seed=SEED), 20, dataset)
+    path = store.snapshot("d")
+    store.close()
+
+    # Rewrite the snapshot as if the table seed derivation had changed: the
+    # recorded params no longer match what the config derives today.
+    body = json.loads(path.read_text())
+    body["tables"][0]["params"]["seed"] += 1
+    path.write_text(json.dumps(body))
+
+    metrics = ServiceMetrics()
+    reopened = SketchStore(tmp_path, metrics=metrics)
+    live = reopened.table_for("d", SketchConfig(UNIVERSE, seed=SEED), 20, dataset)
+    assert live.serialize() == fresh_table(
+        SketchConfig(UNIVERSE, seed=SEED), 20, dataset
+    ).serialize()
+    assert metrics.store_invalidations >= 1
+    reopened.close()
+
+
+def test_restart_with_out_of_band_dataset_change_invalidates(tmp_path):
+    dataset = make_dataset()
+    store = SketchStore(tmp_path)
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store.table_for("d", config, 20, dataset)
+    store.snapshot("d")
+    store.close()
+
+    # The dataset changed while the store was down (no journal entry).
+    changed = set(dataset)
+    changed.add(UNIVERSE - 7)
+    metrics = ServiceMetrics()
+    reopened = SketchStore(tmp_path, metrics=metrics)
+    live = reopened.table_for("d", config, 20, changed)
+    assert live.serialize() == fresh_table(config, 20, changed).serialize()
+    assert metrics.store_invalidations >= 1
+    reopened.close()
+
+
+def test_failed_apply_invalidates_wholesale(tmp_path):
+    dataset = make_dataset()
+    # A tiny universe: keys outside it poison the cell encoding.
+    config = SketchConfig(1 << 8, seed=SEED)
+    small = {key % (1 << 8) for key in dataset}
+    store = SketchStore(tmp_path)
+    store.table_for("d", config, 20, small)
+    with pytest.raises(StoreError):
+        store.apply("d", [1 << 30], [])
+    assert "d" not in store.loaded_datasets()
+    assert not (tmp_path / "d.journal.jsonl").exists()
+    store.close()
+
+
+def test_journal_lag_and_flush(tmp_path):
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore(tmp_path)
+    store.table_for("d", config, 20, dataset)
+    assert store.journal_lag("d") == 0
+    store.apply("d", [UNIVERSE - 1], [])
+    store.apply("d", [UNIVERSE - 2], [])
+    assert store.journal_lag("d") == 2
+    assert store.dirty_datasets() == ["d"]
+    assert store.flush() == 1
+    assert store.journal_lag("d") == 0
+    assert store.dirty_datasets() == []
+    store.close()
+
+
+def test_memory_store_is_never_dirty():
+    store = SketchStore()
+    store.table_for("d", SketchConfig(UNIVERSE), 20, make_dataset())
+    store.apply("d", [UNIVERSE - 1], [])
+    assert not store.durable
+    assert store.dirty_datasets() == []
+    with pytest.raises(StoreError):
+        store.snapshot("d")
+
+
+def test_invalidate_drops_memory_and_disk(tmp_path):
+    dataset = make_dataset()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore(tmp_path)
+    store.table_for("d", config, 20, dataset)
+    store.apply("d", [UNIVERSE - 1], [])
+    snapshot_path = store.snapshot("d")
+    store.invalidate("d")
+    assert "d" not in store.loaded_datasets()
+    assert not snapshot_path.exists()
+    assert not (tmp_path / "d.journal.jsonl").exists()
+    store.close()

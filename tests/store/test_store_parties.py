@@ -1,0 +1,170 @@
+"""Byte-identity pins: a store-backed party is indistinguishable on the
+wire from its from-scratch twin -- same labels, same charged bits, same
+serialized bytes, frame for frame -- and recovers the same sets."""
+
+import random
+
+import pytest
+
+from repro.protocols.parties.setrecon import SetReconContext, ibf_parties
+from repro.protocols.session import run_session
+from repro.protocols.transports import SerializingTransport
+from repro.store import SketchConfig, SketchStore, StoreView
+from repro.store.parties import stored_ibf_party
+
+UNIVERSE = 1 << 24
+SEED = 2018
+BOUND = 24
+
+
+class RecordingTransport(SerializingTransport):
+    """A serializing transport that also keeps every frame's exact bytes."""
+
+    def __init__(self):
+        super().__init__()
+        self.frames = []
+
+    def on_send(self, sender, send):
+        data = super().on_send(sender, send)
+        self.frames.append((sender, send.label, data))
+        return data
+
+
+def make_instance(seed=SEED, size=400, differences=10):
+    rng = random.Random(seed)
+    server_set = set(rng.sample(range(UNIVERSE), size))
+    client_set = set(server_set)
+    for element in rng.sample(sorted(server_set), differences // 2):
+        client_set.discard(element)
+    while len(client_set) < size + differences - differences // 2 - differences // 2:
+        element = rng.randrange(UNIVERSE)
+        if element not in server_set:
+            client_set.add(element)
+    return server_set, client_set
+
+
+def make_view(server_set, *, materialize=False, mutations=0):
+    """A store view over ``server_set``, optionally arriving at that set via
+    ``mutations`` incremental batches (so live-maintained state is tested,
+    not just a fresh encode)."""
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    store = SketchStore()
+    if mutations:
+        rng = random.Random(SEED + 5)
+        history = set(server_set)
+        removed = []
+        for _ in range(mutations):
+            victim = rng.choice(sorted(history))
+            history.discard(victim)
+            removed.append(victim)
+        view = StoreView(store, "server", config, history, materialize=materialize)
+        # Prime every sketch kind, then mutate back to the real set.
+        view.table(BOUND)
+        view.estimator(1)
+        view.estimator(2)
+        _ = view.set_hash
+        for victim in removed:
+            store.apply("server", [victim], [])
+            history.add(victim)
+        assert history == server_set
+        view.dataset = server_set
+        return view
+    return StoreView(store, "server", config, server_set, materialize=materialize)
+
+
+def scratch_frames(server_set, client_set, bound, server_role):
+    ctx = SetReconContext(UNIVERSE, SEED)
+    alice, bob = ibf_parties(
+        server_set if server_role == "alice" else client_set,
+        client_set if server_role == "alice" else server_set,
+        bound,
+        ctx,
+    )
+    transport = RecordingTransport()
+    result = run_session(alice, bob, transport=transport)
+    return transport.frames, result
+
+
+def stored_frames(view, client_set, bound, server_role):
+    ctx = SetReconContext(UNIVERSE, SEED)
+    server_party = stored_ibf_party(server_role, view, bound)
+    _, client_bob = ibf_parties(set(), client_set, bound, ctx)
+    client_alice, _ = ibf_parties(client_set, set(), bound, ctx)
+    if server_role == "alice":
+        alice, bob = server_party, client_bob
+    else:
+        alice, bob = client_alice, server_party
+    transport = RecordingTransport()
+    result = run_session(alice, bob, transport=transport)
+    return transport.frames, result
+
+
+@pytest.mark.parametrize("server_role", ["alice", "bob"])
+@pytest.mark.parametrize("bound", [BOUND, None])
+def test_stored_party_is_byte_identical_to_scratch(server_role, bound):
+    server_set, client_set = make_instance()
+    reference_frames, reference = scratch_frames(
+        server_set, client_set, bound, server_role
+    )
+    view = make_view(server_set, materialize=True)
+    frames, result = stored_frames(view, client_set, bound, server_role)
+    assert frames == reference_frames
+    assert result.success and reference.success
+    assert result.total_bits == reference.total_bits
+    assert result.num_rounds == reference.num_rounds
+
+
+@pytest.mark.parametrize("bound", [BOUND, None])
+def test_stored_party_stays_identical_after_incremental_history(bound):
+    """The live-maintained sketches (not a fresh encode) produce the bytes."""
+    server_set, client_set = make_instance()
+    reference_frames, _ = scratch_frames(server_set, client_set, bound, "alice")
+    view = make_view(server_set, mutations=7)
+    frames, result = stored_frames(view, client_set, bound, "alice")
+    assert frames == reference_frames
+    assert result.success
+
+
+def test_stored_bob_materializes_the_reconciled_set():
+    server_set, client_set = make_instance()
+    view = make_view(server_set, materialize=True)
+    _, result = stored_frames(view, client_set, BOUND, "bob")
+    assert result.success
+    assert result.recovered == client_set
+
+
+def test_stored_bob_skips_materialization_by_default():
+    server_set, client_set = make_instance()
+    view = make_view(server_set)
+    _, result = stored_frames(view, client_set, BOUND, "bob")
+    assert result.success
+    assert result.recovered is None
+    assert result.details.get("served_from_store")
+
+
+def test_stored_bob_rejects_dishonest_hash():
+    """A wrong client-side hash fails verification, as in the scratch party."""
+    server_set, client_set = make_instance()
+    config = SketchConfig(UNIVERSE, seed=SEED)
+    ctx = SetReconContext(UNIVERSE, SEED)
+    store = SketchStore()
+    view = StoreView(store, "server", config, server_set)
+
+    from repro.protocols.parties.setrecon import ibf_alice_known
+
+    def lying_alice():
+        gen = ibf_alice_known(client_set, BOUND, ctx)
+        send = next(gen)
+        table, set_hash, size = send.payload
+        doctored = send.__class__(
+            send.label, send.size_bits,
+            payload=(table, set_hash ^ 1, size), codec=send.codec,
+        )
+        yield doctored
+        return (yield from gen)
+
+    result = run_session(
+        lying_alice(), stored_ibf_party("bob", view, BOUND),
+        transport=SerializingTransport(),
+    )
+    assert not result.success
