@@ -1,0 +1,89 @@
+"""``python -m repro.analysis`` -- run the domain-aware static checks.
+
+Exit status is 0 when the tree is clean and 1 when any finding survives the
+pragmas and the allowlist, so the command slots directly into CI.  ``--json``
+emits a machine-readable report instead of the human listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.runner import all_passes, analyze, discover_files, find_root
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Domain-aware static analysis for the reconciliation repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="subpaths (relative to the repo root) to restrict the scan to; "
+        "default: the whole tree",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report (for CI) instead of the human listing",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated pass names or rule ids to run "
+        "(e.g. 'protocol,D301')",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every pass and rule, then exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for analysis_pass in all_passes():
+            print(f"{analysis_pass.name}:")
+            for rule, description in sorted(analysis_pass.rules.items()):
+                print(f"  {rule}  {description}")
+        return 0
+    root = find_root(args.root)
+    sources = discover_files(root, tuple(args.paths))
+    select = (
+        [token.strip() for token in args.select.split(",") if token.strip()]
+        if args.select
+        else None
+    )
+    findings = analyze(root, sources=sources, select=select)
+    if args.json:
+        report = {
+            "root": str(root),
+            "files_scanned": len(sources),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"repro.analysis: {len(findings)} finding(s) in "
+            f"{len(sources)} file(s)"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

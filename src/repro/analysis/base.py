@@ -1,0 +1,169 @@
+"""Framework core: findings, source files, pragmas, and the pass base class.
+
+A *pass* inspects parsed source files and emits :class:`Finding`\\ s, each
+tagged with a stable rule id (``P101``, ``A201``, ...).  Suppression happens
+in one of two audited ways, both carrying a visible reason:
+
+* an inline pragma on the flagged line (or the line above it)::
+
+      table = something()  # lint: allow[D305] XOR-fold; order cannot matter
+
+* an entry in :data:`repro.analysis.allowlist.ALLOWLIST` (for whole files
+  whose job is the exempted behavior, e.g. seeded instance generators).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Inline suppression pragma: ``# lint: allow[D301] optional reason``.
+_PRAGMA = re.compile(r"lint:\s*allow\[([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus the lookups passes need."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _pragmas: dict[int, frozenset[str]] | None = None
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        rel = path.relative_to(root).as_posix()
+        return cls(path=path, relpath=rel, text=text, tree=tree, lines=text.splitlines())
+
+    def pragmas(self) -> dict[int, frozenset[str]]:
+        """``line number -> rule ids`` allowed by inline pragmas."""
+        if self._pragmas is None:
+            found: dict[int, frozenset[str]] = {}
+            for number, line in enumerate(self.lines, start=1):
+                match = _PRAGMA.search(line)
+                if match:
+                    rules = frozenset(
+                        rule.strip() for rule in match.group(1).split(",")
+                    )
+                    found[number] = rules
+            self._pragmas = found
+        return self._pragmas
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Whether an inline pragma suppresses ``rule`` at ``line``.
+
+        A pragma applies to its own line and to the line below it, so long
+        statements can carry the pragma on a lead-in comment line.
+        """
+        pragmas = self.pragmas()
+        for candidate in (line, line - 1):
+            rules = pragmas.get(candidate)
+            if rules and rule in rules:
+                return True
+        return False
+
+
+class AnalysisPass:
+    """Base class for one pass family.
+
+    Per-file passes override :meth:`check_file`; whole-project passes (the
+    registry/docs consistency checks) override :meth:`check_project`.  The
+    runner filters each file through :meth:`interested_in` and drops findings
+    suppressed by pragmas or the allowlist.
+    """
+
+    #: Short machine name (used by ``--select``).
+    name: str = ""
+    #: ``rule id -> one-line description`` for ``--list-rules``.
+    rules: dict[str, str] = {}
+
+    def interested_in(self, source: SourceFile) -> bool:
+        return True
+
+    def check_file(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, root: Path, sources: Sequence[SourceFile]
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in ``tree``, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The dotted callee name of ``call``, else ``None``."""
+    return dotted_name(call.func)
+
+
+def walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``func``'s own body, not descending into nested defs.
+
+    The root's arguments/decorators are excluded too: only what executes
+    *when the function runs* is visited.
+    """
+    stack: list[ast.AST] = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def matches_any(relpath: str, suffixes: Iterable[str]) -> bool:
+    """Whether ``relpath`` lives under any of the given path prefixes."""
+    return any(relpath.startswith(prefix) for prefix in suffixes)

@@ -1,0 +1,21 @@
+"""The repo-specific pass families."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.annotations import TypingCompletenessPass
+from repro.analysis.passes.asynclint import AsyncioPass
+from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.exceptions import ExceptionHygienePass
+from repro.analysis.passes.imports import UnusedImportPass
+from repro.analysis.passes.protocol import ProtocolPartyPass
+from repro.analysis.passes.registry_docs import RegistryDocsPass
+
+__all__ = [
+    "AsyncioPass",
+    "DeterminismPass",
+    "ExceptionHygienePass",
+    "ProtocolPartyPass",
+    "RegistryDocsPass",
+    "TypingCompletenessPass",
+    "UnusedImportPass",
+]

@@ -1,0 +1,133 @@
+"""A2xx: asyncio discipline in the service and store layers.
+
+The sync server multiplexes every session on one event loop; a single
+blocking call inside a coroutine stalls *every* concurrent session, and a
+synchronous lock held across an ``await`` can deadlock the loop outright.
+
+* ``A201`` -- blocking call (``time.sleep``, synchronous socket/file I/O,
+  ``subprocess``/``os.system``) inside an ``async def`` body.
+* ``A202`` -- synchronous ``with <...lock...>:`` held across an ``await``.
+  The store's ``threading.Lock`` protects its entries from the blocking
+  client helpers; awaiting while holding it would block the loop on the
+  next contender.  (Asyncio locks use ``async with`` and are exempt.)
+* ``A203`` -- fire-and-forget task: the result of ``asyncio.create_task`` /
+  ``ensure_future`` discarded without being stored or awaited.  The event
+  loop keeps only a weak reference; a dropped task can be garbage-collected
+  mid-flight and its exceptions are silently lost.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    AnalysisPass,
+    Finding,
+    SourceFile,
+    call_name,
+    walk_own_body,
+)
+
+#: Layers that run on (or next to) the event loop.
+ASYNC_PATHS = ("src/repro/service/", "src/repro/store/")
+
+#: Dotted callee names that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+        "os.popen",
+        "urllib.request.urlopen",
+        "input",
+        "open",
+    }
+)
+
+#: Task factories whose return value must not be dropped.
+TASK_FACTORIES = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future", "loop.create_task"}
+)
+
+
+def _looks_like_lock(expr: ast.expr) -> bool:
+    """Whether a ``with`` context expression names a lock."""
+    node: ast.expr | None = expr
+    if isinstance(node, ast.Call):
+        node = node.func
+    while isinstance(node, ast.Attribute):
+        if "lock" in node.attr.lower():
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and "lock" in node.id.lower()
+
+
+class AsyncioPass(AnalysisPass):
+    name = "asyncio"
+    rules = {
+        "A201": "blocking call inside an async def body stalls every "
+        "session on the event loop",
+        "A202": "synchronous lock held across an await",
+        "A203": "fire-and-forget task: store or await the result of "
+        "create_task/ensure_future",
+    }
+
+    def interested_in(self, source: SourceFile) -> bool:
+        return any(source.relpath.startswith(p) for p in ASYNC_PATHS)
+
+    def check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(source, node)
+
+    def _check_coroutine(
+        self, source: SourceFile, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in walk_own_body(func):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in BLOCKING_CALLS:
+                    yield Finding(
+                        "A201",
+                        f"blocking call {name}() inside async def {func.name}",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                    )
+            elif isinstance(node, ast.With):
+                held_lock = any(
+                    _looks_like_lock(item.context_expr) for item in node.items
+                )
+                if held_lock and any(
+                    isinstance(inner, ast.Await)
+                    for stmt in node.body
+                    for inner in ast.walk(stmt)
+                ):
+                    yield Finding(
+                        "A202",
+                        f"async def {func.name} awaits while holding a "
+                        "synchronous lock",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                    )
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                name = call_name(node.value)
+                if name in TASK_FACTORIES:
+                    yield Finding(
+                        "A203",
+                        f"result of {name}() is discarded in async def "
+                        f"{func.name}; the loop holds only a weak reference",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                    )

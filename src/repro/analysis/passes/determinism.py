@@ -1,0 +1,165 @@
+"""D3xx: determinism in the wire-identity-critical packages.
+
+The repo's headline guarantee is that transcripts are byte-identical across
+backends, kernels, and transports.  Everything that feeds a wire byte must
+therefore derive from the protocol seed via :func:`repro.hashing.derive_seed`
+and the splitmix64 core -- never from process-global randomness, the clock,
+or the interpreter's randomized string hashing.
+
+* ``D301`` -- stdlib ``random`` call.  Even *seeded* ``random.Random``
+  instances are confined to the audited allowlist files: wire-critical code
+  draws randomness from the seeded hash machinery so that two processes
+  (possibly different Python builds) agree bit for bit.
+* ``D302`` -- wall-clock read (``time.time``, ``perf_counter``,
+  ``datetime.now``, ...).  Timing belongs in the bench/metrics layers.
+* ``D303`` -- builtin ``hash()`` outside a ``__hash__`` method.  String and
+  bytes hashes are salted per process (PYTHONHASHSEED), so any wire content
+  derived from ``hash()`` breaks cross-process determinism.
+* ``D304`` -- OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets``).
+* ``D305`` -- iteration over a freshly-constructed set or set literal.
+  Set iteration order depends on the (salted) element hashes; iterating one
+  directly into wire content is order-nondeterministic across processes.
+  Sort first, or fold with an order-insensitive operation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import AnalysisPass, Finding, SourceFile, call_name
+
+#: Packages whose output reaches the wire (directly or via charged sizing).
+WIRE_CRITICAL_PATHS = (
+    "src/repro/iblt/",
+    "src/repro/field/",
+    "src/repro/hashing/",
+    "src/repro/comm/",
+    "src/repro/protocols/",
+    "src/repro/estimator/",
+    "src/repro/core/",
+    "src/repro/graphs/",
+    "src/repro/store/",
+    "src/repro/db/",
+    "src/repro/documents/",
+)
+
+#: Wall-clock and timer reads.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: OS-entropy sources.
+ENTROPY_CALLS = frozenset(
+    {"os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+     "secrets.token_hex", "secrets.randbits", "secrets.choice"}
+)
+
+
+def _is_fresh_set(expr: ast.expr) -> bool:
+    """Whether ``expr`` builds a set right where it is iterated."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in {"set", "frozenset"}
+    return False
+
+
+class DeterminismPass(AnalysisPass):
+    name = "determinism"
+    rules = {
+        "D301": "stdlib random call in wire-critical code (audited files "
+        "are allowlisted)",
+        "D302": "wall-clock read in wire-critical code",
+        "D303": "builtin hash() outside __hash__ is PYTHONHASHSEED-dependent",
+        "D304": "OS entropy source in wire-critical code",
+        "D305": "iteration over a freshly-built set is hash-order-dependent",
+    }
+
+    def interested_in(self, source: SourceFile) -> bool:
+        return any(source.relpath.startswith(p) for p in WIRE_CRITICAL_PATHS)
+
+    def check_file(self, source: SourceFile) -> Iterator[Finding]:
+        hash_methods = {
+            id(stmt)
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "__hash__"
+            for stmt in ast.walk(node)
+        }
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node, hash_methods)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_fresh_set(node.iter):
+                    yield self._finding(
+                        "D305",
+                        "iterating a freshly-built set; order is salted per "
+                        "process",
+                        source,
+                        node.iter,
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _is_fresh_set(node.iter):
+                    yield self._finding(
+                        "D305",
+                        "comprehension over a freshly-built set; order is "
+                        "salted per process",
+                        source,
+                        node.iter,
+                    )
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, hash_methods: set[int]
+    ) -> Iterator[Finding]:
+        name = call_name(node)
+        if name is None:
+            return
+        if name == "random" or name.startswith("random."):
+            yield self._finding(
+                "D301",
+                f"{name}() -- derive randomness from the protocol seed via "
+                "repro.hashing instead",
+                source,
+                node,
+            )
+        elif name in CLOCK_CALLS:
+            yield self._finding(
+                "D302",
+                f"{name}() -- wire-critical code must not read the clock",
+                source,
+                node,
+            )
+        elif name == "hash" and id(node) not in hash_methods:
+            yield self._finding(
+                "D303",
+                "builtin hash() is salted per process (PYTHONHASHSEED); use "
+                "the seeded hash machinery",
+                source,
+                node,
+            )
+        elif name in ENTROPY_CALLS:
+            yield self._finding(
+                "D304",
+                f"{name}() -- OS entropy can never be reproduced by the peer",
+                source,
+                node,
+            )
+
+    @staticmethod
+    def _finding(
+        rule: str, message: str, source: SourceFile, node: ast.expr | ast.Call
+    ) -> Finding:
+        return Finding(rule, message, source.relpath, node.lineno, node.col_offset)

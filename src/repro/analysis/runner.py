@@ -1,0 +1,132 @@
+"""File discovery and pass orchestration."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.allowlist import exempt
+from repro.analysis.base import AnalysisPass, Finding, SourceFile
+from repro.analysis.passes import (
+    AsyncioPass,
+    DeterminismPass,
+    ExceptionHygienePass,
+    ProtocolPartyPass,
+    RegistryDocsPass,
+    TypingCompletenessPass,
+    UnusedImportPass,
+)
+
+#: Directories never descended into (tool caches, VCS state, build output).
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".hypothesis",
+        ".pytest_cache",
+        ".benchmarks",
+        ".mypy_cache",
+        ".ruff_cache",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        ".eggs",
+        ".claude",
+    }
+)
+
+
+def all_passes() -> list[AnalysisPass]:
+    """One instance of every pass family, in reporting order."""
+    return [
+        ProtocolPartyPass(),
+        AsyncioPass(),
+        DeterminismPass(),
+        RegistryDocsPass(),
+        ExceptionHygienePass(),
+        UnusedImportPass(),
+        TypingCompletenessPass(),
+    ]
+
+
+def find_root(start: Path | None = None) -> Path:
+    """The repo root: the nearest ancestor holding pyproject.toml or src/repro.
+
+    Falls back to the package's own checkout when the working directory is
+    unrelated (running ``python -m repro.analysis`` from anywhere).
+    """
+    candidates: list[Path] = []
+    if start is not None:
+        candidates.append(start.resolve())
+    candidates.append(Path.cwd())
+    # src/repro/analysis/runner.py -> repo root is four levels up.
+    candidates.append(Path(__file__).resolve().parents[3])
+    for candidate in candidates:
+        for ancestor in (candidate, *candidate.parents):
+            if (ancestor / "src" / "repro").is_dir() or (
+                ancestor / "pyproject.toml"
+            ).is_file():
+                return ancestor
+    return Path.cwd()
+
+
+def discover_files(root: Path, subpaths: Sequence[str] = ()) -> list[SourceFile]:
+    """Parse every analyzable ``.py`` file under ``root`` (or ``subpaths``)."""
+    bases = [root / sub for sub in subpaths] if subpaths else [root]
+    seen: set[Path] = set()
+    sources: list[SourceFile] = []
+    for base in bases:
+        if base.is_file():
+            paths: Iterable[Path] = [base]
+        else:
+            paths = sorted(base.rglob("*.py"))
+        for path in paths:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            relative = resolved.relative_to(root.resolve())
+            if any(part in SKIP_DIRS for part in relative.parts):
+                continue
+            seen.add(resolved)
+            sources.append(SourceFile.load(resolved, root.resolve()))
+    return sources
+
+
+def analyze(
+    root: Path,
+    sources: Sequence[SourceFile] | None = None,
+    passes: Sequence[AnalysisPass] | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the passes and return unsuppressed findings, sorted by location."""
+    if sources is None:
+        sources = discover_files(root)
+    if passes is None:
+        passes = all_passes()
+    wanted = set(select) if select else None
+    by_path = {source.relpath: source for source in sources}
+    findings: list[Finding] = []
+    for analysis_pass in passes:
+        if wanted is not None and not (
+            analysis_pass.name in wanted or set(analysis_pass.rules) & wanted
+        ):
+            continue
+        raw: list[Finding] = []
+        for source in sources:
+            if analysis_pass.interested_in(source):
+                raw.extend(analysis_pass.check_file(source))
+        raw.extend(analysis_pass.check_project(root, sources))
+        for finding in raw:
+            if wanted is not None and finding.rule not in wanted and (
+                analysis_pass.name not in wanted
+            ):
+                continue
+            if exempt(finding.path, finding.rule):
+                continue
+            source = by_path.get(finding.path)
+            if source is not None and source.allowed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import functools
 import os
-from typing import TYPE_CHECKING, Generic, TypeVar
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
 from repro.errors import ParameterError
 
@@ -69,7 +69,7 @@ class _Registry(Generic[_BackendClass]):
         self.classes: dict[str, type] = {}
         self.default: str | None = None
 
-    def register(self, cls):
+    def register(self, cls: type) -> type:
         name = cls.name
         if not name or name == AUTO_BACKEND:
             raise ParameterError(f"invalid {self.kind} name {name!r}")
@@ -82,7 +82,7 @@ class _Registry(Generic[_BackendClass]):
     def available(self) -> list[str]:
         return sorted(name for name, cls in self.classes.items() if cls.available())
 
-    def lookup(self, name: str):
+    def lookup(self, name: str) -> type:
         try:
             return self.classes[name]
         except KeyError:
@@ -100,7 +100,7 @@ class _Registry(Generic[_BackendClass]):
             return self.default
         return os.environ.get(self.env_var) or AUTO_BACKEND
 
-    def resolve(self, name: str | None, key):
+    def resolve(self, name: str | None, key: Any) -> type:
         """Resolve a request to a concrete class able to handle ``key``.
 
         ``name=None`` means "use the process default".  Unknown names raise
@@ -166,7 +166,7 @@ def default_cell_backend() -> str:
     return _cell_registry.effective_default()
 
 
-def resolve_cell_backend(name: str | None, params) -> type["CellStore"]:
+def resolve_cell_backend(name: str | None, params: Any) -> type["CellStore"]:
     """Resolve a backend request to a concrete class for ``params``.
 
     ``name=None`` means "use the process default".  Unknown names raise

@@ -190,6 +190,7 @@ def cpi_decode(
             numerator = (numerator // common).monic()
             denominator = (denominator // common).monic()
 
+        # lint: allow[D301] seeded from the protocol seed; decode-side search
         rng = random.Random(derive_seed(seed, "cpi-roots"))
         alice_only = (
             find_roots(numerator, rng, kernel=kernel) if numerator.degree > 0 else []

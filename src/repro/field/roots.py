@@ -21,7 +21,6 @@ from __future__ import annotations
 import random
 
 from repro.errors import ParameterError
-from repro.field.gfp import PrimeField
 from repro.field.kernels import FieldKernel, kernel_for
 from repro.field.poly import Polynomial
 

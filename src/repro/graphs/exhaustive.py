@@ -17,7 +17,7 @@ from itertools import combinations
 from repro.comm import ReconciliationResult
 from repro.graphs.graph import Graph
 from repro.graphs.isomorphism import (
-    MAX_BRUTE_FORCE_VERTICES,
+    MAX_BRUTE_FORCE_VERTICES as MAX_BRUTE_FORCE_VERTICES,  # re-export: parties import it from here
     canonical_form_small,
 )
 

@@ -21,7 +21,7 @@ A rooted forest is stored as a parent array.  The reconciliation scheme:
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.comm import ReconciliationResult
 from repro.core.setsofsets.cascading import reconcile_cascading

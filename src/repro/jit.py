@@ -28,7 +28,7 @@ def numba_available() -> bool:
             import numba  # noqa: F401
 
             _PROBED = True
-        except Exception:  # pragma: no cover - exercised on numba-free installs
+        except Exception:  # pragma: no cover; lint: allow[E401] import probe
             _PROBED = False
     return _PROBED
 

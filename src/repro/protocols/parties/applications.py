@@ -9,12 +9,11 @@ application).
 
 from __future__ import annotations
 
-from repro.core.setsofsets.types import SetOfSets
 from repro.db.table import BinaryTable
 from repro.documents.collection import DocumentCollection
 from repro.errors import ParameterError
 from repro.hashing import derive_seed
-from repro.protocols.party import PartyOutcome
+from repro.protocols.party import PartyGenerator, PartyOutcome, PartyPair
 from repro.protocols.parties.setsofsets import (
     cascading_alice_known,
     cascading_bob_known,
@@ -37,7 +36,7 @@ def db_parties(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     level_slack: float = 3.0,
-):
+) -> PartyPair:
     """Both parties for binary-table reconciliation (Bob recovers Alice's)."""
     if alice.columns != bob.columns:
         raise ParameterError("tables must share the same columns")
@@ -61,14 +60,14 @@ def db_parties(
     if protocol not in ("cascading", "naive"):
         raise ParameterError(f"unknown protocol {protocol!r}")
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         if protocol == "naive":
             yield from naive_alice_known(alice_sets, bound, ctx)
         else:
             yield from cascading_alice_known(alice_sets, bound, ctx)
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         if protocol == "naive":
             outcome = yield from naive_bob_known(bob_sets, bound, ctx)
         else:
@@ -91,7 +90,7 @@ def documents_parties(
     backend: str | None = None,
     child_hash_bits: int = 48,
     num_hashes: int = 4,
-):
+) -> PartyPair:
     """Both parties for document-collection signature reconciliation.
 
     ``recovered`` is the :class:`SetOfSets` of Alice's document signatures,
@@ -117,11 +116,11 @@ def documents_parties(
         num_hashes=num_hashes,
     )
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         yield from iblt_of_iblts_alice_known(alice_sets, bound, ctx)
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         outcome = yield from iblt_of_iblts_bob_known(bob_sets, bound, ctx)
         return outcome
 

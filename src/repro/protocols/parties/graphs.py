@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import random
 
+from typing import Callable
+
+from repro.comm.bits import BitReader, BitWriter
 from repro.comm.sizing import bits_for_value
 from repro.core.setsofsets.nested import (
     decode_multiset_children,
@@ -29,6 +32,7 @@ from repro.core.setsofsets.nested import (
 )
 from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError
+from repro.estimator import SetDifferenceEstimator
 from repro.field.prime import prime_at_least
 from repro.graphs.degree_neighborhood import (
     _decode_signature,
@@ -59,7 +63,9 @@ from repro.graphs.separation import (
 from repro.hashing import derive_seed
 from repro.protocols.party import (
     END_OF_SESSION,
+    PartyGenerator,
     PartyOutcome,
+    PartyPair,
     Receive,
     Send,
     aborted_outcome,
@@ -94,9 +100,9 @@ def labeled_parties(
     *,
     num_hashes: int = 4,
     backend: str | None = None,
-    estimator_factory=None,
+    estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
     safety_factor: float = 2.0,
-):
+) -> PartyPair:
     """Both parties for labeled-graph reconciliation."""
     if alice.num_vertices != bob.num_vertices:
         raise ParameterError("labeled reconciliation requires equal vertex counts")
@@ -110,7 +116,7 @@ def labeled_parties(
         safety_factor=safety_factor,
     )
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         if difference_bound is None:
             outcome = yield from ibf_alice_unknown(alice.edge_keys(), ctx)
         else:
@@ -119,7 +125,7 @@ def labeled_parties(
             )
         return outcome
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         if difference_bound is None:
             outcome = yield from ibf_bob_unknown(bob.edge_keys(), ctx)
         else:
@@ -142,13 +148,13 @@ class FingerprintCodec(PayloadCodec):
     def __init__(self, prime: int) -> None:
         self.prime = prime
 
-    def write(self, writer, payload) -> None:
+    def write(self, writer: BitWriter, payload: tuple[int, int]) -> None:
         point, evaluation = payload
         bits = bits_for_value(self.prime - 1)
         writer.write(point, bits)
         writer.write(evaluation, bits)
 
-    def read(self, reader):
+    def read(self, reader: BitReader) -> tuple[int, int]:
         bits = bits_for_value(self.prime - 1)
         return reader.read(bits), reader.read(bits)
 
@@ -160,7 +166,7 @@ def exhaustive_parties(
     seed: int,
     *,
     prime: int | None = None,
-):
+) -> PartyPair:
     """Both parties for the brute-force scheme (only feasible for tiny n)."""
     if alice.num_vertices != bob.num_vertices:
         raise ParameterError("graph reconciliation requires equal vertex counts")
@@ -176,7 +182,9 @@ def exhaustive_parties(
         prime = prime_at_least(max(17, n ** (2 * difference_bound + 3)))
     codec = FingerprintCodec(prime)
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
+        # Both endpoints derive the identical evaluation point from the
+        # shared protocol seed.  lint: allow[D301] seeded from protocol seed
         rng = random.Random(seed)
         point = rng.randrange(prime)
         evaluation = _canonical_evaluation(alice, point, prime)
@@ -188,7 +196,7 @@ def exhaustive_parties(
         )
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         payload = yield Receive(codec)
         if payload is END_OF_SESSION:
             return aborted_outcome()
@@ -219,7 +227,7 @@ def degree_order_parties(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     level_slack: float = 3.0,
-):
+) -> PartyPair:
     """Both parties for the degree-ordering scheme."""
     if alice.num_vertices != bob.num_vertices:
         raise ParameterError("graph reconciliation requires equal vertex counts")
@@ -250,7 +258,7 @@ def degree_order_parties(
     )
     signature_bits = _cascade_plan(sig_ctx, difference_bound).total_bits
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         try:
             alice_labeling = canonical_labeling_from_signatures(
                 alice_top, alice_signatures
@@ -266,7 +274,7 @@ def degree_order_parties(
         )
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         sig_outcome = yield from cascading_bob_known(
             bob_signature_set, difference_bound, sig_ctx
         )
@@ -327,7 +335,7 @@ def degree_neighborhood_parties(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     level_slack: float = 3.0,
-):
+) -> PartyPair:
     """Both parties for the degree-neighborhood scheme."""
     if alice.num_vertices != bob.num_vertices:
         raise ParameterError("graph reconciliation requires equal vertex counts")
@@ -371,7 +379,7 @@ def degree_neighborhood_parties(
     )
     signature_bits = _cascade_plan(sig_ctx, signature_bound).total_bits
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         if len(set(alice_encoded.values())) != num_vertices:
             return PartyOutcome(False, details={"failure": "alice-not-disjoint"})
         alice_order = sorted(alice_encoded, key=lambda v: sorted(alice_encoded[v]))
@@ -383,7 +391,7 @@ def degree_neighborhood_parties(
         )
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         sig_outcome = yield from cascading_bob_known(
             bob_signature_set, signature_bound, sig_ctx
         )
@@ -462,7 +470,7 @@ def forest_parties(
     child_hash_bits: int = 48,
     num_hashes: int = 4,
     level_slack: float = 3.0,
-):
+) -> PartyPair:
     """Both parties for forest reconciliation over the cascading protocol."""
     difference_bound = max(1, difference_bound)
     if max_depth is None:
@@ -515,11 +523,11 @@ def forest_parties(
         level_slack=level_slack,
     )
 
-    def alice_party():
+    def alice_party() -> PartyGenerator:
         yield from cascading_alice_known(encoded_alice, encoded_bound, sos_ctx)
         return PartyOutcome(True)
 
-    def bob_party():
+    def bob_party() -> PartyGenerator:
         outcome = yield from cascading_bob_known(encoded_bob, encoded_bound, sos_ctx)
         if outcome.aborted:
             return aborted_outcome()

@@ -32,7 +32,9 @@ from repro.hashing import SeededHasher, derive_seed
 from repro.iblt import IBLT, IBLTParameters
 from repro.protocols.party import (
     END_OF_SESSION,
+    PartyGenerator,
     PartyOutcome,
+    PartyPair,
     Receive,
     Send,
     aborted_outcome,
@@ -98,7 +100,7 @@ class IBFMessageCodec(PayloadCodec):
         self.bound = bound
         self.self_describing = self_describing
 
-    def write(self, writer: BitWriter, payload) -> None:
+    def write(self, writer: BitWriter, payload: tuple[IBLT, int, int]) -> None:
         table, set_hash, set_size = payload
         if self.bound is None:
             raise WireError("encoding side must know the difference bound")
@@ -111,7 +113,7 @@ class IBFMessageCodec(PayloadCodec):
         writer.write(set_hash, WORD_BITS)
         writer.write_tail(set_size)
 
-    def read(self, reader: BitReader):
+    def read(self, reader: BitReader) -> tuple[IBLT, int, int]:
         bound = reader.read(BOUND_HEADER_BITS) if self.self_describing else self.bound
         params = self.ctx.table_params(bound)
         table = IBLT.deserialize(
@@ -121,7 +123,7 @@ class IBFMessageCodec(PayloadCodec):
         set_size = reader.read_tail_int()
         return table, set_hash, set_size
 
-    def framing_bits(self, payload) -> int:
+    def framing_bits(self, payload: tuple[IBLT, int, int]) -> int:
         return BOUND_HEADER_BITS if self.self_describing else 0
 
 
@@ -145,7 +147,7 @@ def ibf_alice_known(
     ctx: SetReconContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Alice's side of the one-round IBLT protocol (Corollary 2.2)."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -169,7 +171,7 @@ def ibf_bob_known(
     ctx: SetReconContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Bob's side: delete his elements, peel, verify the reconstruction."""
     payload = yield Receive(IBFMessageCodec(ctx, difference_bound, self_describing))
     if payload is END_OF_SESSION:
@@ -195,7 +197,7 @@ def ibf_bob_known(
     )
 
 
-def ibf_alice_unknown(alice: Set[int], ctx: SetReconContext):
+def ibf_alice_unknown(alice: Set[int], ctx: SetReconContext) -> PartyGenerator:
     """Alice's side of the two-round protocol (Corollary 3.2)."""
     bob_estimator = yield Receive(ctx.estimator_codec())
     if bob_estimator is END_OF_SESSION:
@@ -211,7 +213,7 @@ def ibf_alice_unknown(alice: Set[int], ctx: SetReconContext):
     )
 
 
-def ibf_bob_unknown(bob: Set[int], ctx: SetReconContext):
+def ibf_bob_unknown(bob: Set[int], ctx: SetReconContext) -> PartyGenerator:
     """Bob's side: send the estimator, then run the known-``d`` exchange."""
     bob_estimator = ctx.make_estimator()
     bob_estimator.update_all(bob, 1)
@@ -225,7 +227,12 @@ def ibf_bob_unknown(bob: Set[int], ctx: SetReconContext):
     return outcome
 
 
-def ibf_parties(alice: Set[int], bob: Set[int], difference_bound: int | None, ctx):
+def ibf_parties(
+    alice: Set[int],
+    bob: Set[int],
+    difference_bound: int | None,
+    ctx: SetReconContext,
+) -> PartyPair:
     """Both parties for the ``ibf`` protocol (known or unknown ``d``)."""
     if difference_bound is None:
         return ibf_alice_unknown(alice, ctx), ibf_bob_unknown(bob, ctx)
@@ -276,7 +283,7 @@ def cpi_alice(
     universe_size: int,
     *,
     field_kernel: str | None = None,
-):
+) -> PartyGenerator:
     """Alice's side of the one-round CPI protocol."""
     message = cpi_encode(
         alice, difference_bound, universe_size, field_kernel=field_kernel
@@ -297,7 +304,7 @@ def cpi_bob(
     seed: int = 0,
     *,
     field_kernel: str | None = None,
-):
+) -> PartyGenerator:
     """Bob's side: rational interpolation and root extraction."""
     message = yield Receive(CPIMessageCodec(universe_size, difference_bound))
     if message is END_OF_SESSION:
@@ -320,7 +327,7 @@ def cpi_parties(
     seed: int = 0,
     *,
     field_kernel: str | None = None,
-):
+) -> PartyPair:
     """Both parties for the ``cpi`` protocol."""
     return (
         cpi_alice(alice, difference_bound, universe_size, field_kernel=field_kernel),

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Any, Callable
 
 from repro.comm import WORD_BITS
 from repro.comm.bits import BitReader, BitWriter
@@ -46,7 +46,9 @@ from repro.hashing import SeededHasher, derive_seed
 from repro.iblt import IBLT, IBLTArray, IBLTParameters
 from repro.protocols.party import (
     END_OF_SESSION,
+    PartyGenerator,
     PartyOutcome,
+    PartyPair,
     Receive,
     Send,
     aborted_outcome,
@@ -90,7 +92,7 @@ class SetsOfSetsContext:
 
 
 def context_for(
-    alice: SetOfSets, bob: SetOfSets, universe_size: int, seed: int, **kwargs
+    alice: SetOfSets, bob: SetOfSets, universe_size: int, seed: int, **kwargs: Any
 ) -> SetsOfSetsContext:
     """Build a context with the public size statistics of both parents."""
     return SetsOfSetsContext(
@@ -136,7 +138,7 @@ def naive_alice_known(
     ctx: SetsOfSetsContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Alice's side of the one-round naive protocol (Theorem 3.3)."""
     if differing_children_bound < 0:
         raise ParameterError("differing_children_bound must be non-negative")
@@ -160,7 +162,7 @@ def naive_bob_known(
     ctx: SetsOfSetsContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Bob's side: subtract his encodings, peel, swap differing children."""
     payload = yield Receive(
         _naive_codec(ctx, differing_children_bound, self_describing)
@@ -188,22 +190,26 @@ def naive_bob_known(
     )
 
 
-def _naive_child_id_hasher(ctx: SetsOfSetsContext) -> Callable[[object], int]:
+def _naive_child_id_hasher(
+    ctx: SetsOfSetsContext,
+) -> Callable[[frozenset[int]], int]:
     hasher = SeededHasher(derive_seed(ctx.seed, "naive-child-id"), 64)
 
-    def child_id(child) -> int:
+    def child_id(child: frozenset[int]) -> int:
         return hasher.hash_iterable(sorted(child)) ^ hasher.hash_int(len(child))
 
     return child_id
 
 
-def _naive_estimator(ctx: SetsOfSetsContext):
+def _naive_estimator(
+    ctx: SetsOfSetsContext,
+) -> tuple[Callable[[int], SetDifferenceEstimator], int]:
     factory = ctx.estimator_factory if ctx.estimator_factory else L0Estimator
     estimator_seed = derive_seed(ctx.seed, "naive-estimator")
     return factory, estimator_seed
 
 
-def naive_alice_unknown(alice: SetOfSets, ctx: SetsOfSetsContext):
+def naive_alice_unknown(alice: SetOfSets, ctx: SetsOfSetsContext) -> PartyGenerator:
     """Alice's side of the two-round naive protocol (Theorem 3.4)."""
     factory, estimator_seed = _naive_estimator(ctx)
     bob_estimator = yield Receive(EstimatorCodec(factory, estimator_seed))
@@ -224,7 +230,7 @@ def naive_alice_unknown(alice: SetOfSets, ctx: SetsOfSetsContext):
     )
 
 
-def naive_bob_unknown(bob: SetOfSets, ctx: SetsOfSetsContext):
+def naive_bob_unknown(bob: SetOfSets, ctx: SetsOfSetsContext) -> PartyGenerator:
     """Bob's side: send the child-count estimator, then the known-bound flow."""
     factory, estimator_seed = _naive_estimator(ctx)
     child_id = _naive_child_id_hasher(ctx)
@@ -240,7 +246,12 @@ def naive_bob_unknown(bob: SetOfSets, ctx: SetsOfSetsContext):
     return outcome
 
 
-def naive_parties(alice, bob, differing_children_bound, ctx):
+def naive_parties(
+    alice: SetOfSets,
+    bob: SetOfSets,
+    differing_children_bound: int | None,
+    ctx: SetsOfSetsContext,
+) -> PartyPair:
     """Both parties for the ``naive`` protocol (known or unknown bound)."""
     if differing_children_bound is None:
         return naive_alice_unknown(alice, ctx), naive_bob_unknown(bob, ctx)
@@ -255,7 +266,11 @@ def naive_parties(alice, bob, differing_children_bound, ctx):
 # ---------------------------------------------------------------------------
 
 
-def doubling_alice(known_alice, initial_bound: int, max_bound: int):
+def doubling_alice(
+    known_alice: Callable[[int, int], PartyGenerator],
+    initial_bound: int,
+    max_bound: int,
+) -> PartyGenerator:
     """Alice's side of a repeated-doubling protocol.
 
     ``known_alice(bound, attempt)`` builds the known-``d`` sub-party for one
@@ -276,7 +291,11 @@ def doubling_alice(known_alice, initial_bound: int, max_bound: int):
     return PartyOutcome(False, attempts=attempts)
 
 
-def doubling_bob(known_bob, initial_bound: int, max_bound: int):
+def doubling_bob(
+    known_bob: Callable[[int, int], PartyGenerator],
+    initial_bound: int,
+    max_bound: int,
+) -> PartyGenerator:
     """Bob's side: try each attempt, acknowledge failures with a retry request.
 
     The final doubling is clamped to ``max_bound`` so the largest permitted
@@ -385,7 +404,7 @@ def _recover_child(
 
 def iblt_of_iblts_alice_known(
     alice: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
-):
+) -> PartyGenerator:
     """Alice's side of the one-round IBLT-of-IBLTs protocol (Theorem 3.5)."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -407,7 +426,7 @@ def iblt_of_iblts_alice_known(
 
 def iblt_of_iblts_bob_known(
     bob: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
-):
+) -> PartyGenerator:
     """Bob's side: peel the parent, decode differing children pairwise."""
     payload = yield Receive(
         TableWithHashCodec(
@@ -487,7 +506,7 @@ def iblt_of_iblts_parties(
     *,
     initial_bound: int = 1,
     max_bound: int | None = None,
-):
+) -> PartyPair:
     """Both parties; ``difference_bound=None`` runs repeated doubling."""
     if difference_bound is not None:
         return (
@@ -497,12 +516,12 @@ def iblt_of_iblts_parties(
     if max_bound is None:
         max_bound = 2 * ctx.max_total_elements
 
-    def known_alice(bound: int, attempt: int):
+    def known_alice(bound: int, attempt: int) -> PartyGenerator:
         return iblt_of_iblts_alice_known(
             alice, bound, ctx.with_seed(derive_seed(ctx.seed, "doubling", attempt))
         )
 
-    def known_bob(bound: int, attempt: int):
+    def known_bob(bound: int, attempt: int) -> PartyGenerator:
         return iblt_of_iblts_bob_known(
             bob, bound, ctx.with_seed(derive_seed(ctx.seed, "doubling", attempt))
         )
@@ -613,7 +632,9 @@ class CascadingMessageCodec(PayloadCodec):
         self.plan = plan
         self.backend = backend
 
-    def write(self, writer: BitWriter, payload) -> None:
+    def write(
+        self, writer: BitWriter, payload: tuple[list[IBLT], IBLT | None, int]
+    ) -> None:
         level_tables, t_star, verification = payload
         if len(level_tables) != self.plan.num_levels:
             raise WireError("level count disagrees with the shared cascade plan")
@@ -625,7 +646,7 @@ class CascadingMessageCodec(PayloadCodec):
             writer.write(t_star.serialize(), self.plan.t_star_params.size_bits)
         writer.write(verification, WORD_BITS)
 
-    def read(self, reader: BitReader):
+    def read(self, reader: BitReader) -> tuple[list[IBLT], IBLT | None, int]:
         level_tables = [
             IBLT.deserialize(params, reader.read(params.size_bits), backend=self.backend)
             for params in self.plan.level_params
@@ -643,7 +664,7 @@ class CascadingMessageCodec(PayloadCodec):
 
 def cascading_alice_known(
     alice: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
-):
+) -> PartyGenerator:
     """Alice's side: build every level table (and T*) and send them at once."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -671,7 +692,7 @@ def cascading_alice_known(
 
 def cascading_bob_known(
     bob: SetOfSets, difference_bound: int, ctx: SetsOfSetsContext
-):
+) -> PartyGenerator:
     """Bob's side: process the levels in order, then T*."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -769,7 +790,7 @@ def cascading_parties(
     *,
     initial_bound: int = 1,
     max_bound: int | None = None,
-):
+) -> PartyPair:
     """Both parties; ``difference_bound=None`` runs repeated doubling."""
     if difference_bound is not None:
         return (
@@ -779,12 +800,12 @@ def cascading_parties(
     if max_bound is None:
         max_bound = 2 * ctx.max_total_elements
 
-    def known_alice(bound: int, attempt: int):
+    def known_alice(bound: int, attempt: int) -> PartyGenerator:
         return cascading_alice_known(
             alice, bound, ctx.with_seed(derive_seed(ctx.seed, "cascade-doubling", attempt))
         )
 
-    def known_bob(bound: int, attempt: int):
+    def known_bob(bound: int, attempt: int) -> PartyGenerator:
         return cascading_bob_known(
             bob, bound, ctx.with_seed(derive_seed(ctx.seed, "cascade-doubling", attempt))
         )
@@ -840,7 +861,9 @@ def _hash_iblt_params(ctx: SetsOfSetsContext, d_hat: int) -> IBLTParameters:
     )
 
 
-def _multiround_child_estimator(ctx: SetsOfSetsContext):
+def _multiround_child_estimator(
+    ctx: SetsOfSetsContext,
+) -> tuple[Callable[[int], SetDifferenceEstimator], int]:
     factory = (
         ctx.estimator_factory
         if ctx.estimator_factory
@@ -849,7 +872,9 @@ def _multiround_child_estimator(ctx: SetsOfSetsContext):
     return factory, derive_seed(ctx.seed, "multiround-child-estimator")
 
 
-def _multiround_child_params(ctx: SetsOfSetsContext, bound: int, own_hash: int):
+def _multiround_child_params(
+    ctx: SetsOfSetsContext, bound: int, own_hash: int
+) -> IBLTParameters:
     return IBLTParameters.for_difference(
         bound,
         max_element_bits(ctx.universe_size),
@@ -876,14 +901,20 @@ class MultiroundRound2Codec(PayloadCodec):
             ctx.child_hash_bits + self.factory(self.estimator_seed).size_bits
         )
 
-    def write(self, writer: BitWriter, payload) -> None:
+    def write(
+        self,
+        writer: BitWriter,
+        payload: tuple[IBLT, list[tuple[int, SetDifferenceEstimator]]],
+    ) -> None:
         bob_hash_table, bob_estimators = payload
         writer.write(bob_hash_table.serialize(), self.params.size_bits)
         for child_hash, estimator in bob_estimators:
             writer.write(child_hash, self.ctx.child_hash_bits)
             estimator.write_wire(writer)
 
-    def read(self, reader: BitReader):
+    def read(
+        self, reader: BitReader
+    ) -> tuple[IBLT, list[tuple[int, SetDifferenceEstimator]]]:
         bob_hash_table = IBLT.deserialize(
             self.params, reader.read(self.params.size_bits), backend=self.ctx.backend
         )
@@ -921,7 +952,7 @@ class MultiroundPayloadsCodec(PayloadCodec):
     def _min_entry_bits(self) -> int:
         return 2 * self.ctx.child_hash_bits + CHILD_FLAG_BITS + CHILD_BOUND_BITS
 
-    def write(self, writer: BitWriter, payload) -> None:
+    def write(self, writer: BitWriter, payload: list[ChildPayload]) -> None:
         for child in payload:
             writer.write(child.target_hash, self.ctx.child_hash_bits)
             writer.write(child.own_hash, self.ctx.child_hash_bits)
@@ -941,7 +972,7 @@ class MultiroundPayloadsCodec(PayloadCodec):
                 for evaluation in message.evaluations:
                     writer.write(evaluation, element_bits)
 
-    def read(self, reader: BitReader):
+    def read(self, reader: BitReader) -> list[ChildPayload]:
         payloads = []
         minimum = self._min_entry_bits()
         while reader.remaining_bits > minimum:
@@ -973,7 +1004,7 @@ class MultiroundPayloadsCodec(PayloadCodec):
                 )
         return payloads
 
-    def framing_bits(self, payload) -> int:
+    def framing_bits(self, payload: list[ChildPayload]) -> int:
         total = 0
         for child in payload:
             total += CHILD_FLAG_BITS + CHILD_BOUND_BITS
@@ -1002,7 +1033,7 @@ def multiround_alice_known(
     ctx: SetsOfSetsContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Alice's side of the three-round protocol (Theorem 3.9): rounds 1 and 3."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -1104,7 +1135,7 @@ def multiround_bob_known(
     ctx: SetsOfSetsContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Bob's side: rounds 2 and 4 (reply with estimators, then recover)."""
     payload = yield Receive(_multiround_r1_codec(ctx, d_hat, self_describing))
     if payload is END_OF_SESSION:
@@ -1114,7 +1145,7 @@ def multiround_bob_known(
     factory, estimator_seed = _multiround_child_estimator(ctx)
     hash_seed = derive_seed(ctx.seed, "child-hash")
 
-    def hash_of(child) -> int:
+    def hash_of(child: frozenset[int]) -> int:
         return child_set_hash(child, hash_seed, ctx.child_hash_bits)
 
     # ---- Round 2: Bob replies with his hash IBLT and per-child estimators.
@@ -1197,7 +1228,7 @@ def multiround_alice_unknown(
     ctx: SetsOfSetsContext,
     *,
     hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
-):
+) -> PartyGenerator:
     """Alice's side of the four-round protocol (Theorem 3.10)."""
     factory = hash_estimator_factory if hash_estimator_factory else L0Estimator
     hash_seed = derive_seed(ctx.seed, "child-hash")
@@ -1229,7 +1260,7 @@ def multiround_bob_unknown(
     ctx: SetsOfSetsContext,
     *,
     hash_estimator_factory: Callable[[int], SetDifferenceEstimator] | None = None,
-):
+) -> PartyGenerator:
     """Bob's side: send the child-hash estimator, then rounds 2 and 4."""
     factory = hash_estimator_factory if hash_estimator_factory else L0Estimator
     hash_seed = derive_seed(ctx.seed, "child-hash")
@@ -1253,7 +1284,7 @@ def multiround_parties(
     bob: SetOfSets,
     difference_bound: int | None,
     ctx: SetsOfSetsContext,
-):
+) -> PartyPair:
     """Both parties; ``difference_bound=None`` runs the four-round variant."""
     if difference_bound is None:
         return multiround_alice_unknown(alice, ctx), multiround_bob_unknown(bob, ctx)

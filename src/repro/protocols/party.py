@@ -37,7 +37,7 @@ initiators waiting for a retry request) treat it as "the peer is satisfied".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Generator
 
 
 class _EndOfSession:
@@ -105,6 +105,16 @@ class PartyOutcome:
     #: the message it was waiting for (END_OF_SESSION).  Composite parties use
     #: this to let the *peer's* failure details surface instead of their own.
     aborted: bool = False
+
+
+#: The type of a party generator: yields Send/Receive commands, receives the
+#: decoded payload (or END_OF_SESSION) back at each Receive, and returns a
+#: PartyOutcome.  The send type is ``Any`` because only Receive yields get a
+#: value; Send yields are resumed with ``None``.
+PartyGenerator = Generator["Send | Receive", Any, PartyOutcome]
+
+#: A pair of party generators ready to run against each other.
+PartyPair = tuple[PartyGenerator, PartyGenerator]
 
 
 #: Outcome a party returns when its peer ended the session mid-protocol.

@@ -16,6 +16,7 @@ from typing import Any
 from repro.comm import ReconciliationResult, Transcript
 from repro.config import _Registry
 from repro.protocols.options import ReconcileOptions
+from repro.protocols.party import PartyPair
 from repro.protocols.session import run_session
 from repro.protocols.transports import Transport
 
@@ -62,7 +63,7 @@ class Protocol:
         return True
 
     @classmethod
-    def build(cls, alice: Any, bob: Any, options: ReconcileOptions):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         """Return ``(alice_party, bob_party)`` generators for one execution."""
         raise NotImplementedError
 
@@ -159,13 +160,15 @@ def reconcile(
 # ---------------------------------------------------------------------------
 
 
-def _derived_max_child_size(alice, bob, options: ReconcileOptions) -> int:
+def _derived_max_child_size(alice: Any, bob: Any, options: ReconcileOptions) -> int:
     if options.max_child_size is not None:
         return options.max_child_size
     return max(1, alice.max_child_size, bob.max_child_size)
 
 
-def _sets_of_sets_context(alice, bob, options: ReconcileOptions, **extra):
+def _sets_of_sets_context(
+    alice: Any, bob: Any, options: ReconcileOptions, **extra: Any
+) -> Any:
     from repro.protocols.parties.setsofsets import context_for
 
     options.require("universe_size")
@@ -199,7 +202,7 @@ class IBFProtocol(Protocol):
     reference = "Cor 2.2 / Cor 3.2"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setrecon import SetReconContext, ibf_parties
 
         options.require("universe_size")
@@ -223,7 +226,7 @@ class CPIProtocol(Protocol):
     reference = "Thm 2.3"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setrecon import cpi_parties
 
         options.require("universe_size", "difference_bound")
@@ -248,7 +251,7 @@ class NaiveProtocol(Protocol):
     reference = "Thm 3.3 / Thm 3.4"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setsofsets import naive_parties
 
         ctx = _sets_of_sets_context(
@@ -269,7 +272,7 @@ class IBLTOfIBLTsProtocol(Protocol):
     reference = "Thm 3.5 / Cor 3.6"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setsofsets import iblt_of_iblts_parties
 
         ctx = _sets_of_sets_context(alice, bob, options)
@@ -294,7 +297,7 @@ class CascadingProtocol(Protocol):
     reference = "Thm 3.7 / Cor 3.8"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setsofsets import cascading_parties
 
         ctx = _sets_of_sets_context(
@@ -322,7 +325,7 @@ class MultiroundProtocol(Protocol):
     reference = "Thm 3.9 / Thm 3.10"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.setsofsets import multiround_parties
 
         ctx = _sets_of_sets_context(
@@ -344,7 +347,7 @@ class DegreeOrderProtocol(Protocol):
     reference = "Thm 5.2"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.graphs import degree_order_parties
 
         options.require("difference_bound", "num_top")
@@ -370,7 +373,7 @@ class DegreeNeighborhoodProtocol(Protocol):
     reference = "Thm 5.6"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.graphs import degree_neighborhood_parties
 
         options.require("difference_bound", "max_degree")
@@ -396,7 +399,7 @@ class ForestProtocol(Protocol):
     reference = "Thm 6.1"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.graphs import forest_parties
 
         options.require("difference_bound")
@@ -425,7 +428,7 @@ class LabeledGraphProtocol(Protocol):
     reference = "Section 4"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.graphs import labeled_parties
 
         return labeled_parties(
@@ -449,7 +452,7 @@ class ExhaustiveProtocol(Protocol):
     reference = "Thm 4.3"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.graphs import exhaustive_parties
 
         options.require("difference_bound")
@@ -467,7 +470,7 @@ class DatabaseProtocol(Protocol):
     reference = "Section 1.1 application"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.applications import db_parties
 
         options.require("difference_bound")
@@ -492,7 +495,7 @@ class DocumentsProtocol(Protocol):
     reference = "Thm 3.5 application"
 
     @classmethod
-    def build(cls, alice, bob, options):
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
         from repro.protocols.parties.applications import documents_parties
 
         options.require("difference_bound")

@@ -22,7 +22,13 @@ from typing import Any
 from repro.comm import ReconciliationResult, Transcript
 from repro.errors import ReconciliationError
 from repro.field.kernels import use_kernel
-from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyGenerator,
+    PartyOutcome,
+    Receive,
+    Send,
+)
 from repro.protocols.transports import InMemoryTransport, Transport, outcome_from_stop
 
 
@@ -81,8 +87,8 @@ class Session:
 
     def __init__(
         self,
-        alice,
-        bob,
+        alice: PartyGenerator,
+        bob: PartyGenerator,
         transport: Transport | None = None,
         transcript: Transcript | None = None,
         field_kernel: str | None = None,
@@ -157,8 +163,8 @@ class Session:
 
 
 def run_session(
-    alice,
-    bob,
+    alice: PartyGenerator,
+    bob: PartyGenerator,
     transport: Transport | None = None,
     transcript: Transcript | None = None,
     field_kernel: str | None = None,

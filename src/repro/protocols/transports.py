@@ -32,7 +32,13 @@ from typing import Any
 
 from repro.comm import Transcript
 from repro.errors import ParameterError, ReconciliationError
-from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyGenerator,
+    PartyOutcome,
+    Receive,
+    Send,
+)
 from repro.protocols.wire import WireAccountingError, WireError
 
 
@@ -251,7 +257,7 @@ def assemble_frame(
     return Frame(kind, sender, label, size_bits, body[sender_len + label_len :])
 
 
-def enable_nodelay(sock) -> None:
+def enable_nodelay(sock: _socket.socket) -> None:
     """Set ``TCP_NODELAY`` on a socket, ignoring sockets that lack it.
 
     Protocol frames are small and latency-bound; Nagle's algorithm only adds
@@ -264,7 +270,7 @@ def enable_nodelay(sock) -> None:
         pass
 
 
-def _recv_exact(sock, length: int) -> bytes:
+def _recv_exact(sock: _socket.socket, length: int) -> bytes:
     chunks = []
     remaining = length
     while remaining:
@@ -279,7 +285,7 @@ def _recv_exact(sock, length: int) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock) -> Frame:
+def read_frame(sock: _socket.socket) -> Frame:
     """Read one complete frame from a blocking socket (clean errors on EOF)."""
     kind, sender_len, label_len, size_bits, payload_len = parse_frame_header(
         _recv_exact(sock, FRAME_HEADER.size)
@@ -299,7 +305,7 @@ class SocketTransport:
 
     name = "socket"
 
-    def __init__(self, sock, role: str, strict: bool = True) -> None:
+    def __init__(self, sock: _socket.socket, role: str, strict: bool = True) -> None:
         if role not in ("alice", "bob"):
             raise ParameterError("role must be 'alice' or 'bob'")
         self.sock = sock
@@ -340,7 +346,9 @@ class SocketTransport:
 
 
 def run_party(
-    party, transport: SocketTransport, transcript: Transcript | None = None
+    party: PartyGenerator,
+    transport: SocketTransport,
+    transcript: Transcript | None = None,
 ) -> tuple[PartyOutcome, Transcript]:
     """Drive one party generator against a real byte stream.
 
@@ -360,7 +368,7 @@ def run_party(
     return outcome, transcript
 
 
-def outcome_from_stop(stop_value, who: str = "party") -> PartyOutcome:
+def outcome_from_stop(stop_value: Any, who: str = "party") -> PartyOutcome:
     """Normalize a party generator's return value into a :class:`PartyOutcome`.
 
     The single normalization point shared by every party driver: the
@@ -377,7 +385,9 @@ def outcome_from_stop(stop_value, who: str = "party") -> PartyOutcome:
     )
 
 
-def _drive_party(party, transport: SocketTransport, transcript: Transcript):
+def _drive_party(
+    party: PartyGenerator, transport: SocketTransport, transcript: Transcript
+) -> PartyOutcome:
     peer_finished = False
     value = None
     try:

@@ -138,7 +138,7 @@ class TableWithHashCodec(PayloadCodec):
         self.backend = backend
         self.header_bits = header_bits
 
-    def write(self, writer, payload) -> None:
+    def write(self, writer: BitWriter, payload: tuple[IBLT, int]) -> None:
         table, verification = payload
         if self.bound is None:
             raise WireError("encoding side must know the bound")
@@ -150,7 +150,7 @@ class TableWithHashCodec(PayloadCodec):
         writer.write(table.serialize(), params.size_bits)
         writer.write(verification, self.hash_bits)
 
-    def read(self, reader):
+    def read(self, reader: BitReader) -> tuple[IBLT, int]:
         bound = reader.read(self.header_bits) if self.self_describing else self.bound
         params = self.params_for_bound(bound)
         table = IBLT.deserialize(
@@ -159,7 +159,7 @@ class TableWithHashCodec(PayloadCodec):
         verification = reader.read(self.hash_bits)
         return table, verification
 
-    def framing_bits(self, payload) -> int:
+    def framing_bits(self, payload: tuple[IBLT, int]) -> int:
         return self.header_bits if self.self_describing else 0
 
 

@@ -56,7 +56,9 @@ from repro.service.sharding import (
 from repro.service.transport import AsyncSocketTransport, run_party_async
 
 
-async def _connect(host: str, port: int):
+async def _connect(
+    host: str, port: int
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
     """Open a stream to the server, with connect failures in the library's
     error taxonomy instead of a raw ``OSError``."""
     try:

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any, Mapping
 
 from repro.errors import ReproError, ServiceError, StoreError
 from repro.protocols import registry
+from repro.protocols.options import ReconcileOptions
 from repro.protocols.transports import FRAME_CONTROL, Frame
 from repro.service.hello import (
     ACK_LABEL,
@@ -64,6 +66,8 @@ from repro.store.parties import stored_ibf_party
 #: sharded sync fanning out over one dataset partitions it once, not per
 #: connection.
 _SHARD_CACHE_SLOTS = 8
+
+logger = logging.getLogger(__name__)
 
 
 class SyncServer:
@@ -206,7 +210,7 @@ class SyncServer:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: Any) -> None:
         await self.aclose()
 
     # -- per-connection handling ----------------------------------------------------
@@ -229,8 +233,12 @@ class SyncServer:
             pass  # recorded where it happened; the connection is done either way
         except asyncio.CancelledError:
             return  # server shutting down mid-session; nothing left to serve
+        except (OSError, EOFError):
+            pass  # client vanished mid-frame; the session record has the failure
         except Exception:
-            pass  # recorded as a failed session below; the server keeps serving
+            # Anything else is a bug, not a client misbehaving: keep serving,
+            # but say so instead of swallowing it.
+            logger.exception("unexpected error while serving a connection")
         finally:
             await transport.aclose()
 
@@ -290,7 +298,10 @@ class SyncServer:
             outcome, transcript = await run_party_async(party, transport)
         except asyncio.CancelledError:
             raise
-        except Exception as exc:
+        except (ReproError, OSError, EOFError) as exc:
+            # The failure modes a session can legitimately produce: protocol
+            # and codec errors, and the peer disappearing.  Anything else
+            # propagates unlabelled and is logged by the connection handler.
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
@@ -373,7 +384,9 @@ class SyncServer:
             payload=mutate_ack_payload(len(eff_ins), len(eff_del), len(dataset)),
         )
 
-    def _negotiate(self, hello: Hello):
+    def _negotiate(
+        self, hello: Hello
+    ) -> tuple[type[registry.Protocol], Any, ReconcileOptions]:
         """Resolve the hello into ``(spec, dataset, options)`` or refuse."""
         if not hello.protocol:
             raise ServiceError("hello names no protocol")
@@ -413,7 +426,7 @@ class SyncServer:
                 f"with input kind {input_kind!r}"
             )
 
-    def _shard_dataset(self, hello: Hello, dataset: Any):
+    def _shard_dataset(self, hello: Hello, dataset: Any) -> Any:
         shard = hello.shard
         if not 0 <= shard.index < (1 << shard.bits):
             raise ServiceError(

@@ -35,7 +35,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.comm import ReconciliationResult, Transcript
 from repro.core.setsofsets.types import SetOfSets
@@ -417,8 +417,16 @@ def reconcile_sharded(
     ]
     sessions: list[ShardSession] = []
 
-    def finish(bits, index, alice_shard, bob_shard, success, recovered, attempts,
-               transcript):
+    def finish(
+        bits: int,
+        index: int,
+        alice_shard: Any,
+        bob_shard: Any,
+        success: bool,
+        recovered: Any,
+        attempts: int,
+        transcript: Transcript,
+    ) -> None:
         resplit = not success and bits < plan.max_shard_bits
         session = ShardSession(
             bits, index, success, recovered, transcript, attempts, resplit=resplit
@@ -468,7 +476,12 @@ def reconcile_sharded(
     return merge_sessions(sessions, bob)
 
 
-def _run_pending_pooled(plan, pending, finish, processes) -> None:
+def _run_pending_pooled(
+    plan: ShardPlan,
+    pending: list[tuple[int, int, Any, Any]],
+    finish: Callable[..., None],
+    processes: int,
+) -> None:
     """Drain the shard queue on a process pool, wave by wave.
 
     Each wave submits every currently-pending shard; failures enqueue their

@@ -26,7 +26,13 @@ import asyncio
 
 from repro.comm import Transcript
 from repro.errors import ParameterError, ReconciliationError
-from repro.protocols.party import END_OF_SESSION, PartyOutcome, Receive, Send
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyGenerator,
+    PartyOutcome,
+    Receive,
+    Send,
+)
 from repro.protocols.transports import (
     FRAME_FIN,
     FRAME_HEADER,
@@ -148,7 +154,9 @@ class AsyncSocketTransport:
 
 
 async def run_party_async(
-    party, transport: AsyncSocketTransport, transcript: Transcript | None = None
+    party: PartyGenerator,
+    transport: AsyncSocketTransport,
+    transcript: Transcript | None = None,
 ) -> tuple[PartyOutcome, Transcript]:
     """Drive one party generator over an asyncio stream.
 
@@ -170,7 +178,7 @@ async def run_party_async(
 
 
 async def _drive_party_async(
-    party, transport: AsyncSocketTransport, transcript: Transcript
+    party: PartyGenerator, transport: AsyncSocketTransport, transcript: Transcript
 ) -> PartyOutcome:
     peer_finished = False
     value = None

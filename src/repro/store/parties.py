@@ -28,13 +28,15 @@ point of the store is to *not* iterate the dataset); pass
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.setrecon.difference import apply_difference
+from repro.estimator import SetDifferenceEstimator
 from repro.errors import ParameterError
 from repro.iblt import IBLT, IBLTParameters
 from repro.protocols.party import (
     END_OF_SESSION,
+    PartyGenerator,
     PartyOutcome,
     Receive,
     Send,
@@ -76,7 +78,7 @@ class StoreView:
     def table_for_params(self, params: IBLTParameters) -> IBLT:
         return self.store.table_for_params(self.key, self.config, params, self.dataset)
 
-    def estimator(self, side: int):
+    def estimator(self, side: int) -> SetDifferenceEstimator:
         return self.store.estimator_for(self.key, self.config, side, self.dataset)
 
     @property
@@ -87,7 +89,7 @@ class StoreView:
     def size(self) -> int:
         return self.store.size_of(self.key, self.dataset)
 
-    def hash_with(self, added, removed) -> int:
+    def hash_with(self, added: Iterable[int], removed: Iterable[int]) -> int:
         """The stored hash with a recovered difference toggled in (O(d))."""
         return (
             self.set_hash
@@ -102,7 +104,7 @@ def stored_ibf_alice_known(
     ctx: SetReconContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Alice's one-round side served from the live table."""
     if difference_bound < 0:
         raise ParameterError("difference_bound must be non-negative")
@@ -126,7 +128,7 @@ def stored_ibf_bob_known(
     ctx: SetReconContext,
     *,
     self_describing: bool = False,
-):
+) -> PartyGenerator:
     """Bob's side: subtract the live table, peel, verify incrementally."""
     payload = yield Receive(IBFMessageCodec(ctx, difference_bound, self_describing))
     if payload is END_OF_SESSION:
@@ -158,7 +160,7 @@ def stored_ibf_bob_known(
     )
 
 
-def stored_ibf_alice_unknown(view: StoreView, ctx: SetReconContext):
+def stored_ibf_alice_unknown(view: StoreView, ctx: SetReconContext) -> PartyGenerator:
     """Alice's two-round side: merge the live estimator, size the table."""
     bob_estimator = yield Receive(ctx.estimator_codec())
     if bob_estimator is END_OF_SESSION:
@@ -176,7 +178,7 @@ def stored_ibf_alice_unknown(view: StoreView, ctx: SetReconContext):
     )
 
 
-def stored_ibf_bob_unknown(view: StoreView, ctx: SetReconContext):
+def stored_ibf_bob_unknown(view: StoreView, ctx: SetReconContext) -> PartyGenerator:
     """Bob's side: send the live estimator, then the known-``d`` exchange."""
     estimator = view.estimator(side=1)
     yield Send(
@@ -194,7 +196,7 @@ def stored_ibf_party(
     view: StoreView,
     difference_bound: int | None,
     ctx: SetReconContext | None = None,
-):
+) -> PartyGenerator:
     """The store-backed party for one server role (known or unknown ``d``)."""
     if role not in ("alice", "bob"):
         raise ParameterError(f"role must be 'alice' or 'bob', got {role!r}")

@@ -291,12 +291,19 @@ class SketchStore:
                 entry.journal.append(seq, inserted, deleted)
             try:
                 self._apply_to_entry(entry, inserted, deleted)
-            except Exception as exc:
+            except (ReproError, ArithmeticError, LookupError, TypeError, ValueError) as exc:
+                # What a bad batch can actually raise: parameter/width checks
+                # (ReproError), overflow, and malformed keys.
                 self.invalidate(key)
                 raise StoreError(
                     f"mutation batch poisoned the live sketches for {key!r} "
                     f"(entry invalidated): {exc}"
                 ) from exc
+            except BaseException:
+                # Even an unexpected failure (including KeyboardInterrupt
+                # mid-batch) must not leave half-applied sketches behind.
+                self.invalidate(key)
+                raise
             entry.seq = seq
             return seq
 

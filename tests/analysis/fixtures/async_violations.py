@@ -1,0 +1,19 @@
+"""Seeded A2xx violations: parsed by the analysis tests, never executed."""
+
+import asyncio
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def slow(self):
+        time.sleep(0.1)  # A201: blocking call inside a coroutine
+
+    async def locked(self):
+        with self._lock:  # A202: sync context manager held across an await
+            await asyncio.sleep(0)
+
+    async def fire(self):
+        asyncio.create_task(self.slow())  # A203: un-awaited fire-and-forget

@@ -1,0 +1,16 @@
+"""Seeded D3xx violations: parsed by the analysis tests, never executed."""
+
+import os
+import random
+import time
+
+
+def sample(items):
+    pick = random.choice(items)  # D301: unseeded module-level random
+    stamp = time.time()  # D302: wall-clock read
+    tag = hash(pick)  # D303: builtin hash outside __hash__
+    salt = os.urandom(8)  # D304: OS entropy
+    total = 0
+    for element in {1, 2, 3}:  # D305: iterating a fresh set literal
+        total += element
+    return pick, stamp, tag, salt, total

@@ -1,0 +1,8 @@
+"""Seeded E401 violation: parsed by the analysis tests, never executed."""
+
+
+def swallow():
+    try:
+        risky()
+    except Exception:  # E401: broad handler, neither re-raises nor logs
+        pass

@@ -1,0 +1,8 @@
+"""Seeded I501 violation: parsed by the analysis tests, never executed."""
+
+import json  # I501: never referenced
+import math
+
+
+def area(radius):
+    return math.pi * radius * radius

@@ -1,0 +1,18 @@
+"""Seeded P-rule violations: parsed by the analysis tests, never executed.
+
+``alice_party``/``bob_party`` form a deliberately broken pair -- alice has
+two Send sites plus a non-command yield, bob has a single bare Receive -- so
+one fixture file seeds every P1xx rule at once.
+"""
+
+
+def alice_party(ctx):
+    yield Send("uncharged message")  # P102: no size_bits (and P103: no codec)
+    yield Send("no codec", 64, payload=b"x")  # P103: codec missing
+    yield 42  # P101: not a Send/Receive command
+    return PartyOutcome(True)
+
+
+def bob_party(ctx):
+    payload = yield Receive()  # P104: no codec named
+    return PartyOutcome(True, payload)

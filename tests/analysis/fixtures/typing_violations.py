@@ -1,0 +1,5 @@
+"""Seeded T701 violation: parsed by the analysis tests, never executed."""
+
+
+def untyped(value, count=1):  # T701: no annotations at all
+    return value * count

@@ -1,0 +1,193 @@
+"""Suppression mechanics, registry consistency, the CLI, and the clean tree."""
+
+import ast
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.allowlist import ALLOWLIST, exempt
+from repro.analysis.base import SourceFile
+from repro.analysis.passes import DeterminismPass, RegistryDocsPass
+from repro.analysis.runner import analyze, find_root
+from repro.analysis.__main__ import main
+
+ROOT = find_root()
+
+
+def make_source(text: str, relpath: str) -> SourceFile:
+    return SourceFile(
+        path=Path(relpath),
+        relpath=relpath,
+        text=text,
+        tree=ast.parse(text),
+        lines=text.splitlines(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suppression: pragmas and the allowlist
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_suppresses_finding_on_own_line():
+    text = "import random\nx = random.random()  # lint: allow[D301] test reason\n"
+    source = make_source(text, "src/repro/iblt/mem.py")
+    assert analyze(ROOT, sources=[source], passes=[DeterminismPass()]) == []
+
+
+def test_pragma_suppresses_finding_on_line_below():
+    text = (
+        "import random\n"
+        "# lint: allow[D301] test reason\n"
+        "x = random.random()\n"
+    )
+    source = make_source(text, "src/repro/iblt/mem.py")
+    assert analyze(ROOT, sources=[source], passes=[DeterminismPass()]) == []
+
+
+def test_without_pragma_the_finding_survives():
+    text = "import random\nx = random.random()\n"
+    source = make_source(text, "src/repro/iblt/mem.py")
+    findings = analyze(ROOT, sources=[source], passes=[DeterminismPass()])
+    assert [finding.rule for finding in findings] == ["D301"]
+
+
+def test_pragma_for_another_rule_does_not_suppress():
+    text = "import random\nx = random.random()  # lint: allow[D302] wrong rule\n"
+    source = make_source(text, "src/repro/iblt/mem.py")
+    findings = analyze(ROOT, sources=[source], passes=[DeterminismPass()])
+    assert [finding.rule for finding in findings] == ["D301"]
+
+
+def test_allowlist_entries_are_audited():
+    """Every allowlist entry names an existing file, a rule, and a reason."""
+    for entry in ALLOWLIST:
+        assert (ROOT / entry.relpath).is_file(), entry.relpath
+        assert entry.rule
+        assert entry.reason.strip(), f"{entry.relpath} lacks a reason"
+        assert exempt(entry.relpath, entry.rule)
+
+
+def test_exempt_is_exact():
+    assert not exempt("src/repro/iblt/table.py", "D301")
+
+
+# ---------------------------------------------------------------------------
+# Registry/docs consistency (R6xx) against a doctored tree
+# ---------------------------------------------------------------------------
+
+
+def _doctored_root(tmp_path: Path) -> Path:
+    shutil.copytree(ROOT / "docs", tmp_path / "docs")
+    (tmp_path / "README.md").write_text(
+        (ROOT / "README.md").read_text(encoding="utf-8"), encoding="utf-8"
+    )
+    fixtures = tmp_path / "tests" / "protocols"
+    fixtures.mkdir(parents=True)
+    shutil.copy(
+        ROOT / "tests" / "protocols" / "protocol_fixtures.py",
+        fixtures / "protocol_fixtures.py",
+    )
+    return tmp_path
+
+
+def test_registry_pass_is_clean_on_the_real_docs(tmp_path):
+    root = _doctored_root(tmp_path)
+    assert list(RegistryDocsPass().check_project(root, [])) == []
+
+
+def test_missing_readme_row_fires_r601(tmp_path):
+    root = _doctored_root(tmp_path)
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    row = next(
+        line for line in readme.splitlines() if line.startswith("| `ibf`")
+    )
+    (root / "README.md").write_text(readme.replace(row, ""), encoding="utf-8")
+    findings = list(RegistryDocsPass().check_project(root, []))
+    assert any(
+        finding.rule == "R601" and "'ibf'" in finding.message
+        for finding in findings
+    )
+
+
+def test_unregistered_fixture_instance_fires_r603(tmp_path):
+    """A protocol with no determinism-suite fixture instance is flagged."""
+    root = _doctored_root(tmp_path)
+    fixtures = root / "tests" / "protocols" / "protocol_fixtures.py"
+    kept = [
+        line
+        for line in fixtures.read_text(encoding="utf-8").splitlines()
+        if 'instances["ibf"]' not in line
+    ]
+    fixtures.write_text("\n".join(kept) + "\n", encoding="utf-8")
+    findings = list(RegistryDocsPass().check_project(root, []))
+    assert any(
+        finding.rule == "R603" and "'ibf'" in finding.message
+        for finding in findings
+    )
+
+
+def test_orphan_docs_page_fires_r606(tmp_path):
+    root = _doctored_root(tmp_path)
+    (root / "docs" / "orphan.md").write_text("# Orphan\n", encoding="utf-8")
+    findings = list(RegistryDocsPass().check_project(root, []))
+    assert any(finding.rule == "R606" for finding in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and the JSON report
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exits_zero_on_the_real_tree(capsys):
+    assert main(["--root", str(ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_cli_exits_nonzero_on_a_violation(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "iblt" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+    assert main(["--root", str(tmp_path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_scanned"] == 1
+    assert [finding["rule"] for finding in report["findings"]] == ["D301"]
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "iblt" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nimport json\nx = random.random()\n")
+    assert main(["--root", str(tmp_path), "--select", "I501", "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert [finding["rule"] for finding in report["findings"]] == ["I501"]
+
+
+def test_cli_skips_cache_directories(tmp_path, capsys):
+    cached = tmp_path / "src" / "repro" / "__pycache__" / "bad.py"
+    cached.parent.mkdir(parents=True)
+    cached.write_text("import random\nx = random.random()\n", encoding="utf-8")
+    for cache_dir in (".hypothesis", ".pytest_cache", ".benchmarks"):
+        stray = tmp_path / cache_dir / "stray.py"
+        stray.parent.mkdir()
+        stray.write_text("import random\nx = random.random()\n", encoding="utf-8")
+    assert main(["--root", str(tmp_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["files_scanned"] == 0
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("P101", "A201", "D301", "R601", "E401", "I501", "T701"):
+        assert rule in out
+
+
+# ---------------------------------------------------------------------------
+# The acceptance criterion: the real tree is clean
+# ---------------------------------------------------------------------------
+
+
+def test_real_tree_has_zero_findings():
+    assert analyze(ROOT) == []
