@@ -1,0 +1,292 @@
+"""Fleet saturation: ramp concurrent clients against W-worker sync fleets.
+
+For each fleet size ``W`` in {1, 2, 4} this benchmark starts a
+:class:`repro.service.SyncFleet` whose workers each accept at most
+``PER_WORKER_INFLIGHT`` concurrent sessions (the supervisor sheds the rest
+with a coded ``at-capacity`` refusal -- never an unbounded queue), then
+ramps closed-loop clients through under-, at-, and over-budget levels and
+records the saturated sessions/s plus the rejection rate under overload.
+
+**What the speedup measures.**  Sessions are *latency-dominated*: every
+server-sent frame pays an emulated one-way WAN delay, so a session holds
+its admission slot for ~wire time while costing little CPU.  Saturated
+throughput is therefore the admitted-capacity ceiling ``W x
+PER_WORKER_INFLIGHT / session_time``, which scales with W even on the
+single-core CI runners this repository benchmarks on (the recorded run's
+host has one core; aggregate CPU use stays well below it).  On a multi-core
+host the same topology additionally scales the CPU ceiling, because each
+worker is a separate process -- that is the fleet's reason to exist -- but
+the number recorded here is deliberately the scheduling/admission scaling,
+which is the part a one-core runner can regression-check honestly.
+
+Every completed session's recovered set is verified against the server
+dataset; a mismatch counts as a failure and fails the run.
+
+Run under pytest (the 2-worker case is the CI smoke), standalone with
+``--smoke`` for a quick correctness pass, or standalone in full::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_saturation.py
+
+which merges fleet saturation rows into ``BENCH_service.json`` at the
+repository root (preserving the single-server throughput rows).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import load_benchmark_record, write_benchmark_record
+from repro.errors import ReproError, SessionRejectedError
+from repro.protocols.options import ReconcileOptions
+from repro.service import SyncFleet, areconcile, fleet_supported
+from repro.service.__main__ import demo_set, mutate_set
+
+UNIVERSE = 1 << 20
+SET_SIZE = 128
+DIFFERENCES = 4
+DIFFERENCE_BOUND = 8
+PROTOCOL = "ibf"
+#: Emulated one-way WAN delay per server-sent frame: sessions hold their
+#: admission slot for wire time, not CPU time.
+ONE_WAY_LATENCY_S = 0.030
+PER_WORKER_INFLIGHT = 4
+WORKER_COUNTS = (1, 2, 4)
+MEASURE_WINDOW_S = 2.5
+#: Regression floor on saturated sessions/s at W=4 relative to W=1
+#: (the acceptance run recorded >= 2.5x; the floor leaves headroom for
+#: noisy CI runners).
+FLEET_SPEEDUP_FLOOR = 2.0
+
+
+async def _run_level(
+    port: int,
+    clients: int,
+    duration: float,
+    *,
+    base: set,
+    mine: set,
+    seed: int,
+) -> dict:
+    """Closed-loop load: ``clients`` tasks sync back-to-back for ``duration``."""
+    options = ReconcileOptions(
+        seed=seed, universe_size=UNIVERSE, difference_bound=DIFFERENCE_BOUND
+    )
+    counters = {"completed": 0, "rejected": 0, "failed": 0}
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + duration
+
+    async def client_loop() -> None:
+        while loop.time() < deadline:
+            try:
+                result = await areconcile(
+                    "127.0.0.1", port, PROTOCOL, set(mine), options=options
+                )
+            except SessionRejectedError:
+                counters["rejected"] += 1
+                # The slot frees when some in-flight session's frames finish
+                # crossing the emulated wire; back off roughly that long.
+                await asyncio.sleep(ONE_WAY_LATENCY_S / 2)
+            except (ReproError, OSError):
+                counters["failed"] += 1
+                await asyncio.sleep(ONE_WAY_LATENCY_S)
+            else:
+                if result.success and result.recovered == base:
+                    counters["completed"] += 1
+                else:
+                    counters["failed"] += 1
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_loop() for _ in range(clients)))
+    elapsed = time.perf_counter() - started
+    total = counters["completed"] + counters["rejected"]
+    return {
+        "clients": clients,
+        "sessions_per_s": round(counters["completed"] / elapsed, 2),
+        "rejected_per_s": round(counters["rejected"] / elapsed, 2),
+        "rejection_rate": round(counters["rejected"] / total, 4) if total else 0.0,
+        "failed": counters["failed"],
+    }
+
+
+async def saturate(
+    workers: int,
+    *,
+    seed: int,
+    per_worker_inflight: int = PER_WORKER_INFLIGHT,
+    window: float = MEASURE_WINDOW_S,
+    levels: tuple[int, ...] | None = None,
+) -> dict:
+    """Ramp client levels against one fleet; return the saturation row."""
+    base = demo_set(UNIVERSE, SET_SIZE, seed)
+    mine = mutate_set(base, UNIVERSE, DIFFERENCES, seed)
+    budget = workers * per_worker_inflight
+    if levels is None:
+        levels = tuple(sorted({max(1, budget // 2), budget, budget * 2}))
+    ramp = []
+    async with SyncFleet(
+        {PROTOCOL: set(base)},
+        workers=workers,
+        seed=seed,
+        latency=ONE_WAY_LATENCY_S,
+        per_worker_inflight=per_worker_inflight,
+    ) as fleet:
+        for clients in levels:
+            ramp.append(
+                await _run_level(
+                    fleet.port, clients, window, base=base, mine=mine, seed=seed
+                )
+            )
+        shed = fleet.metrics.snapshot()
+        await fleet.adrain()
+    failures = sum(level["failed"] for level in ramp)
+    if failures:
+        raise SystemExit(f"{failures} session(s) failed or recovered wrong data")
+    best = max(ramp, key=lambda level: level["sessions_per_s"])
+    overloaded = ramp[-1]
+    return {
+        "workers": workers,
+        "per_worker_inflight": per_worker_inflight,
+        "one_way_latency_ms": ONE_WAY_LATENCY_S * 1e3,
+        "saturated_clients": best["clients"],
+        "sessions_per_s": best["sessions_per_s"],
+        "sessions_per_s_per_worker": round(best["sessions_per_s"] / workers, 2),
+        "rejection_rate_at_overload": overloaded["rejection_rate"],
+        "sessions_shed_capacity": shed.get("sessions_shed_capacity", 0),
+        "ramp": ramp,
+    }
+
+
+async def compare(seed: int, worker_counts: tuple[int, ...] = WORKER_COUNTS) -> list:
+    rows = []
+    for workers in worker_counts:
+        rows.append(await saturate(workers, seed=seed))
+    baseline = rows[0]["sessions_per_s"]
+    for row in rows[1:]:
+        row["fleet_speedup"] = round(row["sessions_per_s"] / baseline, 2)
+    rows[-1]["fleet_speedup_floor"] = FLEET_SPEEDUP_FLOOR
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# CI smoke (pytest)
+# ---------------------------------------------------------------------------
+
+needs_fleet = pytest.mark.skipif(
+    not fleet_supported(), reason="fleet needs POSIX descriptor passing"
+)
+
+
+@needs_fleet
+@pytest.mark.timeout(120)
+def test_smoke_fleet_serves_and_sheds():
+    """2-worker fleet under an over-budget burst: sessions complete with the
+    right recovered set and the excess is shed (counted, not queued)."""
+
+    async def run() -> dict:
+        return await saturate(
+            2, seed=2018, per_worker_inflight=2, window=1.0, levels=(8,)
+        )
+
+    row = asyncio.run(run())
+    assert row["sessions_per_s"] > 0
+    assert row["sessions_shed_capacity"] > 0
+    assert row["rejection_rate_at_overload"] > 0
+
+
+def main() -> None:
+    parser = benchmark_parser(
+        "Fleet saturation: sessions/s and rejection rates at W workers",
+        Path(__file__).resolve().parent.parent / "BENCH_service.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick 2-worker correctness pass; no record written",
+    )
+    args = parser.parse_args()
+    if not fleet_supported():
+        sys.exit("the sync fleet needs POSIX descriptor passing")
+    if args.smoke:
+        row = asyncio.run(
+            saturate(2, seed=args.seed, per_worker_inflight=2, window=1.0, levels=(8,))
+        )
+        print(
+            f"smoke: workers=2  sessions/s={row['sessions_per_s']}  "
+            f"shed={row['sessions_shed_capacity']}"
+        )
+        if not (row["sessions_per_s"] > 0 and row["sessions_shed_capacity"] > 0):
+            sys.exit("smoke expected served sessions and counted rejections")
+        return
+    rows = asyncio.run(compare(args.seed))
+    for row in rows:
+        speedup = row.get("fleet_speedup")
+        print(
+            f"workers={row['workers']}  saturated={row['sessions_per_s']:7.1f}/s  "
+            f"per-worker={row['sessions_per_s_per_worker']:6.1f}/s  "
+            f"reject@2x={row['rejection_rate_at_overload']:.0%}"
+            + (f"  speedup={speedup:.2f}x" if speedup is not None else "")
+        )
+    final = rows[-1]
+    if final["fleet_speedup"] < FLEET_SPEEDUP_FLOOR:
+        sys.exit(
+            f"fleet speedup {final['fleet_speedup']}x at {final['workers']} workers "
+            f"is below the {FLEET_SPEEDUP_FLOOR}x floor"
+        )
+
+    # Merge into the shared service record: keep the single-server
+    # throughput rows and top-level fields, replace only the fleet rows.
+    try:
+        existing = load_benchmark_record(args.output)
+    except FileNotFoundError:
+        existing = {}
+    kept = [row for row in existing.get("results", []) if "workers" not in row]
+    extra = {
+        key: existing[key]
+        for key in ("config", "speedup_floor")
+        if key in existing
+    }
+    extra["fleet"] = {
+        "benchmark": "bench_fleet_saturation",
+        "description": (
+            "closed-loop clients ramped against W-worker fleets with a "
+            f"{PER_WORKER_INFLIGHT}-session per-worker admission budget under "
+            f"emulated {ONE_WAY_LATENCY_S * 1e3:g} ms one-way latency; "
+            "saturated sessions/s is the admitted-capacity ceiling (the "
+            "recording host has one core), excess hellos are shed with coded "
+            "refusals and counted, and every recovered set is verified"
+        ),
+        "config": benchmark_config(
+            args.seed,
+            protocol=PROTOCOL,
+            set_size=SET_SIZE,
+            differences=DIFFERENCES,
+            per_worker_inflight=PER_WORKER_INFLIGHT,
+            one_way_latency_s=ONE_WAY_LATENCY_S,
+            measure_window_s=MEASURE_WINDOW_S,
+        ),
+        "fleet_speedup_floor": FLEET_SPEEDUP_FLOOR,
+    }
+    write_benchmark_record(
+        args.output,
+        benchmark=existing.get("benchmark", "bench_service_throughput"),
+        description=existing.get(
+            "description", "sync service throughput and fleet saturation"
+        ),
+        **extra,
+        results=kept + rows,
+    )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,7 @@ if str(_SRC) not in sys.path:  # standalone execution
     sys.path.insert(0, str(_SRC))
 
 from repro.bench.cli import DEFAULT_SEED, benchmark_config, benchmark_parser
-from repro.bench.reporting import write_benchmark_record
+from repro.bench.reporting import load_benchmark_record, write_benchmark_record
 from repro.protocols import SocketTransport, pack_frame, read_frame, run_party
 from repro.protocols.options import ReconcileOptions
 from repro.protocols.registry import get
@@ -282,6 +282,14 @@ def main() -> None:
             for row in rows
             for phase in ("serial", "concurrent")
         }
+    # The record is shared with bench_fleet_saturation.py: keep its fleet
+    # rows (the ones carrying a "workers" key) and its "fleet" block intact.
+    try:
+        existing = load_benchmark_record(args.output)
+    except FileNotFoundError:
+        existing = {}
+    fleet_rows = [row for row in existing.get("results", []) if "workers" in row]
+    extra = {"fleet": existing["fleet"]} if "fleet" in existing else {}
     write_benchmark_record(
         args.output,
         benchmark="bench_service_throughput",
@@ -293,7 +301,8 @@ def main() -> None:
         ),
         config=config,
         speedup_floor=SPEEDUP_FLOOR,
-        results=rows,
+        **extra,
+        results=rows + fleet_rows,
     )
     print(f"wrote {args.output}")
 

@@ -47,6 +47,25 @@ class ServiceError(ReproError):
     :class:`ReconciliationError` like every other transport."""
 
 
+class SessionRejectedError(ServiceError, ReconciliationError):
+    """Raised when the service *sheds* a session at admission time (a
+    per-client rate limit or the in-flight-session cap), before any protocol
+    work started.
+
+    Subclasses both :class:`ServiceError` (the refusal travelled in a
+    hello/ack control frame) and :class:`ReconciliationError` (the
+    reconciliation did not run), so existing handlers for either taxonomy
+    keep working; ``code`` carries the machine-readable rejection reason
+    (see :mod:`repro.service.admission`).  Unlike other refusals this one is
+    retryable by construction: the same hello may be admitted once load
+    drops or the client's token bucket refills.
+    """
+
+    def __init__(self, message: str, code: str = "rejected") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class CapacityError(ReproError):
     """Raised when a fixed-capacity structure would overflow (e.g. a key wider
     than the IBLT's configured key width)."""

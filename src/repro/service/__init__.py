@@ -21,6 +21,12 @@ Three pillars on top of the protocol-session layer
 See docs/service.md for the architecture and failure model.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    REJECT_AT_CAPACITY,
+    REJECT_RATE_LIMITED,
+)
 from repro.service.client import (
     afetch_stats,
     amutate,
@@ -29,6 +35,14 @@ from repro.service.client import (
     fetch_stats_blocking,
     mutate_server,
     reconcile_with_server,
+)
+from repro.service.dispatch import LeastLoadedDispatcher, owner_of
+from repro.service.fleet import (
+    SyncFleet,
+    WorkerConfig,
+    fleet_supported,
+    install_signal_drain,
+    remove_signal_drain,
 )
 from repro.service.hello import Hello, PeerStats, ShardRequest
 from repro.service.metrics import (
@@ -48,22 +62,33 @@ from repro.service.sharding import (
 from repro.service.transport import AsyncSocketTransport, run_party_async
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "AsyncSocketTransport",
     "Hello",
+    "LeastLoadedDispatcher",
     "PeerStats",
+    "REJECT_AT_CAPACITY",
+    "REJECT_RATE_LIMITED",
     "ServiceMetrics",
     "SessionRecord",
     "ShardPlan",
     "ShardRequest",
+    "SyncFleet",
     "SyncServer",
+    "WorkerConfig",
     "afetch_stats",
     "amutate",
     "areconcile",
     "areconcile_sharded",
     "fetch_stats_blocking",
+    "fleet_supported",
     "format_stats_report",
+    "install_signal_drain",
     "merge_sessions",
     "mutate_server",
+    "owner_of",
+    "remove_signal_drain",
     "reconcile_with_server",
     "reconcile_sharded",
     "run_party_async",

@@ -34,7 +34,9 @@ from repro.core.setsofsets.types import SetOfSets
 from repro.errors import ParameterError, ReproError
 from repro.hashing import derive_seed
 from repro.protocols.options import ReconcileOptions
+from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.client import amutate, areconcile, areconcile_sharded, afetch_stats
+from repro.service.fleet import SyncFleet, install_signal_drain, remove_signal_drain
 from repro.service.metrics import format_stats_report
 from repro.service.server import SyncServer
 from repro.store import SketchStore
@@ -113,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="snapshot dirty datasets every SECONDS in the "
                             "background (requires --store)")
+    serve.add_argument("--workers", type=int, default=1, metavar="W",
+                       help="run a W-worker fleet behind a supervisor "
+                            "(default 1: a single in-process server)")
+    serve.add_argument("--drain-deadline", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM/SIGINT-triggered drains wait "
+                            "for in-flight sessions (default 5)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="admission control: cap concurrently running "
+                            "sessions at N; excess hellos are shed with a "
+                            "coded refusal instead of queueing")
+    serve.add_argument("--client-rate", type=float, default=None, metavar="R",
+                       help="admission control: per-client token-bucket "
+                            "rate of R sessions/second")
+    serve.add_argument("--client-burst", type=float, default=8.0, metavar="B",
+                       help="token-bucket burst size (default 8)")
 
     sync = commands.add_parser("sync", help="reconcile a mutated demo copy")
     _common_arguments(sync)
@@ -145,10 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> None:
+def _demo_datasets(args: argparse.Namespace) -> dict[str, object]:
     demo = demo_set(args.universe, args.size, args.seed)
     demo_sos = demo_set_of_sets(args.universe, args.size, args.seed)
-    datasets = {
+    return {
         "ibf": demo,
         "cpi": demo,
         "iblt_of_iblts": demo_sos,
@@ -156,6 +174,76 @@ async def _serve(args: argparse.Namespace) -> None:
         "cascading": demo_sos,
         "naive": demo_sos,
     }
+
+
+def _admission_from(args: argparse.Namespace) -> AdmissionController | None:
+    policy = AdmissionPolicy(
+        max_inflight=args.max_inflight,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+    )
+    return AdmissionController(policy) if policy.enabled else None
+
+
+async def _run_until_drained(
+    server: "SyncServer | SyncFleet", args: argparse.Namespace
+) -> None:
+    """Serve until SIGTERM/SIGINT (or cancellation), then drain gracefully.
+
+    Shared by the single-server and fleet paths: both expose the same
+    ``serve_forever`` / ``adrain`` surface.
+    """
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = install_signal_drain(loop, stop.set)
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    try:
+        stop_wait = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            stop_wait.cancel()
+        print("draining...", flush=True)
+        summary = await server.adrain(args.drain_deadline)
+        print(
+            f"drained: {summary['drained']} finished, "
+            f"{summary['aborted']} aborted",
+            flush=True,
+        )
+    finally:
+        serve_task.cancel()
+        try:
+            await serve_task
+        except (asyncio.CancelledError, ReproError):
+            pass
+        remove_signal_drain(loop, installed)
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    datasets = _demo_datasets(args)
+    admission = _admission_from(args)
+    extra = f" (store: {args.store})" if args.store else ""
+    if args.workers > 1:
+        async with SyncFleet(
+            datasets,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            store_root=args.store,
+            admission=admission,
+            seed=args.seed,
+            drain_deadline=args.drain_deadline,
+            anti_entropy_interval=args.anti_entropy,
+        ) as fleet:
+            print(
+                f"serving {sorted(datasets)} on {args.host}:{fleet.port} "
+                f"with {args.workers} workers{extra}",
+                flush=True,
+            )
+            await _run_until_drained(fleet, args)
+        return
     store = SketchStore(args.store) if args.store else None
     async with SyncServer(
         datasets,
@@ -163,16 +251,14 @@ async def _serve(args: argparse.Namespace) -> None:
         port=args.port,
         store=store,
         anti_entropy_interval=args.anti_entropy,
+        drain_deadline=args.drain_deadline,
+        admission=admission,
     ) as server:
-        extra = f" (store: {args.store})" if args.store else ""
         print(
             f"serving {sorted(datasets)} on {args.host}:{server.port}{extra}",
             flush=True,
         )
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+        await _run_until_drained(server, args)
 
 
 async def _sync(args: argparse.Namespace) -> int:

@@ -1,0 +1,168 @@
+"""Admission control: decide *before* a session starts whether to run it.
+
+Server-side CPU is a budgeted resource (cf. the seed-search cost accounting
+of Lehmann--Sanders--Walzer in PAPERS.md): a sync service that accepts every
+hello queues unboundedly under overload and serves everyone slowly.  The
+admission layer sheds load instead, with two independent gates checked at
+hello time:
+
+* a **per-client token bucket** -- each client (keyed by peer address)
+  accrues session tokens at ``client_rate`` per second up to ``client_burst``;
+  a hello with no token is shed with :data:`REJECT_RATE_LIMITED`;
+* a **global in-flight cap** -- at most ``max_inflight`` sessions run at
+  once across the server (or fleet supervisor); beyond it hellos are shed
+  with :data:`REJECT_AT_CAPACITY`.
+
+A shed session is refused with a *clean, coded* hello-ack error frame (see
+:func:`repro.service.hello.error_payload`), which clients surface as the
+typed :class:`~repro.errors.SessionRejectedError` -- retryable by
+construction, unlike a negotiation refusal.  Note the gate order: the rate
+check runs first, so a client hammering a saturated server drains its own
+bucket -- per-client fairness is enforced even when the global cap is the
+binding constraint.
+
+Everything here is synchronous and lock-protected: the single-server path
+calls it from one event loop, the fleet supervisor from another process,
+and the token-bucket clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ParameterError
+
+#: Machine-readable rejection codes carried in the coded hello-ack error
+#: frame; clients map them onto :class:`~repro.errors.SessionRejectedError`.
+REJECT_RATE_LIMITED = "rate-limited"
+REJECT_AT_CAPACITY = "at-capacity"
+
+#: Every code the admission layer can emit (the client treats exactly these
+#: as retryable sheds; any other refusal stays a plain ServiceError).
+ADMISSION_CODES = (REJECT_RATE_LIMITED, REJECT_AT_CAPACITY)
+
+#: Human-readable refusal messages per code (sent in the error frame).
+_CODE_MESSAGES = {
+    REJECT_RATE_LIMITED: "client session rate limit exceeded; retry later",
+    REJECT_AT_CAPACITY: "server is at its in-flight session cap; retry later",
+}
+
+
+def rejection_message(code: str) -> str:
+    """The human-readable refusal message for an admission code."""
+    return _CODE_MESSAGES.get(code, "session rejected by admission control")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The knobs of the admission layer (validated, immutable, picklable).
+
+    ``None`` disables a gate: the default policy admits everything, so
+    admission is strictly opt-in.  ``max_tracked_clients`` bounds the
+    token-bucket table (least-recently-seen buckets are evicted; an evicted
+    client re-enters with a full bucket, which errs toward admitting).
+    """
+
+    max_inflight: int | None = None
+    client_rate: float | None = None
+    client_burst: float = 8.0
+    max_tracked_clients: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ParameterError("max_inflight must be >= 1 (or None to disable)")
+        if self.client_rate is not None and self.client_rate <= 0:
+            raise ParameterError("client_rate must be > 0 (or None to disable)")
+        if self.client_burst < 1:
+            raise ParameterError("client_burst must be >= 1")
+        if self.max_tracked_clients < 1:
+            raise ParameterError("max_tracked_clients must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_inflight is not None or self.client_rate is not None
+
+
+class TokenBucket:
+    """One client's session budget: ``rate`` tokens/s, capped at ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float) -> bool:
+        """Refill from elapsed time, then spend one token if available."""
+        elapsed = max(0.0, now - self.stamp)
+        self.stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Thread-safe gatekeeper applying one :class:`AdmissionPolicy`.
+
+    ``try_admit`` either admits (returns ``None`` and counts the session
+    in-flight -- the caller *must* pair it with ``release()``) or sheds
+    (returns the rejection code and counts nothing).
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_admit(self, client: str) -> str | None:
+        """Admit the session (``None``) or shed it (a rejection code)."""
+        policy = self.policy
+        with self._lock:
+            if policy.client_rate is not None:
+                if not self._bucket_for(client).try_take(self._clock()):
+                    return REJECT_RATE_LIMITED
+            if (
+                policy.max_inflight is not None
+                and self._inflight >= policy.max_inflight
+            ):
+                return REJECT_AT_CAPACITY
+            self._inflight += 1
+            return None
+
+    def release(self, count: int = 1) -> None:
+        """Return ``count`` admitted sessions to the in-flight budget."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - count)
+
+    def _bucket_for(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is not None:
+            self._buckets.move_to_end(client)
+            return bucket
+        policy = self.policy
+        assert policy.client_rate is not None  # caller gated on the policy
+        bucket = TokenBucket(policy.client_rate, policy.client_burst, self._clock())
+        self._buckets[client] = bucket
+        while len(self._buckets) > policy.max_tracked_clients:
+            self._buckets.popitem(last=False)
+        return bucket

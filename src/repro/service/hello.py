@@ -29,8 +29,9 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SessionRejectedError
 from repro.protocols.options import ReconcileOptions
+from repro.service.admission import ADMISSION_CODES
 
 #: Control-frame labels of the handshake.
 HELLO_LABEL = "hello"
@@ -227,11 +228,18 @@ def ack_payload(
     ).encode()
 
 
-def error_payload(message: str) -> bytes:
-    """A refusing ``hello-ack`` payload."""
-    return json.dumps(
-        {"ok": False, "version": SERVICE_VERSION, "error": message}
-    ).encode()
+def error_payload(message: str, code: str | None = None) -> bytes:
+    """A refusing ``hello-ack`` payload.
+
+    ``code`` is the optional machine-readable rejection reason (the
+    admission codes of :mod:`repro.service.admission`); clients map coded
+    refusals onto :class:`~repro.errors.SessionRejectedError` and uncoded
+    ones onto plain :class:`~repro.errors.ServiceError`.
+    """
+    body: dict[str, Any] = {"ok": False, "version": SERVICE_VERSION, "error": message}
+    if code is not None:
+        body["code"] = code
+    return json.dumps(body).encode()
 
 
 def mutate_payload(
@@ -316,15 +324,24 @@ def parse_mutate_ack(payload: bytes) -> dict[str, int]:
 
 
 def parse_ack(payload: bytes) -> tuple[ReconcileOptions, PeerStats]:
-    """Parse a ``hello-ack``; raises :class:`ServiceError` on refusal."""
+    """Parse a ``hello-ack``; raises on refusal.
+
+    A refusal carrying an admission code raises the typed (retryable)
+    :class:`~repro.errors.SessionRejectedError`; any other refusal raises
+    a plain :class:`ServiceError`.
+    """
     try:
         body = json.loads(payload.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ServiceError(f"malformed hello-ack payload: {exc}") from exc
     if not body.get("ok"):
-        raise ServiceError(
-            f"server refused the session: {body.get('error', 'unknown error')}"
-        )
+        message = body.get("error", "unknown error")
+        code = body.get("code")
+        if code in ADMISSION_CODES:
+            raise SessionRejectedError(
+                f"server shed the session ({code}): {message}", code
+            )
+        raise ServiceError(f"server refused the session: {message}")
     return (
         options_from_wire(body.get("options") or {}),
         PeerStats.from_wire(body.get("stats")),

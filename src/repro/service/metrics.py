@@ -16,9 +16,10 @@ harness's :func:`~repro.bench.reporting.format_table` for humans.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,10 @@ class ServiceMetrics:
     anti_entropy_cycles: int = 0
     store_dirty_datasets: int = 0
     store_journal_lag: int = 0
+    sessions_shed_rate: int = 0
+    sessions_shed_capacity: int = 0
+    connections_dispatched: int = 0
+    worker_restarts: int = 0
     by_protocol: dict[str, dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -94,6 +99,23 @@ class ServiceMetrics:
     def record_stats_request(self) -> None:
         with self._lock:
             self.stats_requests += 1
+
+    def record_shed(self, code: str) -> None:
+        """Count one admission-control rejection by its code."""
+        with self._lock:
+            if code == "rate-limited":
+                self.sessions_shed_rate += 1
+            else:
+                self.sessions_shed_capacity += 1
+
+    def record_dispatch(self) -> None:
+        """Count one connection handed from the supervisor to a worker."""
+        with self._lock:
+            self.connections_dispatched += 1
+
+    def record_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts += 1
 
     def record_resplit(self, count: int = 1) -> None:
         with self._lock:
@@ -173,6 +195,39 @@ class ServiceMetrics:
                 record.wire_bytes_sent + record.wire_bytes_received
             )
 
+    # -- aggregation across workers -------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent, picklable copy of every counter.
+
+        Taken under the lock, so a snapshot never shows a half-recorded
+        session.  ``merge``-ing per-worker snapshots into a fresh
+        :class:`ServiceMetrics` yields exactly the totals a single shared
+        instance would have accumulated (counters are sums; the staleness
+        gauges sum too, giving the fleet-wide dirty count).
+        """
+        with self._lock:
+            snap: dict[str, Any] = {
+                name: getattr(self, name) for name in MERGEABLE_COUNTERS
+            }
+            snap["by_protocol"] = {
+                name: dict(per) for name, per in self.by_protocol.items()
+            }
+            return snap
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold one :meth:`snapshot` into this instance (addition only)."""
+        with self._lock:
+            for name in MERGEABLE_COUNTERS:
+                setattr(self, name, getattr(self, name) + int(snapshot.get(name, 0)))
+            for proto, per in (snapshot.get("by_protocol") or {}).items():
+                mine = self.by_protocol.setdefault(
+                    proto,
+                    {"served": 0, "failed": 0, "bits_charged": 0, "wire_bytes": 0},
+                )
+                for key, value in per.items():
+                    mine[key] = mine.get(key, 0) + int(value)
+
     # -- reporting ------------------------------------------------------------------
 
     def report(self) -> dict[str, Any]:
@@ -200,6 +255,14 @@ class ServiceMetrics:
                 "shard_resplits": self.shard_resplits,
                 "sessions_drained": self.sessions_drained,
                 "sessions_aborted": self.sessions_aborted,
+                "admission": {
+                    "shed_rate_limited": self.sessions_shed_rate,
+                    "shed_at_capacity": self.sessions_shed_capacity,
+                },
+                "fleet": {
+                    "connections_dispatched": self.connections_dispatched,
+                    "worker_restarts": self.worker_restarts,
+                },
                 "mutations": {
                     "applied": self.mutations_applied,
                     "rejected": self.mutations_rejected,
@@ -226,6 +289,17 @@ class ServiceMetrics:
     def format_report(self, title: str = "service metrics") -> str:
         """Human-readable report (aggregate lines plus a per-protocol table)."""
         return format_stats_report(self.report(), title=title)
+
+
+#: Every plain-int counter field, in declaration order -- the exact set
+#: ``snapshot``/``merge`` carry (``by_protocol`` is handled structurally and
+#: the lock is not state).  Derived from the dataclass fields so a counter
+#: added later cannot silently fall out of fleet aggregation.
+MERGEABLE_COUNTERS: tuple[str, ...] = tuple(
+    f.name
+    for f in dataclasses.fields(ServiceMetrics)
+    if f.name not in ("by_protocol", "_lock")
+)
 
 
 def format_stats_report(report: dict[str, Any], title: str = "service metrics") -> str:
@@ -262,6 +336,18 @@ def format_stats_report(report: dict[str, Any], title: str = "service metrics") 
             f"{mutations['rejected']} rejected "
             f"(+{mutations['keys_inserted']} / -{mutations['keys_deleted']} keys)"
         )
+    admission = report.get("admission", {})
+    if any(admission.values()):
+        lines.append(
+            f"admission: {admission['shed_rate_limited']} shed rate-limited / "
+            f"{admission['shed_at_capacity']} shed at-capacity"
+        )
+    fleet = report.get("fleet", {})
+    if any(fleet.values()):
+        lines.append(
+            f"fleet: {fleet['connections_dispatched']} connections dispatched, "
+            f"{fleet['worker_restarts']} worker restarts"
+        )
     store = report.get("store", {})
     if any(store.values()):
         lines.append(
@@ -275,9 +361,30 @@ def format_stats_report(report: dict[str, Any], title: str = "service metrics") 
             f"{store['dirty_datasets']} dirty "
             f"(journal lag {store['journal_lag']})"
         )
+    rendered = "\n".join(lines) + "\n"
     per_rows = [
         {"protocol": name, **per} for name, per in report["by_protocol"].items()
     ]
-    if not per_rows:
-        return "\n".join(lines) + "\n"
-    return "\n".join(lines) + "\n" + format_table(per_rows, title="per-protocol")
+    if per_rows:
+        rendered += format_table(per_rows, title="per-protocol")
+    workers = report.get("workers") or {}
+    if workers:
+        worker_rows = [
+            {
+                "worker": worker_id,
+                "served": wreport.get("sessions_served", 0),
+                "failed": wreport.get("sessions_failed", 0),
+                "rejected": wreport.get("rejected_hellos", 0),
+                "drained": wreport.get("sessions_drained", 0),
+                "bits_charged": wreport.get("bits_charged_total", 0),
+                "wire_bytes": (
+                    wreport.get("wire_bytes_sent", 0)
+                    + wreport.get("wire_bytes_received", 0)
+                ),
+            }
+            for worker_id, wreport in sorted(
+                workers.items(), key=lambda item: int(item[0])
+            )
+        ]
+        rendered += format_table(worker_rows, title="per-worker")
+    return rendered

@@ -34,9 +34,11 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from typing import Any, Mapping
+import socket as socket_module
+from typing import Any, Callable, Mapping
 
 from repro.errors import ReproError, ServiceError, StoreError
+from repro.service.admission import AdmissionController, rejection_message
 from repro.protocols import registry
 from repro.protocols.options import ReconcileOptions
 from repro.protocols.transports import FRAME_CONTROL, Frame
@@ -58,7 +60,11 @@ from repro.service.hello import (
 )
 from repro.service.metrics import ServiceMetrics, SessionRecord
 from repro.service.sharding import shard_input
-from repro.service.transport import AsyncSocketTransport, run_party_async
+from repro.service.transport import (
+    AsyncSocketTransport,
+    frame_from_bytes,
+    run_party_async,
+)
 from repro.store import AntiEntropyLoop, SketchConfig, SketchStore, StoreView
 from repro.store.parties import stored_ibf_party
 
@@ -103,6 +109,19 @@ class SyncServer:
     drain_deadline:
         How long :meth:`aclose` waits for in-flight sessions before
         cancelling them (see :meth:`adrain`).
+    admission:
+        Optional :class:`~repro.service.admission.AdmissionController`.
+        When present, session hellos beyond the per-client rate or the
+        in-flight cap are shed with a coded hello-ack error frame instead
+        of being served (stats and mutate requests bypass admission).  In
+        a fleet the *supervisor* runs admission; single-server deployments
+        pass a controller here.
+    on_mutation:
+        Optional callback invoked after every applied mutation with
+        ``(dataset_name, inserted_keys, deleted_keys)`` -- *before* the
+        mutate-ack is sent.  Fleet workers use it to report dataset deltas
+        to the supervisor, which keeps the authoritative copies it hands a
+        restarted worker.
     """
 
     def __init__(
@@ -117,6 +136,8 @@ class SyncServer:
         store: SketchStore | None = None,
         anti_entropy_interval: float | None = None,
         drain_deadline: float = 5.0,
+        admission: AdmissionController | None = None,
+        on_mutation: Callable[[str, list[int], list[int]], None] | None = None,
     ) -> None:
         self.datasets = dict(datasets)
         self.host = host
@@ -134,6 +155,8 @@ class SyncServer:
             )
         self.anti_entropy_interval = anti_entropy_interval
         self.drain_deadline = drain_deadline
+        self.admission = admission
+        self.on_mutation = on_mutation
         self._server: asyncio.AbstractServer | None = None
         self._shard_cache: dict[tuple[str, int, int], list[Any]] = {}
         self._sessions: set[asyncio.Task] = set()
@@ -223,12 +246,45 @@ class SyncServer:
         transport = AsyncSocketTransport(
             reader, writer, "bob", strict=self.strict, latency=self.latency
         )
+        await self._serve_connection(transport)
+
+    async def serve_handoff(
+        self, sock: socket_module.socket, initial: bytes = b""
+    ) -> None:
+        """Serve one already-accepted connection (the fleet worker path).
+
+        ``sock`` is a connected socket received from the supervisor via FD
+        passing; ``initial`` holds the raw bytes of the first frame the
+        supervisor already consumed while routing, replayed here so the
+        session transcript is byte-identical to a directly-accepted one.
+        """
+        try:
+            reader, writer = await asyncio.open_connection(sock=sock)
+        except OSError:
+            sock.close()  # peer vanished between accept and handoff
+            return
+        transport = AsyncSocketTransport(
+            reader, writer, "bob", strict=self.strict, latency=self.latency
+        )
+        first_frame = None
+        if initial:
+            transport.bytes_received += len(initial)
+            try:
+                first_frame = frame_from_bytes(initial)
+            except ReproError:
+                await transport.aclose()
+                return  # the supervisor only hands off frames it parsed
+        await self._serve_connection(transport, first_frame)
+
+    async def _serve_connection(
+        self, transport: AsyncSocketTransport, first_frame: Frame | None = None
+    ) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._sessions.add(task)
             task.add_done_callback(self._sessions.discard)
         try:
-            await self._serve_one(transport)
+            await self._serve_one(transport, first_frame)
         except ReproError:
             pass  # recorded where it happened; the connection is done either way
         except asyncio.CancelledError:
@@ -242,8 +298,12 @@ class SyncServer:
         finally:
             await transport.aclose()
 
-    async def _serve_one(self, transport: AsyncSocketTransport) -> None:
-        frame = await transport.receive_frame()
+    async def _serve_one(
+        self, transport: AsyncSocketTransport, first_frame: Frame | None = None
+    ) -> None:
+        frame = (
+            first_frame if first_frame is not None else await transport.receive_frame()
+        )
         if frame.kind == FRAME_CONTROL and frame.label == MUTATE_LABEL:
             await self._handle_mutate(transport, frame)
             return
@@ -265,6 +325,24 @@ class SyncServer:
             )
             return
 
+        if self.admission is not None:
+            peer = transport.writer.get_extra_info("peername")
+            client = peer[0] if isinstance(peer, tuple) else str(peer or "unknown")
+            code = self.admission.try_admit(client)
+            if code is not None:
+                self.metrics.record_shed(code)
+                await self._refuse(transport, rejection_message(code), code=code)
+                return
+            try:
+                await self._serve_session(transport, hello)
+            finally:
+                self.admission.release()
+            return
+        await self._serve_session(transport, hello)
+
+    async def _serve_session(
+        self, transport: AsyncSocketTransport, hello: Hello
+    ) -> None:
         self.metrics.record_start()
         try:
             spec, dataset, options = self._negotiate(hello)
@@ -378,6 +456,8 @@ class SyncServer:
             )
             return
         self.metrics.record_mutation(len(eff_ins), len(eff_del))
+        if self.on_mutation is not None:
+            self.on_mutation(name, eff_ins, eff_del)
         await transport.send_frame(
             FRAME_CONTROL,
             MUTATE_ACK_LABEL,
@@ -444,10 +524,12 @@ class SyncServer:
             self._shard_cache[key] = partitioned
         return partitioned[shard.index]
 
-    async def _refuse(self, transport: AsyncSocketTransport, message: str) -> None:
+    async def _refuse(
+        self, transport: AsyncSocketTransport, message: str, code: str | None = None
+    ) -> None:
         try:
             await transport.send_frame(
-                FRAME_CONTROL, ACK_LABEL, payload=error_payload(message)
+                FRAME_CONTROL, ACK_LABEL, payload=error_payload(message, code)
             )
         except ReproError:
             pass  # client already gone

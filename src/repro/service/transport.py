@@ -49,6 +49,30 @@ from repro.protocols.transports import (
 from repro.protocols.wire import WireError
 
 
+def frame_from_bytes(data: bytes) -> Frame:
+    """Parse one *complete* frame from raw bytes (header plus exact body).
+
+    The fleet supervisor reads a connection's first frame with raw socket
+    recvs before handing the descriptor to a worker; the worker rebuilds
+    the frame from those bytes with this helper, so the handed-off stream
+    starts exactly where the supervisor stopped reading.
+    """
+    if len(data) < FRAME_HEADER.size:
+        raise ReconciliationError(
+            f"truncated frame: {len(data)} bytes is shorter than the header"
+        )
+    kind, sender_len, label_len, size_bits, payload_len = parse_frame_header(
+        data[: FRAME_HEADER.size]
+    )
+    body = data[FRAME_HEADER.size :]
+    expected = sender_len + label_len + payload_len
+    if len(body) != expected:
+        raise ReconciliationError(
+            f"frame body is {len(body)} bytes; the header promised {expected}"
+        )
+    return assemble_frame(kind, sender_len, label_len, size_bits, body)
+
+
 class AsyncSocketTransport:
     """One endpoint of a protocol session over an asyncio stream pair.
 

@@ -97,7 +97,7 @@ class TestBenchmarkTrajectory:
             # (e.g. peel_speedup vs peel_speedup_floor at n=1e7, gcd's
             # speedup vs gcd_speedup_floor at d=1e4).
             for row in record.get("results", []):
-                for metric in ("peel_speedup", "gcd_speedup"):
+                for metric in ("peel_speedup", "gcd_speedup", "fleet_speedup"):
                     floor = row.get(f"{metric}_floor", record.get(f"{metric}_floor"))
                     if floor is None or metric not in row:
                         continue

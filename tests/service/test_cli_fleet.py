@@ -1,0 +1,106 @@
+"""The ``serve --workers N`` CLI path, run as a real subprocess: the
+README quickstart must start a fleet, serve syncs, render fleet-wide
+stats, and drain gracefully on SIGTERM."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import fleet_supported
+from repro.service.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SIZE = 256
+
+needs_fleet = pytest.mark.skipif(
+    not fleet_supported(), reason="fleet needs POSIX descriptor passing"
+)
+
+
+def run_cli(*argv, capsys=None):
+    return main([str(arg) for arg in argv])
+
+
+@needs_fleet
+@pytest.mark.timeout(180)
+def test_serve_workers_quickstart_round_trip(capsys):
+    """The README example, end to end: ``serve --workers 2``, a client
+    sync, fleet stats with the per-worker table, SIGTERM -> drained exit."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--workers", "2", "--port", "0", "--size", str(SIZE),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) with 2 workers", line)
+        assert match, f"unexpected serve banner: {line!r}"
+        port = int(match.group(1))
+
+        code = run_cli(
+            "sync", "--port", port, "--size", SIZE,
+            "--protocol", "ibf", "--mutations", "8", "--difference-bound", "16",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconciled" in out and "recovered the server dataset: yes" in out
+
+        assert run_cli("stats", "--port", port) == 0
+        out = capsys.readouterr().out
+        assert "service metrics: 1 served / 0 failed" in out
+        assert "per-worker" in out  # the fleet breakdown table
+        assert re.search(r"^\s*0\s", out, re.M) and re.search(r"^\s*1\s", out, re.M)
+
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, stdout
+        assert "draining..." in stdout
+        assert re.search(r"drained: \d+ finished, \d+ aborted", stdout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
+
+
+@needs_fleet
+@pytest.mark.timeout(120)
+def test_serve_single_worker_sigterm_drains_too():
+    """The same drain path guards the plain single-server CLI."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--port", "0", "--size", str(SIZE), "--drain-deadline", "10",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert re.search(r"on 127\.0\.0\.1:\d+", line), line
+        time.sleep(0.2)
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, stdout
+        assert "draining..." in stdout
+        assert "drained: 0 finished, 0 aborted" in stdout
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
