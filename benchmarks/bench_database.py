@@ -6,10 +6,18 @@ benchmark measures communication against shipping the whole table and
 compares the naive and cascading protocols.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.db import reconcile_tables
 from repro.workloads import flipped_table_pair
 
@@ -17,6 +25,28 @@ NUM_ROWS = 96
 NUM_COLUMNS = 128
 DENSITY = 0.5
 NUM_FLIPS = 8
+FLIP_COUNTS = (4, 8, 16)
+TITLE = "E12: binary database reconciliation"
+
+
+def sweep(seed=0):
+    rows = []
+    for flips in FLIP_COUNTS:
+        alice, bob, _ = flipped_table_pair(
+            NUM_ROWS, NUM_COLUMNS, DENSITY, flips, seed=seed + flips, max_rows_touched=flips // 2
+        )
+        naive = reconcile_tables(alice, bob, flips + 2, 11, protocol="naive")
+        cascading = reconcile_tables(alice, bob, flips + 2, 11, protocol="cascading")
+        rows.append(
+            {
+                "flipped bits": flips,
+                "naive bits": naive.total_bits,
+                "cascading bits": cascading.total_bits,
+                "full table bits": NUM_ROWS * NUM_COLUMNS,
+                "both ok": naive.success and cascading.success,
+            }
+        )
+    return rows
 
 
 @pytest.mark.parametrize("protocol", ["naive", "cascading"])
@@ -31,28 +61,35 @@ def test_database_reconciliation(benchmark, protocol):
 
 
 def test_database_report(benchmark):
-    def sweep():
-        rows = []
-        for flips in (4, 8, 16):
-            alice, bob, _ = flipped_table_pair(
-                NUM_ROWS, NUM_COLUMNS, DENSITY, flips, seed=flips, max_rows_touched=flips // 2
-            )
-            naive = reconcile_tables(alice, bob, flips + 2, 11, protocol="naive")
-            cascading = reconcile_tables(alice, bob, flips + 2, 11, protocol="cascading")
-            rows.append(
-                {
-                    "flipped bits": flips,
-                    "naive bits": naive.total_bits,
-                    "cascading bits": cascading.total_bits,
-                    "full table bits": NUM_ROWS * NUM_COLUMNS,
-                    "both ok": naive.success and cascading.success,
-                }
-            )
-        return rows
-
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E12: binary database reconciliation"))
+    print(format_table(rows, TITLE))
     assert all(row["both ok"] for row in rows)
     # Reconciling a handful of flipped bits must beat shipping the table.
     assert rows[0]["naive bits"] < rows[0]["full table bits"]
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_database",
+            description="Binary relational table reconciliation (naive and "
+            "cascading) vs shipping the whole table, as flipped bits grow",
+            config=benchmark_config(
+                args.seed,
+                num_rows=NUM_ROWS,
+                num_columns=NUM_COLUMNS,
+                density=DENSITY,
+                flip_counts=list(FLIP_COUNTS),
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,14 +6,23 @@ measures the cost of reconciling the signature sets against shipping every
 signature, and checks the near/fresh classification.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.core.setsofsets import reconcile_multiround
 from repro.documents import DocumentCollection, classify_documents, reconcile_collections
 from repro.workloads import edited_corpus_pair
 
 NUM_DOCS = 120
 SIGNATURE_SIZE = 32
+TITLE = "E13: document collection reconciliation"
 
 
 def _collections(seed=1):
@@ -37,39 +46,63 @@ def test_collection_reconciliation(benchmark):
     assert result.success and result.recovered == alice.to_sets_of_sets()
 
 
-def test_document_report(benchmark):
-    def run():
-        alice, bob = _collections(seed=2)
-        classification = classify_documents(alice, bob)
+def report_rows(seed=2):
+    alice, bob = _collections(seed=seed)
+    classification = classify_documents(alice, bob)
 
-        def multiround_adapter(alice_sets, bob_sets, bound, universe, seed, **kwargs):
-            # The multi-round protocol sizes each per-document payload from an
-            # estimated difference, which is what makes reconciliation cheaper
-            # than shipping every signature in this mostly-identical corpus.
-            return reconcile_multiround(
-                alice_sets, bob_sets, bound, universe, SIGNATURE_SIZE, seed, **kwargs
-            )
-
-        result = reconcile_collections(
-            alice, bob, 2 * SIGNATURE_SIZE, 9,
-            protocol=multiround_adapter, differing_children_bound=12,
+    def multiround_adapter(alice_sets, bob_sets, bound, universe, seed, **kwargs):
+        # The multi-round protocol sizes each per-document payload from an
+        # estimated difference, which is what makes reconciliation cheaper
+        # than shipping every signature in this mostly-identical corpus.
+        return reconcile_multiround(
+            alice_sets, bob_sets, bound, universe, SIGNATURE_SIZE, seed, **kwargs
         )
-        explicit = sum(len(sig) for sig in alice.signatures) * alice.hash_bits
-        return [
-            {
-                "documents": NUM_DOCS,
-                "exact dup": len(classification.exact_duplicates),
-                "near dup": len(classification.near_duplicates),
-                "fresh": len(classification.fresh),
-                "reconciliation bits": result.total_bits,
-                "explicit signature bits": explicit,
-                "ok": result.success,
-            }
-        ]
 
-    rows = run_once(benchmark, run)
+    result = reconcile_collections(
+        alice, bob, 2 * SIGNATURE_SIZE, seed + 7,
+        protocol=multiround_adapter, differing_children_bound=12,
+    )
+    explicit = sum(len(sig) for sig in alice.signatures) * alice.hash_bits
+    return [
+        {
+            "documents": NUM_DOCS,
+            "exact dup": len(classification.exact_duplicates),
+            "near dup": len(classification.near_duplicates),
+            "fresh": len(classification.fresh),
+            "reconciliation bits": result.total_bits,
+            "explicit signature bits": explicit,
+            "ok": result.success,
+        }
+    ]
+
+
+def test_document_report(benchmark):
+    rows = run_once(benchmark, report_rows)
     print()
-    print(format_table(rows, "E13: document collection reconciliation"))
+    print(format_table(rows, TITLE))
     assert rows[0]["ok"]
     assert rows[0]["near dup"] == 3 and rows[0]["fresh"] == 2
     assert rows[0]["reconciliation bits"] < rows[0]["explicit signature bits"]
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = report_rows(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_documents",
+            description="Shingled document collections: reconciling the "
+            "signature sets vs shipping every signature, plus the "
+            "near-duplicate / fresh classification",
+            config=benchmark_config(
+                args.seed, num_docs=NUM_DOCS, signature_size=SIGNATURE_SIZE
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,22 @@ estimate to true difference) and sketch size for both estimators.
 """
 
 import random
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
 
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.estimator import L0Estimator, StrataEstimator
+
+TRUE_DIFFERENCES = (16, 128, 1024)
+TITLE = "E5: set-difference estimators (accuracy and size)"
 
 
 def _merged(factory, true_difference, seed):
@@ -34,28 +44,49 @@ def test_estimator_build_and_query(benchmark, factory):
     assert 256 / 8 <= estimate <= 256 * 8
 
 
-def test_estimator_accuracy_and_size_report(benchmark):
-    def sweep():
-        rows = []
-        for true_d in (16, 128, 1024):
-            l0 = _merged(L0Estimator, true_d, seed=true_d)
-            strata = _merged(StrataEstimator, true_d, seed=true_d)
-            rows.append(
-                {
-                    "true d": true_d,
-                    "l0 estimate": l0.query(),
-                    "strata estimate": strata.query(),
-                    "l0 bits": l0.size_bits,
-                    "strata bits": strata.size_bits,
-                }
-            )
-        return rows
+def sweep(seed=0):
+    rows = []
+    for true_d in TRUE_DIFFERENCES:
+        l0 = _merged(L0Estimator, true_d, seed=seed + true_d)
+        strata = _merged(StrataEstimator, true_d, seed=seed + true_d)
+        rows.append(
+            {
+                "true d": true_d,
+                "l0 estimate": l0.query(),
+                "strata estimate": strata.query(),
+                "l0 bits": l0.size_bits,
+                "strata bits": strata.size_bits,
+            }
+        )
+    return rows
 
+
+def test_estimator_accuracy_and_size_report(benchmark):
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E5: set-difference estimators (accuracy and size)"))
+    print(format_table(rows, TITLE))
     for row in rows:
         assert row["true d"] / 8 <= row["l0 estimate"] <= row["true d"] * 8
         assert row["true d"] / 8 <= row["strata estimate"] <= row["true d"] * 8
         # The headline claim: the paper's estimator is much smaller.
         assert row["l0 bits"] * 10 < row["strata bits"]
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_estimators",
+            description="L0-sketch vs strata set-difference estimators: "
+            "estimate accuracy and sketch size across true differences",
+            config=benchmark_config(args.seed, true_differences=list(TRUE_DIFFERENCES)),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

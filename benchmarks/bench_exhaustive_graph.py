@@ -6,16 +6,28 @@ Communication is minuscule; computation explodes (Bob enumerates O(n^{2d})
 graphs), which is exactly why Section 5 exists.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.graphs import (
     Graph,
     are_isomorphic_small,
     isomorphism_fingerprint_protocol,
     reconcile_exhaustive,
 )
+
+NUM_VERTICES = 6
+DIFFERENCES = (0, 1, 2)
+TITLE = "E11: exhaustive reconciliation, bits vs the d log n bound"
 
 
 def _path(n):
@@ -43,28 +55,51 @@ def test_exhaustive_reconciliation(benchmark, difference):
     assert are_isomorphic_small(result.recovered, alice)
 
 
-def test_communication_vs_lower_bound(benchmark):
-    def sweep():
-        rows = []
-        alice = _path(6)
-        for difference in (0, 1, 2):
-            bob = _path(6)
-            result = reconcile_exhaustive(alice, bob, difference, seed=difference)
-            lower_bound = max(1, difference) * 6 .bit_length()
-            rows.append(
-                {
-                    "d": difference,
-                    "bits": result.total_bits,
-                    "~d log n lower bound": lower_bound,
-                    "success": result.success,
-                }
-            )
-        return rows
+def sweep(seed=0):
+    rows = []
+    alice = _path(NUM_VERTICES)
+    for difference in DIFFERENCES:
+        bob = _path(NUM_VERTICES)
+        result = reconcile_exhaustive(alice, bob, difference, seed=seed + difference)
+        lower_bound = max(1, difference) * NUM_VERTICES.bit_length()
+        rows.append(
+            {
+                "d": difference,
+                "bits": result.total_bits,
+                "~d log n lower bound": lower_bound,
+                "success": result.success,
+            }
+        )
+    return rows
 
+
+def test_communication_vs_lower_bound(benchmark):
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E11: exhaustive reconciliation, bits vs the d log n bound"))
+    print(format_table(rows, TITLE))
     assert all(row["success"] for row in rows)
     # Communication grows with d (Theorem 4.3/4.4 shape) and stays tiny.
     assert rows[-1]["bits"] >= rows[0]["bits"]
     assert rows[-1]["bits"] < 200
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_exhaustive_graph",
+            description="Unbounded-computation graph reconciliation on a "
+            "6-vertex path: total bits against the d log n lower bound",
+            config=benchmark_config(
+                args.seed, num_vertices=NUM_VERTICES, differences=list(DIFFERENCES)
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,13 +7,37 @@ non-isomorphic way.  The benchmark verifies both facts by exhaustive search
 over the one-edge extensions and times the canonical-form machinery used.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 from conftest import run_once
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.graphs.isomorphism import (
     canonical_form_small,
     figure1_graphs,
     merge_ambiguity_classes,
     single_sided_merge_possible,
 )
+
+TITLE = "E2: Figure 1 merge ambiguity (exhaustive one-edge extensions)"
+
+
+def report_rows():
+    """The Figure 1 pair is a fixed construction, so this takes no seed."""
+    first, second = figure1_graphs()
+    classes = merge_ambiguity_classes(first, second)
+    return [
+        {
+            "vertices": first.num_vertices,
+            "merge classes": len(classes),
+            "single-sided merge possible": single_sided_merge_possible(first, second),
+        }
+    ]
 
 
 def test_figure1_merge_ambiguity(benchmark):
@@ -31,3 +55,25 @@ def test_canonical_form_small_graph(benchmark):
     first, _ = figure1_graphs()
     form = benchmark(canonical_form_small, first)
     assert len(form) == 5 * 4 // 2
+
+
+def main() -> None:
+    args = benchmark_parser(
+        TITLE + " -- the construction is fixed, so --seed is accepted but unused"
+    ).parse_args()
+    rows = report_rows()
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_figure1_union_ambiguity",
+            description="Figure 1: exhaustive search over one-edge extensions "
+            "showing the unlabeled-graph union is not well defined",
+            config=benchmark_config(args.seed),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

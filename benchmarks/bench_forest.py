@@ -7,12 +7,23 @@ on the forest size, so it stays flat as n grows while explicit transfer grows
 linearly.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.graphs import forest_canonical_form, reconcile_forest
 from repro.workloads import forest_instance
+
+FOREST_SIZES = (100, 200, 400)
+TITLE = "E10: forest reconciliation, bits vs n (d and depth fixed)"
 
 
 @pytest.mark.parametrize("num_vertices", [100, 400])
@@ -31,28 +42,29 @@ def test_forest_reconciliation(benchmark, num_vertices):
     assert forest_canonical_form(result.recovered) == forest_canonical_form(instance.alice)
 
 
-def test_forest_bits_independent_of_size(benchmark):
-    def sweep():
-        rows = []
-        for num_vertices in (100, 200, 400):
-            instance = forest_instance(num_vertices, 3, seed=num_vertices + 1, max_depth=4)
-            result = reconcile_forest(
-                instance.alice, instance.bob, max(1, instance.num_edits),
-                instance.max_depth, seed=8,
-            )
-            rows.append(
-                {
-                    "n": num_vertices,
-                    "bits": result.total_bits,
-                    "explicit parent-array bits": num_vertices * num_vertices.bit_length(),
-                    "success": result.success,
-                }
-            )
-        return rows
+def sweep(seed=0):
+    rows = []
+    for num_vertices in FOREST_SIZES:
+        instance = forest_instance(num_vertices, 3, seed=seed + num_vertices + 1, max_depth=4)
+        result = reconcile_forest(
+            instance.alice, instance.bob, max(1, instance.num_edits),
+            instance.max_depth, seed=seed + 8,
+        )
+        rows.append(
+            {
+                "n": num_vertices,
+                "bits": result.total_bits,
+                "explicit parent-array bits": num_vertices * num_vertices.bit_length(),
+                "success": result.success,
+            }
+        )
+    return rows
 
+
+def test_forest_bits_independent_of_size(benchmark):
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E10: forest reconciliation, bits vs n (d and depth fixed)"))
+    print(format_table(rows, TITLE))
     assert all(row["success"] for row in rows)
     # Communication is governed by d * sigma, not by the forest size: growing
     # n by 4x must grow the cost sublinearly (the residual growth comes from
@@ -61,3 +73,23 @@ def test_forest_bits_independent_of_size(benchmark):
     size_growth = rows[-1]["n"] / rows[0]["n"]
     bits_growth = rows[-1]["bits"] / rows[0]["bits"]
     assert bits_growth < size_growth
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_forest",
+            description="Rooted-forest reconciliation: total bits vs forest "
+            "size with the edit count and depth held fixed",
+            config=benchmark_config(args.seed, forest_sizes=list(FOREST_SIZES)),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,14 +8,24 @@ being independent of |S|.
 """
 
 import random
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
 
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.core.setrecon import reconcile_known_d
 
 UNIVERSE = 1 << 30
+SET_SIZE = 4000
+DIFFERENCES = (8, 32, 128, 512)
+TITLE = "E3: IBLT set reconciliation, bits vs d (O(d log u))"
 
 
 def _instance(size, difference, seed):
@@ -38,27 +48,50 @@ def test_iblt_reconciliation_scaling(benchmark, difference):
     assert result.success and result.recovered == alice
 
 
-def test_iblt_communication_linear_in_d(benchmark):
-    def sweep():
-        rows = []
-        for difference in (8, 32, 128, 512):
-            alice, bob = _instance(4000, difference, seed=difference)
-            result = reconcile_known_d(alice, bob, difference, UNIVERSE, seed=1)
-            rows.append(
-                {
-                    "d": difference,
-                    "bits": result.total_bits,
-                    "bits/d": round(result.total_bits / difference, 1),
-                    "success": result.success,
-                }
-            )
-        return rows
+def sweep(seed=0):
+    rows = []
+    for difference in DIFFERENCES:
+        alice, bob = _instance(SET_SIZE, difference, seed=seed + difference)
+        result = reconcile_known_d(alice, bob, difference, UNIVERSE, seed=seed + 1)
+        rows.append(
+            {
+                "d": difference,
+                "bits": result.total_bits,
+                "bits/d": round(result.total_bits / difference, 1),
+                "success": result.success,
+            }
+        )
+    return rows
 
+
+def test_iblt_communication_linear_in_d(benchmark):
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E3: IBLT set reconciliation, bits vs d (O(d log u))"))
+    print(format_table(rows, TITLE))
     assert all(row["success"] for row in rows)
     # Linear scaling: bits-per-difference stays within a 3x band across a 64x
     # range of d (small-table slack inflates the smallest configuration).
     ratios = [row["bits/d"] for row in rows]
     assert max(ratios) / min(ratios) < 3.0
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_iblt_setrecon",
+            description="One-round IBLT set reconciliation: total bits grow "
+            "linearly in the difference d, independent of the set size",
+            config=benchmark_config(
+                args.seed, universe=UNIVERSE, set_size=SET_SIZE, differences=list(DIFFERENCES)
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

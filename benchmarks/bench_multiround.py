@@ -7,8 +7,16 @@ per-child differences, with the characteristic-polynomial path handling the
 very small ones.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.core.setsofsets import (
     reconcile_iblt_of_iblts,
     reconcile_multiround,
@@ -18,6 +26,8 @@ from repro.workloads import table1_instance
 
 UNIVERSE = 2048
 NUM_CHILDREN = 64
+DIFFERENCES = (4, 8, 16)
+TITLE = "E7: multi-round protocol vs one-round flat protocol"
 
 
 def test_multiround_known_d(benchmark):
@@ -49,38 +59,64 @@ def test_multiround_unknown_d(benchmark):
     assert result.success and result.num_rounds == 4
 
 
-def test_multiround_report(benchmark):
-    def sweep():
-        rows = []
-        for difference in (4, 8, 16):
-            instance = table1_instance(
-                UNIVERSE, NUM_CHILDREN, difference, seed=difference,
-                max_children_touched=max(1, difference // 2),
-            )
-            known = reconcile_multiround(
-                instance.alice, instance.bob, instance.planted_difference,
-                UNIVERSE, instance.max_child_size, seed=3,
-            )
-            unknown = reconcile_multiround_unknown(
-                instance.alice, instance.bob, UNIVERSE, instance.max_child_size, seed=3
-            )
-            flat = reconcile_iblt_of_iblts(
-                instance.alice, instance.bob, instance.planted_difference, UNIVERSE, seed=3
-            )
-            rows.append(
-                {
-                    "d": difference,
-                    "known bits (3 rounds)": known.total_bits,
-                    "unknown bits (4 rounds)": unknown.total_bits,
-                    "one-round flat bits": flat.total_bits,
-                    "all ok": known.success and unknown.success and flat.success,
-                }
-            )
-        return rows
+def sweep(seed=0):
+    rows = []
+    for difference in DIFFERENCES:
+        instance = table1_instance(
+            UNIVERSE, NUM_CHILDREN, difference, seed=seed + difference,
+            max_children_touched=max(1, difference // 2),
+        )
+        known = reconcile_multiround(
+            instance.alice, instance.bob, instance.planted_difference,
+            UNIVERSE, instance.max_child_size, seed=seed + 3,
+        )
+        unknown = reconcile_multiround_unknown(
+            instance.alice, instance.bob, UNIVERSE, instance.max_child_size, seed=seed + 3
+        )
+        flat = reconcile_iblt_of_iblts(
+            instance.alice, instance.bob, instance.planted_difference, UNIVERSE, seed=seed + 3
+        )
+        rows.append(
+            {
+                "d": difference,
+                "known bits (3 rounds)": known.total_bits,
+                "unknown bits (4 rounds)": unknown.total_bits,
+                "one-round flat bits": flat.total_bits,
+                "all ok": known.success and unknown.success and flat.success,
+            }
+        )
+    return rows
 
+
+def test_multiround_report(benchmark):
     rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E7: multi-round protocol vs one-round flat protocol"))
+    print(format_table(rows, TITLE))
     assert all(row["all ok"] for row in rows)
     # The extra rounds buy strictly less communication than the flat protocol.
     assert all(row["known bits (3 rounds)"] < row["one-round flat bits"] for row in rows)
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_multiround",
+            description="Multi-round protocol (known and unknown d) vs the "
+            "one-round flat IBLT-of-IBLTs protocol across differences",
+            config=benchmark_config(
+                args.seed,
+                universe=UNIVERSE,
+                num_children=NUM_CHILDREN,
+                differences=list(DIFFERENCES),
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

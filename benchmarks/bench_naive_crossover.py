@@ -6,30 +6,40 @@ tiny, hopeless when children are dense (h = Theta(u)).  The benchmark sweeps
 the child size and shows the crossover.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.core.setsofsets import reconcile_multiround, reconcile_naive
 from repro.workloads import sets_of_sets_instance
 
 UNIVERSE = 1024
 NUM_CHILDREN = 48
 NUM_CHANGES = 6
+CHILD_SIZES = (4, 32, 256, 512)
+TITLE = "E14: naive vs structured protocols across child sizes"
 
 
-def _sweep():
+def sweep(seed=0):
     rows = []
-    for child_size in (4, 32, 256, 512):
+    for child_size in CHILD_SIZES:
         instance = sets_of_sets_instance(
             NUM_CHILDREN, child_size, UNIVERSE, NUM_CHANGES,
-            seed=child_size, max_children_touched=3,
+            seed=seed + child_size, max_children_touched=3,
         )
         naive = reconcile_naive(
             instance.alice, instance.bob, 2 * instance.differing_children,
-            UNIVERSE, instance.max_child_size, seed=5,
+            UNIVERSE, instance.max_child_size, seed=seed + 5,
         )
         structured = reconcile_multiround(
             instance.alice, instance.bob, instance.planted_difference,
-            UNIVERSE, instance.max_child_size, seed=5,
+            UNIVERSE, instance.max_child_size, seed=seed + 5,
         )
         rows.append(
             {
@@ -44,10 +54,36 @@ def _sweep():
 
 
 def test_naive_vs_structured_crossover(benchmark):
-    rows = run_once(benchmark, _sweep)
+    rows = run_once(benchmark, sweep)
     print()
-    print(format_table(rows, "E14: naive vs structured protocols across child sizes"))
+    print(format_table(rows, TITLE))
     assert all(row["both ok"] for row in rows)
     # Small children: naive wins.  Dense children (h = Theta(u)): structured wins.
     assert rows[0]["winner"] == "naive"
     assert rows[-1]["winner"] == "structured"
+
+
+def main() -> None:
+    args = benchmark_parser(TITLE).parse_args()
+    rows = sweep(args.seed)
+    print(format_table(rows, TITLE))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_naive_crossover",
+            description="Naive vs multi-round protocols as the child size "
+            "grows: the crossover between tiny and dense children",
+            config=benchmark_config(
+                args.seed,
+                universe=UNIVERSE,
+                num_children=NUM_CHILDREN,
+                num_changes=NUM_CHANGES,
+                child_sizes=list(CHILD_SIZES),
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

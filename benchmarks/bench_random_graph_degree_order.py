@@ -12,8 +12,16 @@ documented in DESIGN.md; part (a) reports the separation trend on vanilla
 graphs.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.graphs import is_degree_separated, reconcile_degree_order
 from repro.graphs.random_graphs import (
     gnp_random_graph,
@@ -21,24 +29,50 @@ from repro.graphs.random_graphs import (
     reconciliation_pair,
 )
 
+SEPARATION_CONFIGS = ((100, 0.2), (100, 0.5), (300, 0.5))
+RECON_N, RECON_P, RECON_D, RECON_H = 400, 0.5, 2, 40
+TITLE_A = "E8a: (h=3, d+1, 2d+1)-separation of vanilla G(n,p)"
+TITLE_B = "E8b: degree-ordering reconciliation (planted separation)"
+
+
+def separation_sweep(seed=0):
+    rows = []
+    for n, p in SEPARATION_CONFIGS:
+        for d in (1, 3):
+            separated = sum(
+                is_degree_separated(gnp_random_graph(n, p, seed + offset), 3, d + 1, 2 * d + 1)
+                for offset in range(5)
+            )
+            rows.append({"n": n, "p": p, "d": d, "separated/5": separated})
+    return rows
+
+
+def reconciliation_rows(seed=0):
+    n, p, d, h = RECON_N, RECON_P, RECON_D, RECON_H
+    rows = []
+    successes = 0
+    for offset in range(3):
+        base = planted_separated_graph(n, p, h, degree_gap=d + 1, seed=seed + offset + 40)
+        pair = reconciliation_pair(n, p, d, seed=seed + offset + 140, base=base)
+        result = reconcile_degree_order(pair.alice, pair.bob, d, h, seed=seed + offset)
+        successes += bool(result.success)
+        rows.append(
+            {
+                "seed": seed + offset,
+                "success": result.success,
+                "bits": result.total_bits,
+                "rounds": result.num_rounds,
+                "adjacency-matrix bits": n * (n - 1) // 2,
+            }
+        )
+    return rows, successes
+
 
 def test_separation_probability_trend(benchmark):
     """Theorem 5.3 shape: separation improves with p and n, degrades with d."""
-
-    def sweep():
-        rows = []
-        for n, p in ((100, 0.2), (100, 0.5), (300, 0.5)):
-            for d in (1, 3):
-                separated = sum(
-                    is_degree_separated(gnp_random_graph(n, p, seed), 3, d + 1, 2 * d + 1)
-                    for seed in range(5)
-                )
-                rows.append({"n": n, "p": p, "d": d, "separated/5": separated})
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = run_once(benchmark, separation_sweep)
     print()
-    print(format_table(rows, "E8a: (h=3, d+1, 2d+1)-separation of vanilla G(n,p)"))
+    print(format_table(rows, TITLE_A))
     # Denser/larger graphs are never less separated than sparse/small ones
     # for the same d (the asymptotic trend of Theorem 5.3).
     for d in (1, 3):
@@ -48,33 +82,41 @@ def test_separation_probability_trend(benchmark):
 
 def test_degree_order_reconciliation(benchmark):
     """Theorem 5.2 on planted-separation instances: success and communication."""
-    n, p, d, h = 400, 0.5, 2, 40
-
-    def run():
-        rows = []
-        successes = 0
-        for seed in range(3):
-            base = planted_separated_graph(n, p, h, degree_gap=d + 1, seed=seed + 40)
-            pair = reconciliation_pair(n, p, d, seed=seed + 140, base=base)
-            result = reconcile_degree_order(pair.alice, pair.bob, d, h, seed=seed)
-            successes += bool(result.success)
-            rows.append(
-                {
-                    "seed": seed,
-                    "success": result.success,
-                    "bits": result.total_bits,
-                    "rounds": result.num_rounds,
-                    "adjacency-matrix bits": n * (n - 1) // 2,
-                }
-            )
-        return rows, successes
-
-    rows, successes = run_once(benchmark, run)
+    rows, successes = run_once(benchmark, reconciliation_rows)
     print()
-    print(format_table(rows, "E8b: degree-ordering reconciliation (planted separation)"))
+    print(format_table(rows, TITLE_B))
     # Theorem 5.2 promises success probability >= 2/3; require it empirically.
     assert successes >= 2
     for row in rows:
         if row["success"]:
             assert row["rounds"] == 1
             assert row["bits"] < row["adjacency-matrix bits"] / 4
+
+
+def main() -> None:
+    args = benchmark_parser(
+        "E8: degree-ordering separation and reconciliation of G(n,p)"
+    ).parse_args()
+    separation = separation_sweep(args.seed)
+    print(format_table(separation, TITLE_A))
+    rows, successes = reconciliation_rows(args.seed)
+    print(format_table(rows, TITLE_B))
+    print(f"successes: {successes}/3")
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_random_graph_degree_order",
+            description="Degree-ordering separation trend on vanilla G(n,p) "
+            "and reconciliation on planted-separation instances",
+            config=benchmark_config(
+                args.seed,
+                separation_configs=[list(config) for config in SEPARATION_CONFIGS],
+                reconciliation=[RECON_N, RECON_P, RECON_D, RECON_H],
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,18 @@ protocol is the cheapest but needs 3 rounds, and the one-round protocols get
 progressively cheaper as more structure is exploited.
 """
 
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone execution
+    sys.path.insert(0, str(_SRC))
+
 import pytest
 
 from conftest import run_once
-from repro.bench.reporting import format_table
+from repro.bench.cli import benchmark_config, benchmark_parser
+from repro.bench.reporting import format_table, write_benchmark_record
 from repro.bench.runner import summarize
 from repro.bench.table1 import Table1Config, run_table1
 from repro.core.setsofsets import (
@@ -112,3 +120,40 @@ def test_multiround_protocol(benchmark, instance):
         CONFIG.seed,
     )
     assert result.success
+
+
+def main() -> None:
+    args = benchmark_parser(
+        "E1: the four SSRK protocols in the dense binary-database regime"
+    ).parse_args()
+    config = Table1Config(
+        universe_size=CONFIG.universe_size,
+        num_children=CONFIG.num_children,
+        num_changes=CONFIG.num_changes,
+        children_touched=CONFIG.children_touched,
+        repeats=CONFIG.repeats,
+        seed=args.seed,
+    )
+    rows = summarize(run_table1(config))
+    print(format_table(rows, "Table 1 (empirical, dense regime)"))
+    if args.output is not None:
+        write_benchmark_record(
+            args.output,
+            benchmark="bench_table1_protocols",
+            description="Table 1 empirically: naive, IBLT-of-IBLTs, cascading "
+            "and multi-round protocols in the dense binary-database regime",
+            config=benchmark_config(
+                args.seed,
+                universe_size=config.universe_size,
+                num_children=config.num_children,
+                num_changes=config.num_changes,
+                children_touched=config.children_touched,
+                repeats=config.repeats,
+            ),
+            results=rows,
+        )
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

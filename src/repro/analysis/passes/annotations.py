@@ -27,6 +27,7 @@ STRICT_TYPED_PATHS = (
     "src/repro/comm/",
     "src/repro/service/",
     "src/repro/store/",
+    "src/repro/cluster/",
     "src/repro/config.py",
     "src/repro/analysis/",
 )

@@ -30,7 +30,7 @@ from repro.analysis.base import (
 )
 
 #: Layers that run on (or next to) the event loop.
-ASYNC_PATHS = ("src/repro/service/", "src/repro/store/")
+ASYNC_PATHS = ("src/repro/service/", "src/repro/store/", "src/repro/cluster/")
 
 #: Dotted callee names that block the calling thread.
 BLOCKING_CALLS = frozenset(

@@ -42,6 +42,7 @@ WIRE_CRITICAL_PATHS = (
     "src/repro/store/",
     "src/repro/db/",
     "src/repro/documents/",
+    "src/repro/cluster/",
 )
 
 #: Wall-clock and timer reads.

@@ -40,6 +40,7 @@ from repro.analysis.base import AnalysisPass, Finding, SourceFile, walk_own_body
 PARTY_PATHS = (
     "src/repro/protocols/parties/",
     "src/repro/store/parties.py",
+    "src/repro/cluster/parties.py",
 )
 
 #: Names of the session commands a party may yield.

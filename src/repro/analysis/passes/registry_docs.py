@@ -36,7 +36,7 @@ from repro.analysis.base import AnalysisPass, Finding, SourceFile
 
 #: ``input_kind`` values the service/docs layers know how to describe.
 KNOWN_INPUT_KINDS = frozenset(
-    {"set", "set_of_sets", "graph", "forest", "table", "documents"}
+    {"set", "set_of_sets", "graph", "forest", "table", "documents", "kv"}
 )
 
 _FIXTURES = "tests/protocols/protocol_fixtures.py"

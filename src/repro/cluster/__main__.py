@@ -1,0 +1,211 @@
+"""CLI entry point: ``python -m repro.cluster``.
+
+Five subcommands for driving live cluster nodes (and one simulated demo):
+
+* ``node`` -- run one :class:`~repro.cluster.node.ClusterNode` until
+  SIGTERM/SIGINT, optionally journaled so a killed node recovers its state
+  on restart;
+* ``put`` / ``delete`` -- write through a running node;
+* ``digest`` -- print a node's canonical state digest (equal digests ==
+  converged replicas);
+* ``gossip`` -- tell one node to run a gossip round with a peer;
+* ``sim`` -- run the deterministic simulated cluster to convergence and
+  print the per-round accounting table.
+
+Example::
+
+    python -m repro.cluster node --node-id 0 --port 9701 --journal /tmp/n0.jsonl &
+    python -m repro.cluster node --node-id 1 --port 9702 --journal /tmp/n1.jsonl &
+    python -m repro.cluster put --port 9701 --key user:7 --value hello
+    python -m repro.cluster gossip --port 9702 --peer-port 9701
+    python -m repro.cluster digest --port 9701
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.bench.reporting import format_table
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import (
+    DELETE_LABEL,
+    DIGEST_LABEL,
+    GOSSIP_LABEL,
+    PUT_LABEL,
+    ClusterNode,
+    acontrol,
+)
+from repro.cluster.replica import VersionedKV
+from repro.errors import ReproError
+from repro.protocols.options import ReconcileOptions
+from repro.service.fleet import install_signal_drain, remove_signal_drain
+
+DEFAULT_SEED = 2018
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster", description=__doc__.splitlines()[0]
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    node = commands.add_parser("node", help="run one live cluster node")
+    node.add_argument("--node-id", type=int, required=True,
+                      help="this replica's writer id (unique per cluster)")
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--port", type=int, default=0,
+                      help="listen port (0 picks a free one; see the banner)")
+    node.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                      help="cluster-wide fingerprint/sketch seed")
+    node.add_argument("--journal", default=None, metavar="FILE",
+                      help="record journal; a restarted node replays it")
+    node.add_argument("--difference-bound", type=int, default=None,
+                      help="fixed per-round sketch bound (omit: estimator-sized)")
+    node.add_argument("--drain-deadline", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="how long the SIGTERM drain waits (default 5)")
+
+    for verb, help_text in (
+        ("put", "write a key through a running node"),
+        ("delete", "delete a key through a running node"),
+        ("digest", "print a node's state digest"),
+        ("gossip", "tell a node to gossip with a peer"),
+    ):
+        sub = commands.add_parser(verb, help=help_text)
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, required=True)
+        if verb in ("put", "delete"):
+            sub.add_argument("--key", required=True)
+        if verb == "put":
+            sub.add_argument("--value", required=True)
+        if verb == "gossip":
+            sub.add_argument("--peer-host", default="127.0.0.1")
+            sub.add_argument("--peer-port", type=int, required=True)
+
+    sim = commands.add_parser("sim", help="run the simulated cluster demo")
+    sim.add_argument("--nodes", type=int, default=8)
+    sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sim.add_argument("--writes", type=int, default=6,
+                     help="planted per-node writes before gossip starts")
+    sim.add_argument("--difference-bound", type=int, default=32)
+    sim.add_argument("--policy", default="uniform", choices=("uniform", "stale"))
+    return parser
+
+
+async def _node(args: argparse.Namespace) -> None:
+    replica = VersionedKV(
+        args.node_id, seed=args.seed, journal_path=args.journal
+    )
+    options = ReconcileOptions(
+        seed=args.seed, difference_bound=args.difference_bound
+    )
+    async with ClusterNode(
+        f"node{args.node_id}",
+        replica,
+        host=args.host,
+        port=args.port,
+        options=options,
+        drain_deadline=args.drain_deadline,
+    ) as node:
+        print(
+            f"kv node {args.node_id} serving on {node.host}:{node.port} "
+            f"({len(replica)} records)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = install_signal_drain(loop, stop.set)
+        serve_task = asyncio.ensure_future(node.serve_forever())
+        try:
+            stop_wait = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {serve_task, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                stop_wait.cancel()
+            print("draining...", flush=True)
+            summary = await node.adrain(args.drain_deadline)
+            print(
+                f"drained: {summary['drained']} finished, "
+                f"{summary['aborted']} aborted",
+                flush=True,
+            )
+        finally:
+            serve_task.cancel()
+            try:
+                await serve_task
+            except (asyncio.CancelledError, ReproError):
+                pass
+            remove_signal_drain(loop, installed)
+
+
+async def _control(args: argparse.Namespace) -> int:
+    if args.command == "put":
+        reply = await acontrol(
+            args.host, args.port, PUT_LABEL, {"key": args.key, "value": args.value}
+        )
+        print(f"put {args.key!r} at version {reply['version']}")
+    elif args.command == "delete":
+        reply = await acontrol(
+            args.host, args.port, DELETE_LABEL, {"key": args.key}
+        )
+        print(f"deleted {args.key!r} at version {reply['version']}")
+    elif args.command == "digest":
+        reply = await acontrol(args.host, args.port, DIGEST_LABEL, {})
+        print(json.dumps(reply))
+    else:  # gossip
+        reply = await acontrol(
+            args.host,
+            args.port,
+            GOSSIP_LABEL,
+            {"host": args.peer_host, "port": args.peer_port},
+        )
+        print(
+            f"gossiped with {reply['peer']}: {reply['bits']} bits, "
+            f"{reply['applied']} records applied, digest {reply['digest']}"
+        )
+    return 0
+
+
+def _sim(args: argparse.Namespace) -> int:
+    cluster = Cluster(
+        args.nodes,
+        seed=args.seed,
+        difference_bound=args.difference_bound,
+        policy=args.policy,
+    )
+    for index, name in enumerate(cluster.node_names):
+        for write in range(args.writes):
+            cluster.put(name, f"{name}-key{write}", f"value-{index}-{write}")
+    report = cluster.run_until_converged()
+    print(format_table(cluster.metrics.round_rows(), title="gossip rounds"))
+    status = "converged" if report.converged else "NOT converged"
+    print(
+        f"{status}: {report.node_count} nodes in {report.rounds} round(s), "
+        f"{report.sessions} sessions, {report.total_bits} bits"
+    )
+    return 0 if report.converged else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "node":
+            asyncio.run(_node(args))
+            return 0
+        if args.command == "sim":
+            return _sim(args)
+        return asyncio.run(_control(args))
+    except KeyboardInterrupt:
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Seeded peer selection for anti-entropy gossip rounds.
+
+Peer choice is pure splitmix64 arithmetic over ``(seed, round, initiator)``
+-- no :mod:`random` state anywhere -- so a cluster run is a deterministic
+function of its seed: the same schedule replays in tests, in benchmarks,
+and across the simulated and live drivers.
+
+Two policies:
+
+* ``"uniform"`` -- classic epidemic gossip: each round the initiator picks
+  a peer uniformly (pseudo-randomly) among the other live nodes.
+* ``"stale"`` -- least-recently-synced: pick the live peer this initiator
+  has not gossiped with for longest (ties broken by the same seeded
+  arithmetic), the deterministic cousin of Demers-style rumor aging that
+  bounds how long any pair can stay unsynced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.hashing import derive_seed
+from repro.hashing.mix import MASK64, mix64
+
+#: The selection policies :class:`GossipScheduler` knows.
+POLICIES = ("uniform", "stale")
+
+
+def _name_hash(name: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(
+            name.encode("utf-8"), digest_size=8, person=b"repro-kv-peer"
+        ).digest(),
+        "big",
+    )
+
+
+class GossipScheduler:
+    """Deterministic peer selection for one cluster run.
+
+    Parameters
+    ----------
+    seed:
+        Schedule seed; independent draws are derived per (round, initiator).
+    policy:
+        ``"uniform"`` or ``"stale"`` (least-recently-synced).
+    """
+
+    def __init__(self, seed: int = 0, policy: str = "uniform") -> None:
+        if policy not in POLICIES:
+            raise ParameterError(f"unknown gossip policy {policy!r}; known: {POLICIES}")
+        self.seed = derive_seed(seed, "gossip-schedule")
+        self.policy = policy
+        self._last_synced: dict[tuple[str, str], int] = {}
+        self._tick = 0
+
+    def _draw(self, round_index: int, initiator: str, peer: str) -> int:
+        value = mix64((self.seed ^ _name_hash(initiator)) & MASK64)
+        value = mix64(value ^ (round_index & MASK64))
+        return mix64(value ^ _name_hash(peer))
+
+    def select_peer(
+        self, initiator: str, round_index: int, candidates: Sequence[str]
+    ) -> str:
+        """Pick this round's gossip peer among the live ``candidates``.
+
+        ``candidates`` is the current membership (minus the initiator);
+        passing it per call is what lets the schedule follow joins and
+        crashes without rebuilding the scheduler.
+        """
+        peers = sorted(name for name in candidates if name != initiator)
+        if not peers:
+            raise ParameterError(f"no gossip candidates for {initiator!r}")
+        if self.policy == "uniform":
+            draw = self._draw(round_index, initiator, "uniform")
+            return peers[draw % len(peers)]
+        # "stale": oldest last-synced tick first, seeded draw as tie-break.
+        return min(
+            peers,
+            key=lambda peer: (
+                self._last_synced.get((initiator, peer), -1),
+                self._draw(round_index, initiator, peer),
+            ),
+        )
+
+    def record_sync(self, initiator: str, peer: str) -> None:
+        """Mark a completed round (feeds the ``"stale"`` policy both ways)."""
+        self._tick += 1
+        self._last_synced[(initiator, peer)] = self._tick
+        self._last_synced[(peer, initiator)] = self._tick

@@ -1,0 +1,267 @@
+"""The ``kv`` gossip protocol: fingerprint reconciliation, then value fetch.
+
+One gossip round between two replicas is a single two-phase session:
+
+* **Phase 1 -- set reconciliation.**  Exactly the store-served ``ibf``
+  exchange (:mod:`repro.store.parties`), run over the replicas' record
+  fingerprint sets: alice sends her live IBLT (plus whole-set hash and
+  size), bob subtracts his live table, peels, and verifies incrementally.
+  The verified decode tells bob which fingerprints only alice holds
+  (``positive``) and which only he holds (``negative``).
+* **Phase 2 -- value fetch.**  Bob sends one ``"kv pull"`` frame: the
+  fingerprints he wants resolved, together with the full records behind
+  his own one-sided fingerprints (pushed so alice needs no second
+  request).  Alice answers with a ``"kv records"`` frame carrying the
+  requested records.  Both frames are bit-exact
+  (:func:`~repro.cluster.records.record_bits`).
+
+The parties are deliberately **pure**: neither side mutates its replica.
+Each side returns the records it should merge in
+``PartyOutcome.details["kv_apply"]``, and the gossip drivers (simulated
+loop, async client, server hook) apply them after the session succeeds.
+That keeps rounds atomic -- a failed session leaves both replicas
+untouched -- and lets the same replica objects serve any number of
+sessions with byte-identical transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.records import (
+    COUNT_BITS,
+    FINGERPRINT_UNIVERSE,
+    KVRecord,
+    read_record,
+    records_bits,
+    write_record,
+)
+from repro.comm.bits import BitReader, BitWriter
+from repro.errors import ParameterError
+from repro.protocols.party import (
+    END_OF_SESSION,
+    PartyGenerator,
+    PartyOutcome,
+    PartyPair,
+    Receive,
+    Send,
+    aborted_outcome,
+)
+from repro.protocols.parties.setrecon import IBFMessageCodec, SetReconContext, ibf_message_bits
+from repro.protocols.wire import PayloadCodec
+from repro.store.config import SketchConfig
+from repro.store.parties import StoreView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.replica import VersionedKV
+    from repro.protocols.options import ReconcileOptions
+
+#: The phase-two payloads.
+PullRequest = tuple[tuple[int, ...], tuple[KVRecord, ...]]
+
+
+class KVPullCodec(PayloadCodec):
+    """Wire form of bob's pull frame: wanted fingerprints + pushed records."""
+
+    def write(self, writer: BitWriter, payload: PullRequest) -> None:
+        wanted, pushed = payload
+        writer.write(len(wanted), COUNT_BITS)
+        for fingerprint in wanted:
+            writer.write(fingerprint, 64)
+        writer.write(len(pushed), COUNT_BITS)
+        for record in pushed:
+            write_record(writer, record)
+
+    def read(self, reader: BitReader) -> PullRequest:
+        wanted = tuple(reader.read(64) for _ in range(reader.read(COUNT_BITS)))
+        pushed = tuple(read_record(reader) for _ in range(reader.read(COUNT_BITS)))
+        return wanted, pushed
+
+
+class KVRecordsCodec(PayloadCodec):
+    """Wire form of alice's reply: the requested records, counted."""
+
+    def write(self, writer: BitWriter, payload: tuple[KVRecord, ...]) -> None:
+        writer.write(len(payload), COUNT_BITS)
+        for record in payload:
+            write_record(writer, record)
+
+    def read(self, reader: BitReader) -> tuple[KVRecord, ...]:
+        return tuple(read_record(reader) for _ in range(reader.read(COUNT_BITS)))
+
+
+def pull_request_bits(wanted: Sequence[int], pushed: Sequence[KVRecord]) -> int:
+    """Exact charged size of the pull frame."""
+    return COUNT_BITS + 64 * len(wanted) + records_bits(pushed)
+
+
+def kv_context(options: "ReconcileOptions") -> SetReconContext:
+    """The shared sketch context a kv session derives from its options.
+
+    The universe is fixed (64-bit fingerprints); a custom estimator factory
+    is rejected because the live estimators come from the replicas' sketch
+    stores, which only know the default family.
+    """
+    universe = options.universe_size or FINGERPRINT_UNIVERSE
+    if universe != FINGERPRINT_UNIVERSE:
+        raise ParameterError(
+            "kv sessions reconcile 64-bit record fingerprints; leave "
+            "universe_size unset or pass 2**64"
+        )
+    if options.estimator_factory is not None:
+        raise ParameterError(
+            "kv sessions serve estimators from the replicas' sketch stores "
+            "and do not accept a custom estimator_factory"
+        )
+    return SetReconContext(
+        universe,
+        options.seed,
+        options.num_hashes,
+        options.backend,
+        safety_factor=options.safety_factor,
+    )
+
+
+def _view(replica: "VersionedKV", ctx: SetReconContext) -> StoreView:
+    config = SketchConfig(
+        universe_size=ctx.universe_size,
+        seed=ctx.seed,
+        num_hashes=ctx.num_hashes,
+        backend=ctx.backend,
+        safety_factor=ctx.safety_factor,
+    )
+    return replica.view_for(config)
+
+
+def kv_alice_known(
+    replica: "VersionedKV",
+    difference_bound: int,
+    ctx: SetReconContext,
+    *,
+    self_describing: bool = False,
+) -> PartyGenerator:
+    """Alice's side: live IBLT out, pull request in, records back out."""
+    if difference_bound < 0:
+        raise ParameterError("difference_bound must be non-negative")
+    view = _view(replica, ctx)
+    # copy(): the receiver owns the payload object on in-memory transports,
+    # and the live table must never leave the store's control.
+    table = view.table(difference_bound).copy()
+    yield Send(
+        "kv fingerprint IBLT",
+        ibf_message_bits(ctx, difference_bound, view.size),
+        payload=(table, view.set_hash, view.size),
+        codec=IBFMessageCodec(ctx, difference_bound, self_describing),
+    )
+    request = yield Receive(KVPullCodec())
+    if request is END_OF_SESSION:
+        return aborted_outcome()
+    wanted, pushed = request
+    records = replica.records_for(wanted)
+    yield Send(
+        "kv records",
+        records_bits(records),
+        payload=records,
+        codec=KVRecordsCodec(),
+    )
+    return PartyOutcome(
+        True,
+        details={
+            "kv_apply": pushed,
+            "kv_sent": len(records),
+            "served_from_store": True,
+        },
+    )
+
+
+def kv_bob_known(
+    replica: "VersionedKV",
+    difference_bound: int | None,
+    ctx: SetReconContext,
+    *,
+    self_describing: bool = False,
+) -> PartyGenerator:
+    """Bob's side: subtract, peel, verify, then pull the differing records."""
+    view = _view(replica, ctx)
+    payload = yield Receive(IBFMessageCodec(ctx, difference_bound, self_describing))
+    if payload is END_OF_SESSION:
+        return aborted_outcome()
+    alice_table, alice_hash, alice_size = payload
+    bob_table = view.table_for_params(alice_table.params)
+    difference_table = alice_table.subtract(bob_table)
+    decode = difference_table.try_decode()
+    if not decode.success:
+        return PartyOutcome(
+            False, details={"failure": "iblt-peel", "served_from_store": True}
+        )
+    recovered_hash = view.hash_with(decode.positive, decode.negative)
+    recovered_size = view.size + len(decode.positive) - len(decode.negative)
+    if recovered_hash != alice_hash or recovered_size != alice_size:
+        return PartyOutcome(
+            False, details={"failure": "verification-hash", "served_from_store": True}
+        )
+    # Sorted for a canonical wire image: the same difference always yields
+    # byte-identical phase-two frames on every transport.
+    wanted = tuple(sorted(decode.positive))
+    pushed = replica.records_for(tuple(sorted(decode.negative)))
+    yield Send(
+        "kv pull",
+        pull_request_bits(wanted, pushed),
+        payload=(wanted, pushed),
+        codec=KVPullCodec(),
+    )
+    reply = yield Receive(KVRecordsCodec())
+    if reply is END_OF_SESSION:
+        return aborted_outcome()
+    return PartyOutcome(
+        True,
+        details={
+            "kv_apply": reply,
+            "kv_pushed": len(pushed),
+            "difference_found": decode.symmetric_difference_size(),
+            "failure": None,
+            "served_from_store": True,
+        },
+    )
+
+
+def kv_alice_unknown(replica: "VersionedKV", ctx: SetReconContext) -> PartyGenerator:
+    """Alice with unknown ``d``: merge live estimators, size the table."""
+    view = _view(replica, ctx)
+    bob_estimator = yield Receive(ctx.estimator_codec())
+    if bob_estimator is END_OF_SESSION:
+        return aborted_outcome()
+    estimate = bob_estimator.merge(view.estimator(side=2)).query()
+    bound = max(1, int(round(ctx.safety_factor * estimate)) + 1)
+    outcome = yield from kv_alice_known(replica, bound, ctx, self_describing=True)
+    outcome.details.update(estimated_difference=estimate, difference_bound_used=bound)
+    return outcome
+
+
+def kv_bob_unknown(replica: "VersionedKV", ctx: SetReconContext) -> PartyGenerator:
+    """Bob with unknown ``d``: live estimator out, then the known-d flow."""
+    view = _view(replica, ctx)
+    estimator = view.estimator(side=1)
+    yield Send(
+        "difference estimator",
+        estimator.size_bits,
+        payload=estimator,
+        codec=ctx.estimator_codec(),
+    )
+    outcome = yield from kv_bob_known(replica, None, ctx, self_describing=True)
+    return outcome
+
+
+def kv_parties(
+    alice: "VersionedKV",
+    bob: "VersionedKV",
+    difference_bound: int | None,
+    ctx: SetReconContext,
+) -> PartyPair:
+    """Both sides of one gossip round (known or unknown ``d``)."""
+    if difference_bound is None:
+        return kv_alice_unknown(alice, ctx), kv_bob_unknown(bob, ctx)
+    return (
+        kv_alice_known(alice, difference_bound, ctx),
+        kv_bob_known(bob, difference_bound, ctx),
+    )

@@ -1,0 +1,219 @@
+"""One replica of the last-writer-wins key-value store.
+
+A :class:`VersionedKV` holds the record map and, alongside it, the *set
+view* a gossip session reconciles: the set of 64-bit record fingerprints
+(:func:`~repro.cluster.records.record_fingerprint`).  Every mutation is
+routed through an in-process :class:`~repro.store.SketchStore` ``apply``
+call, so the live IBLTs, estimators, and verification hash tracking the
+fingerprint set are maintained in O(1) per changed record -- a gossip
+round then costs O(d) sketch work, never an O(n) re-encode.
+
+Durability is optional: given a ``journal_path`` the replica appends every
+applied record to a :class:`~repro.cluster.journal.RecordJournal` before
+mutating state, and a restarted replica replays the journal through the
+same LWW merge (idempotent, so duplicates and superseded records are
+harmless) to recover its exact pre-crash state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.cluster.journal import RecordJournal
+from repro.cluster.records import (
+    FINGERPRINT_UNIVERSE,
+    KVRecord,
+    record_fingerprint,
+    state_digest,
+)
+from repro.errors import ClusterError, ParameterError
+from repro.store.config import SketchConfig
+from repro.store.parties import StoreView
+from repro.store.sketch import SketchStore
+
+#: The store key every replica files its fingerprint set under.
+_STORE_KEY = "kv"
+
+
+class VersionedKV:
+    """One replica node's state: records, fingerprints, and live sketches.
+
+    Parameters
+    ----------
+    node_id:
+        This replica's writer id (the LWW tie-break between concurrent
+        writers); must be unique per cluster.
+    seed:
+        Public-coin seed shared by every replica in the cluster.  Record
+        fingerprints are derived from it, so replicas with different seeds
+        hold incompatible fingerprint sets and refuse to gossip.
+    journal_path:
+        Optional record journal; when given, applied records are journaled
+        before they mutate state and replayed on construction.
+    metrics:
+        Optional sink forwarded to the internal sketch store (anything
+        with ``record_store_hit``-style methods, e.g.
+        :class:`~repro.service.metrics.ServiceMetrics`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        seed: int = 0,
+        journal_path: Path | str | None = None,
+        fsync: bool = False,
+        metrics: Any = None,
+    ) -> None:
+        if node_id < 0:
+            raise ParameterError("node_id must be non-negative")
+        self.node_id = node_id
+        self.seed = seed
+        self.clock = 0
+        self._records: dict[str, KVRecord] = {}
+        self._fingerprints: set[int] = set()
+        self._key_by_fingerprint: dict[int, str] = {}
+        self.store = SketchStore(metrics=metrics)
+        self._journal = (
+            RecordJournal(journal_path, fsync=fsync) if journal_path is not None else None
+        )
+        if self._journal is not None:
+            for record in self._journal.records():
+                if record.wins_over(self._records.get(record.key)):
+                    self._apply(record, journal=False)
+
+    # -- local writes ----------------------------------------------------------------
+
+    def put(self, key: str, value: str) -> KVRecord:
+        """Write ``key = value`` at the next local version; returns the record."""
+        record = KVRecord(key=key, version=self.clock + 1, writer=self.node_id, value=value)
+        self.merge_records([record])
+        return record
+
+    def delete(self, key: str) -> KVRecord:
+        """Write a tombstone for ``key`` (deletions replicate like writes)."""
+        record = KVRecord(key=key, version=self.clock + 1, writer=self.node_id, value=None)
+        self.merge_records([record])
+        return record
+
+    # -- merge (local writes and gossip both land here) ------------------------------
+
+    def merge_records(self, records: Iterable[KVRecord]) -> int:
+        """LWW-merge records into this replica; returns how many applied.
+
+        Commutative, associative, and idempotent: merging any multiset of
+        records in any order yields the same state, which is what makes
+        anti-entropy gossip converge.
+        """
+        applied = 0
+        for record in records:
+            if record.wins_over(self._records.get(record.key)):
+                self._apply(record)
+                applied += 1
+        return applied
+
+    def _apply(self, record: KVRecord, *, journal: bool = True) -> None:
+        new_fp = record_fingerprint(self.seed, record)
+        owner = self._key_by_fingerprint.get(new_fp)
+        if owner is not None:
+            # Same element for a different record: a 64-bit fingerprint
+            # collision.  Astronomically unlikely; refusing loudly beats
+            # silently desynchronizing the sketches from the record map.
+            raise ClusterError(
+                f"fingerprint collision: record for {record.key!r} maps to the "
+                f"element already held by {owner!r}"
+            )
+        old = self._records.get(record.key)
+        deleted: list[int] = []
+        if old is not None:
+            deleted.append(record_fingerprint(self.seed, old))
+        if journal and self._journal is not None:
+            self._journal.append(record)
+        # Pre-mutation dataset: SketchStore.apply sizes a fresh entry from
+        # it and updates every live sketch in O(1) per changed element.
+        self.store.apply(_STORE_KEY, [new_fp], deleted, dataset=self._fingerprints)
+        if old is not None:
+            old_fp = deleted[0]
+            self._fingerprints.discard(old_fp)
+            self._key_by_fingerprint.pop(old_fp, None)
+        self._fingerprints.add(new_fp)
+        self._key_by_fingerprint[new_fp] = record.key
+        self._records[record.key] = record
+        if record.version > self.clock:
+            self.clock = record.version
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get(self, key: str) -> str | None:
+        """The current value for ``key`` (``None`` if absent or deleted)."""
+        record = self._records.get(key)
+        return None if record is None or record.tombstone else record.value
+
+    def record(self, key: str) -> KVRecord | None:
+        return self._records.get(key)
+
+    def records(self) -> list[KVRecord]:
+        """Every record (tombstones included), sorted by key."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    def records_for(self, fingerprints: Iterable[int]) -> tuple[KVRecord, ...]:
+        """The records behind verified fingerprints of *this* replica's set."""
+        found: list[KVRecord] = []
+        for fingerprint in fingerprints:
+            key = self._key_by_fingerprint.get(fingerprint)
+            if key is None:
+                raise ClusterError(
+                    f"fingerprint {fingerprint:#x} is not in this replica's set"
+                )
+            found.append(self._records[key])
+        return tuple(found)
+
+    @property
+    def fingerprints(self) -> frozenset[int]:
+        return frozenset(self._fingerprints)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def digest(self) -> str:
+        """Canonical state digest; equality across replicas == convergence."""
+        return state_digest(self._records.values())
+
+    # -- the session-facing seam -----------------------------------------------------
+
+    def view_for(self, config: SketchConfig) -> StoreView:
+        """The store view a gossip session's parties serve sketches from.
+
+        The first touch of a given sketch geometry encodes the fingerprint
+        set once; afterwards every sketch is maintained incrementally by
+        :meth:`_apply`, so repeat gossip rounds are O(d).
+        """
+        if config.universe_size != FINGERPRINT_UNIVERSE:
+            raise ParameterError(
+                "kv sessions reconcile 64-bit record fingerprints; "
+                f"universe_size must be 2**64, got {config.universe_size}"
+            )
+        if config.seed != self.seed:
+            raise ClusterError(
+                f"session seed {config.seed} disagrees with this replica's "
+                f"fingerprint seed {self.seed}; the fingerprint sets would be "
+                "incompatible"
+            )
+        return StoreView(self.store, _STORE_KEY, config, self._fingerprints)
+
+    # -- durability ------------------------------------------------------------------
+
+    @property
+    def journal(self) -> RecordJournal | None:
+        return self._journal
+
+    def compact_journal(self) -> None:
+        """Rewrite the journal down to the current merged state."""
+        if self._journal is None:
+            raise ClusterError("this replica has no journal to compact")
+        self._journal.compact(self.records())
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()

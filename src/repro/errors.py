@@ -71,6 +71,18 @@ class CapacityError(ReproError):
     than the IBLT's configured key width)."""
 
 
+class ClusterError(ReproError):
+    """Raised when a replicated-KV cluster operation cannot proceed at all
+    (fingerprint collision between distinct records, a session config whose
+    seed disagrees with the replica's fingerprint seed, corrupt record
+    journal interior, gossip with an unknown peer).
+
+    Probabilistic per-round failures (an undersized sketch that does not
+    peel) are *not* errors: the gossip driver retries with a larger bound
+    and accounts the spent bits, mirroring the repeated-doubling protocols.
+    """
+
+
 class StoreError(ReproError):
     """Raised when the sketch store cannot apply, persist, or recover a
     sketch (corrupt journal interior, mutation that poisons the live

@@ -38,7 +38,7 @@ class Protocol:
     #: Registry key (e.g. ``"multiround"``).
     name: str = ""
     #: What ``alice`` and ``bob`` are: ``"set"``, ``"set_of_sets"``,
-    #: ``"graph"``, ``"forest"``, ``"table"`` or ``"documents"``.
+    #: ``"graph"``, ``"forest"``, ``"table"``, ``"documents"`` or ``"kv"``.
     input_kind: str = ""
     #: Rounds of the known-``d`` variant.
     rounds_known: int = 1
@@ -215,6 +215,24 @@ class IBFProtocol(Protocol):
             safety_factor=options.safety_factor,
         )
         return ibf_parties(alice, bob, options.difference_bound, ctx)
+
+
+@register_protocol
+class KVSyncProtocol(Protocol):
+    name = "kv"
+    input_kind = "kv"
+    rounds_known = 2
+    rounds_unknown = 3
+    supports_unknown_d = True
+    summary = "replicated-KV gossip: fingerprint set reconciliation plus a value fetch"
+    reference = "Cor 2.2 / Cor 3.2 application"
+
+    @classmethod
+    def build(cls, alice: Any, bob: Any, options: ReconcileOptions) -> PartyPair:
+        from repro.cluster.parties import kv_context, kv_parties
+
+        ctx = kv_context(options)
+        return kv_parties(alice, bob, options.difference_bound, ctx)
 
 
 @register_protocol

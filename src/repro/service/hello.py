@@ -48,7 +48,10 @@ SERVICE_VERSION = 1
 #: only consume the peer's *public statistics* (exchanged in the hello), so
 #: a placeholder peer input is safe; graph/forest/table/document protocols
 #: derive shared context from both inputs in ways a hello cannot carry yet.
-SERVED_INPUT_KINDS = ("set", "set_of_sets")
+#: ``"kv"`` rides the same rule: the kv party bodies are lazy generators
+#: that only ever touch the local role's replica, so the remote side's
+#: stand-in is never dereferenced at all.
+SERVED_INPUT_KINDS = ("set", "set_of_sets", "kv")
 
 _OPTION_FIELDS = {f.name for f in dataclasses.fields(ReconcileOptions)}
 _UNSERIALIZABLE_OPTIONS = ("estimator_factory",)
@@ -208,6 +211,10 @@ def placeholder_input(input_kind: str, stats: PeerStats) -> Any:
         return frozenset()
     if input_kind == "set_of_sets":
         return stats
+    if input_kind == "kv":
+        # Party generators are lazy and only the locally-driven role runs,
+        # so the peer-side stand-in is never dereferenced.
+        return None
     raise ServiceError(
         f"input kind {input_kind!r} is not served; "
         f"supported kinds: {', '.join(SERVED_INPUT_KINDS)}"

@@ -35,7 +35,7 @@ import asyncio
 import json
 import logging
 import socket as socket_module
-from typing import Any, Callable, Mapping
+from typing import Any, Awaitable, Callable, Mapping
 
 from repro.errors import ReproError, ServiceError, StoreError
 from repro.service.admission import AdmissionController, rejection_message
@@ -122,6 +122,18 @@ class SyncServer:
         mutate-ack is sent.  Fleet workers use it to report dataset deltas
         to the supervisor, which keeps the authoritative copies it hands a
         restarted worker.
+    on_outcome:
+        Optional callback invoked with ``(protocol_name, server_role,
+        outcome)`` after every completed session party.  Protocols whose
+        parties are pure (the ``kv`` gossip round) return the state change
+        in the outcome's details; this hook is where the owner applies it
+        (see :class:`~repro.cluster.node.ClusterNode`).
+    control_handlers:
+        Optional ``label -> async handler`` mapping for extra control
+        frames.  A matching frame's payload is passed to the handler and
+        the returned bytes are sent back as ``"<label>-ack"``; cluster
+        nodes register their digest/gossip/put verbs here without the
+        server knowing anything about them.
     """
 
     def __init__(
@@ -138,6 +150,9 @@ class SyncServer:
         drain_deadline: float = 5.0,
         admission: AdmissionController | None = None,
         on_mutation: Callable[[str, list[int], list[int]], None] | None = None,
+        on_outcome: Callable[[str, str, Any], None] | None = None,
+        control_handlers: Mapping[str, Callable[[bytes], Awaitable[bytes]]]
+        | None = None,
     ) -> None:
         self.datasets = dict(datasets)
         self.host = host
@@ -157,6 +172,8 @@ class SyncServer:
         self.drain_deadline = drain_deadline
         self.admission = admission
         self.on_mutation = on_mutation
+        self.on_outcome = on_outcome
+        self.control_handlers = dict(control_handlers or {})
         self._server: asyncio.AbstractServer | None = None
         self._shard_cache: dict[tuple[str, int, int], list[Any]] = {}
         self._sessions: set[asyncio.Task] = set()
@@ -307,6 +324,12 @@ class SyncServer:
         if frame.kind == FRAME_CONTROL and frame.label == MUTATE_LABEL:
             await self._handle_mutate(transport, frame)
             return
+        if frame.kind == FRAME_CONTROL and frame.label in self.control_handlers:
+            reply = await self.control_handlers[frame.label](frame.payload)
+            await transport.send_frame(
+                FRAME_CONTROL, f"{frame.label}-ack", payload=reply
+            )
+            return
         if frame.kind != FRAME_CONTROL or frame.label != HELLO_LABEL:
             await self._refuse(transport, "expected a hello control frame")
             return
@@ -374,6 +397,8 @@ class SyncServer:
                 alice_party, bob_party = spec.build(build_alice, build_bob, options)
                 party = alice_party if server_role == "alice" else bob_party
             outcome, transcript = await run_party_async(party, transport)
+            if self.on_outcome is not None:
+                self.on_outcome(spec.name, server_role, outcome)
         except asyncio.CancelledError:
             raise
         except (ReproError, OSError, EOFError) as exc:
@@ -494,6 +519,12 @@ class SyncServer:
         as an AttributeError after a successful ack)."""
         if input_kind == "set":
             valid = isinstance(dataset, (set, frozenset))
+        elif input_kind == "kv":
+            # The kv parties read the replica's merge/view seam (duck-typed
+            # so the service layer needs no import from repro.cluster).
+            valid = all(
+                hasattr(dataset, name) for name in ("merge_records", "view_for")
+            )
         else:  # set_of_sets: the builders read the public size statistics
             valid = all(
                 hasattr(dataset, name)

@@ -11,33 +11,50 @@ to the true ``d``.  Generators:
 * :mod:`repro.workloads.database` -- random binary tables with bit flips.
 * :mod:`repro.workloads.documents` -- synthetic corpora with edited /
   fresh documents.
-
-Graph workloads live in :mod:`repro.graphs.random_graphs` (G(n, p),
-perturbations and the planted-separation variant).
+* :mod:`repro.workloads.cluster` -- planted per-node write deltas and
+  churn schedules for the replicated-KV gossip cluster.
+* :mod:`repro.graphs.random_graphs` -- G(n, p) graphs, perturbations and
+  the planted-separation variant (re-exported here so one import surface
+  covers every generator).
 """
 
+from repro.graphs.random_graphs import (
+    ReconciliationPair,
+    gnp_random_graph,
+    perturb_edges,
+    planted_separated_graph,
+    reconciliation_pair,
+)
+from repro.workloads.cluster import churn_writes, planted_cluster_writes
+from repro.workloads.database import flipped_table_pair, random_binary_table
+from repro.workloads.documents import edited_corpus_pair, synthetic_corpus
+from repro.workloads.forests import forest_instance, perturb_forest, random_forest
 from repro.workloads.sets_of_sets import (
     SetsOfSetsInstance,
-    random_sets_of_sets,
     perturb_sets_of_sets,
+    random_sets_of_sets,
     sets_of_sets_instance,
     table1_instance,
 )
-from repro.workloads.forests import random_forest, perturb_forest, forest_instance
-from repro.workloads.database import random_binary_table, flipped_table_pair
-from repro.workloads.documents import synthetic_corpus, edited_corpus_pair
 
 __all__ = [
+    "ReconciliationPair",
     "SetsOfSetsInstance",
-    "random_sets_of_sets",
-    "perturb_sets_of_sets",
-    "sets_of_sets_instance",
-    "table1_instance",
-    "random_forest",
-    "perturb_forest",
-    "forest_instance",
-    "random_binary_table",
-    "flipped_table_pair",
-    "synthetic_corpus",
+    "churn_writes",
     "edited_corpus_pair",
+    "flipped_table_pair",
+    "forest_instance",
+    "gnp_random_graph",
+    "perturb_edges",
+    "perturb_forest",
+    "perturb_sets_of_sets",
+    "planted_cluster_writes",
+    "planted_separated_graph",
+    "random_binary_table",
+    "random_forest",
+    "random_sets_of_sets",
+    "reconciliation_pair",
+    "sets_of_sets_instance",
+    "synthetic_corpus",
+    "table1_instance",
 ]

@@ -1,0 +1,107 @@
+"""Planted write/churn workloads for the replicated-KV cluster scenario.
+
+The cluster benchmark and tests need the same thing the set-reconciliation
+workloads provide: instances whose *true* difference is planted and known.
+Here the planted quantity is per-replica unsynced writes -- each node holds
+the shared keyspace plus its own delta, so the pairwise difference any
+gossip round reconciles is exactly the two nodes' delta sizes.
+
+Generators:
+
+* :func:`planted_cluster_writes` -- a converged shared keyspace plus a
+  disjoint per-node batch of fresh writes (the benchmark's delta model);
+* :func:`churn_writes` -- an ongoing-churn schedule: per round, seeded
+  writes that mix fresh keys with overwrites of shared ones, modelling the
+  conflicting-writers regime LWW merge has to resolve deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.records import KVRecord
+from repro.errors import ParameterError
+
+#: The writer id the shared (pre-converged) records carry.
+SHARED_WRITER = 0
+
+
+def planted_cluster_writes(
+    num_nodes: int,
+    shared_keys: int,
+    writes_per_node: int,
+    *,
+    seed: int = 0,
+    value_length: int = 16,
+) -> tuple[list[KVRecord], list[list[tuple[str, str]]]]:
+    """A shared keyspace plus one disjoint delta of fresh writes per node.
+
+    Returns ``(shared_records, per_node_writes)``: merge ``shared_records``
+    into every replica first (the converged prefix), then apply node ``i``'s
+    ``per_node_writes[i]`` as local puts.  Keys are disjoint across nodes,
+    so the planted pairwise difference between nodes ``i`` and ``j`` is
+    exactly ``len(per_node_writes[i]) + len(per_node_writes[j])``.
+    """
+    if num_nodes < 1:
+        raise ParameterError("num_nodes must be positive")
+    if shared_keys < 0 or writes_per_node < 0:
+        raise ParameterError("shared_keys and writes_per_node must be non-negative")
+    rng = random.Random(seed)
+    shared = [
+        KVRecord(
+            key=f"shared:{index}",
+            version=index + 1,
+            writer=SHARED_WRITER,
+            value=_random_value(rng, value_length),
+        )
+        for index in range(shared_keys)
+    ]
+    per_node = [
+        [
+            (f"node{node}:delta:{write}", _random_value(rng, value_length))
+            for write in range(writes_per_node)
+        ]
+        for node in range(num_nodes)
+    ]
+    return shared, per_node
+
+
+def churn_writes(
+    num_nodes: int,
+    rounds: int,
+    writes_per_round: int,
+    *,
+    seed: int = 0,
+    shared_keys: int = 0,
+    overwrite_fraction: float = 0.5,
+    value_length: int = 16,
+) -> list[list[tuple[int, str, str]]]:
+    """Per-round churn: each entry is ``(node_index, key, value)`` writes.
+
+    A ``overwrite_fraction`` share of each round's writes hits the shared
+    ``shared:<i>`` keyspace (concurrent writers racing on the same keys,
+    resolved by LWW merge); the rest land on fresh per-round keys.
+    """
+    if num_nodes < 1:
+        raise ParameterError("num_nodes must be positive")
+    if rounds < 0 or writes_per_round < 0:
+        raise ParameterError("rounds and writes_per_round must be non-negative")
+    if not 0.0 <= overwrite_fraction <= 1.0:
+        raise ParameterError("overwrite_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    schedule: list[list[tuple[int, str, str]]] = []
+    for round_index in range(rounds):
+        batch: list[tuple[int, str, str]] = []
+        for write in range(writes_per_round):
+            node = rng.randrange(num_nodes)
+            if shared_keys and rng.random() < overwrite_fraction:
+                key = f"shared:{rng.randrange(shared_keys)}"
+            else:
+                key = f"churn:{round_index}:{write}"
+            batch.append((node, key, _random_value(rng, value_length)))
+        schedule.append(batch)
+    return schedule
+
+
+def _random_value(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length))

@@ -102,9 +102,10 @@ class TestBenchmarkTrajectory:
                     if floor is None or metric not in row:
                         continue
                     assert row[metric] >= floor, (name, metric, row)
-        # All five trajectories are recorded in this repository.
+        # All six trajectories are recorded in this repository.
         assert {
             "cell_backend",
+            "cluster_convergence",
             "field_kernel",
             "setsofsets_encoding",
             "service_throughput",

@@ -1,0 +1,172 @@
+"""The ``python -m repro.cluster`` CLI, run as real processes.
+
+Acceptance pin: a SIGKILL'd node restarted on the same journal replays its
+pre-crash state and reconverges with the survivors through catch-up gossip.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SEED = 2018
+
+
+def run_cli(*argv):
+    return main([str(arg) for arg in argv])
+
+
+def spawn_node(node_id, journal, port=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cluster", "node",
+            "--node-id", str(node_id), "--port", str(port),
+            "--seed", str(SEED), "--journal", str(journal),
+            "--difference-bound", "16",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"kv node \d+ serving on 127\.0\.0\.1:(\d+) \((\d+) records\)", line)
+    assert match, f"unexpected node banner: {line!r}"
+    return proc, int(match.group(1)), int(match.group(2))
+
+
+def stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.communicate(timeout=30)
+
+
+def digest_of(port, capsys):
+    import json
+
+    assert run_cli("digest", "--port", port) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+@pytest.mark.timeout(180)
+def test_sigkilled_node_rejoins_via_journal_replay_and_reconverges(
+    tmp_path, capsys
+):
+    procs = {}
+    try:
+        ports = {}
+        for node_id in range(3):
+            proc, port, records = spawn_node(
+                node_id, tmp_path / f"node{node_id}.journal.jsonl"
+            )
+            assert records == 0
+            procs[node_id] = proc
+            ports[node_id] = port
+
+        # Plant distinct writes on every node, then gossip to convergence.
+        for node_id in range(3):
+            for w in range(3):
+                assert run_cli(
+                    "put", "--port", ports[node_id],
+                    "--key", f"node{node_id}-k{w}", "--value", f"v{node_id}-{w}",
+                ) == 0
+        capsys.readouterr()
+        for _ in range(3):
+            for node_id, peer in ((0, 1), (1, 2), (2, 0)):
+                assert run_cli(
+                    "gossip", "--port", ports[node_id],
+                    "--peer-port", ports[peer],
+                ) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"gossiped with .*: \d+ bits, \d+ records applied", out)
+        digests = [digest_of(ports[i], capsys) for i in range(3)]
+        assert {d["digest"] for d in digests} == {digests[0]["digest"]}
+        assert all(d["size"] == 9 for d in digests)
+        converged = digests[0]["digest"]
+
+        # SIGKILL node 2: no drain, no goodbye -- the journal is all it has.
+        procs[2].kill()
+        procs[2].communicate(timeout=30)
+
+        # The survivors keep writing while it is down.
+        assert run_cli(
+            "put", "--port", ports[0], "--key", "while-down", "--value", "missed"
+        ) == 0
+        assert run_cli("gossip", "--port", ports[0], "--peer-port", ports[1]) == 0
+        capsys.readouterr()
+
+        # Restart on the same journal: replay restores the pre-crash state...
+        proc, port, records = spawn_node(2, tmp_path / "node2.journal.jsonl")
+        procs[2] = proc
+        ports[2] = port
+        assert records == 9
+        reborn = digest_of(ports[2], capsys)
+        assert reborn["digest"] == converged
+        assert reborn["size"] == 9
+
+        # ...and catch-up gossip delivers what it missed.
+        assert run_cli("gossip", "--port", ports[2], "--peer-port", ports[0]) == 0
+        capsys.readouterr()
+        digests = [digest_of(ports[i], capsys) for i in range(3)]
+        assert {d["digest"] for d in digests} == {digests[0]["digest"]}
+        assert all(d["size"] == 10 for d in digests)
+
+        # Graceful shutdown drains cleanly on SIGTERM.
+        procs[0].send_signal(signal.SIGTERM)
+        stdout, _ = procs[0].communicate(timeout=60)
+        assert procs[0].returncode == 0, stdout
+        assert "draining..." in stdout
+        assert re.search(r"drained: \d+ finished, \d+ aborted", stdout)
+    finally:
+        for proc in procs.values():
+            stop(proc)
+
+
+@pytest.mark.timeout(120)
+def test_readme_cluster_quickstart(tmp_path, capsys):
+    """The README "Workloads & cluster" example, end to end."""
+    procs = []
+    try:
+        proc, port0, records = spawn_node(0, tmp_path / "node0.jsonl")
+        procs.append(proc)
+        assert records == 0
+        proc, port1, records = spawn_node(1, tmp_path / "node1.jsonl")
+        procs.append(proc)
+        assert records == 0
+
+        assert run_cli(
+            "put", "--port", port0, "--key", "user:7", "--value", "eve"
+        ) == 0
+        assert run_cli("gossip", "--port", port1, "--peer-port", port0) == 0
+        capsys.readouterr()
+
+        first = digest_of(port0, capsys)
+        second = digest_of(port1, capsys)
+        assert first["digest"] == second["digest"]
+        assert first["size"] == second["size"] == 1
+    finally:
+        for proc in procs:
+            stop(proc)
+
+
+@pytest.mark.timeout(60)
+def test_sim_subcommand_prints_rounds_table_and_converges(capsys):
+    assert run_cli("sim", "--nodes", 4, "--writes", 2, "--seed", 5) == 0
+    out = capsys.readouterr().out
+    assert "gossip rounds" in out
+    assert re.search(r"converged: 4 nodes in \d+ round\(s\), \d+ sessions, \d+ bits", out)
+
+
+def test_unreachable_node_is_a_clean_error(capsys):
+    assert run_cli("digest", "--port", 1) == 2
+    assert "error:" in capsys.readouterr().err

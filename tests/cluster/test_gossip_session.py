@@ -1,0 +1,136 @@
+"""One pairwise kv session: purity, exact accounting, failure atomicity."""
+
+import pytest
+
+import repro
+from repro.cluster import VersionedKV
+from repro.cluster.parties import kv_context, kv_parties, pull_request_bits
+from repro.cluster.records import records_bits
+from repro.errors import ParameterError
+from repro.protocols.options import ReconcileOptions
+from repro.protocols.session import Session
+from repro.protocols.transports import SerializingTransport
+
+SEED = 99
+
+
+def replica_pair(unique=6, shared=30):
+    from repro.cluster import KVRecord
+
+    left = VersionedKV(0, seed=SEED)
+    right = VersionedKV(1, seed=SEED)
+    common = [
+        KVRecord(key=f"shared-{i}", version=i + 1, writer=0, value=f"c{i}")
+        for i in range(shared)
+    ]
+    left.merge_records(common)
+    right.merge_records(common)
+    for i in range(unique):
+        left.put(f"left-{i}", f"lv{i}")
+        right.put(f"right-{i}", f"rv{i}")
+    return left, right
+
+
+class TestSessionOutcome:
+    def test_parties_are_pure_and_outcomes_carry_the_merges(self):
+        left, right = replica_pair()
+        before = (left.digest(), right.digest())
+        result = repro.reconcile(
+            left, right, protocol="kv", seed=SEED, difference_bound=16
+        )
+        assert result.success
+        # Neither replica moved: the session only *computed* the merges.
+        assert (left.digest(), right.digest()) == before
+        # Applying both sides' records converges the pair.
+        ctx = kv_context(ReconcileOptions(seed=SEED, difference_bound=16))
+        session = Session(*kv_parties(left, right, 16, ctx)).run()
+        left.merge_records(session.alice.details["kv_apply"])
+        right.merge_records(session.bob.details["kv_apply"])
+        assert left.digest() == right.digest()
+        assert left.get("right-0") == "rv0" and right.get("left-0") == "lv0"
+
+    def test_unknown_d_variant_converges_too(self):
+        left, right = replica_pair()
+        ctx = kv_context(ReconcileOptions(seed=SEED))
+        session = Session(*kv_parties(left, right, None, ctx)).run()
+        assert session.alice.success and session.bob.success
+        assert session.alice.details["difference_bound_used"] >= 1
+        left.merge_records(session.alice.details["kv_apply"])
+        right.merge_records(session.bob.details["kv_apply"])
+        assert left.digest() == right.digest()
+
+    def test_phase_two_bits_are_exact(self):
+        left, right = replica_pair()
+        ctx = kv_context(ReconcileOptions(seed=SEED, difference_bound=16))
+        session = Session(
+            *kv_parties(left, right, 16, ctx), transport=SerializingTransport()
+        ).run()
+        assert session.bob.success
+        by_label = {m.label: m for m in session.transcript.messages}
+        # Bob pulls left's 6 one-sided fingerprints and pushes his own 6
+        # records; alice replies with the 6 pulled records.
+        wanted = sorted(left.fingerprints - right.fingerprints)
+        pushed = right.records_for(tuple(sorted(right.fingerprints - left.fingerprints)))
+        assert by_label["kv pull"].size_bits == pull_request_bits(wanted, pushed)
+        replied = left.records_for(tuple(wanted))
+        assert by_label["kv records"].size_bits == records_bits(replied)
+
+    def test_identical_replicas_exchange_no_records(self):
+        left, right = replica_pair(unique=0)
+        result = repro.reconcile(
+            left, right, protocol="kv", seed=SEED, difference_bound=8
+        )
+        assert result.success
+        assert result.details["kv_apply"] == ()
+        assert result.details["difference_found"] == 0
+
+    def test_undersized_bound_fails_without_touching_replicas(self):
+        left, right = replica_pair(unique=20)
+        before = (left.digest(), right.digest())
+        ctx = kv_context(ReconcileOptions(seed=SEED, difference_bound=2))
+        session = Session(*kv_parties(left, right, 2, ctx)).run()
+        assert not session.bob.success
+        assert session.bob.details["failure"] == "iblt-peel"
+        assert (left.digest(), right.digest()) == before
+
+
+class TestContextValidation:
+    def test_foreign_universe_rejected(self):
+        with pytest.raises(ParameterError, match="2\\*\\*64"):
+            kv_context(ReconcileOptions(seed=SEED, universe_size=1 << 20))
+
+    def test_custom_estimator_factory_rejected(self):
+        with pytest.raises(ParameterError, match="estimator_factory"):
+            kv_context(
+                ReconcileOptions(seed=SEED, estimator_factory=lambda *a: None)
+            )
+
+    def test_session_seed_must_match_replica_seed(self):
+        left, right = replica_pair()
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError, match="seed"):
+            repro.reconcile(
+                left, right, protocol="kv", seed=SEED + 1, difference_bound=16
+            )
+
+
+class TestStoreReuse:
+    def test_repeat_sessions_hit_the_live_sketches(self):
+        """After the first geometry touch, every sketch is served live."""
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        left = VersionedKV(0, seed=SEED, metrics=metrics)
+        right = VersionedKV(1, seed=SEED)
+        for i in range(8):
+            left.put(f"k{i}", f"v{i}")
+        repro.reconcile(left, right, protocol="kv", seed=SEED, difference_bound=8)
+        misses_after_first = metrics.store_misses
+        assert misses_after_first > 0  # the first touch encodes once
+        for _ in range(3):
+            repro.reconcile(
+                left, right, protocol="kv", seed=SEED, difference_bound=8
+            )
+        assert metrics.store_misses == misses_after_first
+        assert metrics.store_hits >= 3

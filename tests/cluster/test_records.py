@@ -1,0 +1,117 @@
+"""KV records: fingerprints, LWW order, bit-exact wire form, state digest."""
+
+import pytest
+
+from repro.cluster import KVRecord, record_bits, record_fingerprint, state_digest
+from repro.cluster.records import FINGERPRINT_UNIVERSE, read_record, write_record
+from repro.comm.bits import BitReader, BitWriter
+from repro.errors import ParameterError
+
+
+def rec(key="user:7", version=3, writer=1, value="hello"):
+    return KVRecord(key=key, version=version, writer=writer, value=value)
+
+
+class TestFingerprints:
+    def test_deterministic_and_in_universe(self):
+        a = record_fingerprint(42, rec())
+        b = record_fingerprint(42, rec())
+        assert a == b
+        assert 0 <= a < FINGERPRINT_UNIVERSE
+
+    def test_every_field_moves_the_element(self):
+        base = record_fingerprint(42, rec())
+        assert record_fingerprint(42, rec(key="user:8")) != base
+        assert record_fingerprint(42, rec(version=4)) != base
+        assert record_fingerprint(42, rec(writer=2)) != base
+        assert record_fingerprint(42, rec(value="other")) != base
+        assert record_fingerprint(43, rec()) != base
+
+    def test_tombstone_differs_from_any_value(self):
+        dead = record_fingerprint(42, rec(value=None))
+        assert dead != record_fingerprint(42, rec(value="hello"))
+        assert dead != record_fingerprint(42, rec(value=""))
+
+
+class TestLWWOrder:
+    def test_higher_version_wins(self):
+        assert rec(version=4).wins_over(rec(version=3))
+        assert not rec(version=3).wins_over(rec(version=4))
+
+    def test_writer_breaks_version_ties(self):
+        assert rec(writer=2).wins_over(rec(writer=1))
+        assert not rec(writer=1).wins_over(rec(writer=2))
+
+    def test_anything_wins_over_absence(self):
+        assert rec().wins_over(None)
+
+    def test_never_wins_over_itself(self):
+        assert not rec().wins_over(rec())
+
+    def test_live_value_outranks_tombstone_at_same_version(self):
+        # Total order even for same (version, writer): deletion loses.
+        assert rec(value="x").wins_over(rec(value=None))
+
+    def test_order_is_total_and_antisymmetric(self):
+        records = [
+            rec(version=v, writer=w, value=val)
+            for v in (1, 2)
+            for w in (0, 1)
+            for val in (None, "a", "b")
+        ]
+        for left in records:
+            for right in records:
+                if left != right:
+                    assert left.wins_over(right) != right.wins_over(left)
+
+
+class TestWireForm:
+    @pytest.mark.parametrize(
+        "record",
+        [
+            rec(),
+            rec(value=None),
+            rec(key="k", value=""),
+            rec(key="naïve-κλειδί", value="végtelen értek"),  # multi-byte UTF-8
+            rec(version=(1 << 64) - 1, writer=(1 << 32) - 1),
+        ],
+    )
+    def test_roundtrip_is_bit_exact(self, record):
+        writer = BitWriter()
+        write_record(writer, record)
+        assert writer.bit_length == record_bits(record)
+        reader = BitReader(writer.getvalue())
+        assert read_record(reader) == record
+
+    def test_json_wire_roundtrip(self):
+        for record in (rec(), rec(value=None)):
+            assert KVRecord.from_wire(record.to_wire()) == record
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(key=""),
+            dict(version=0),
+            dict(version=1 << 64),
+            dict(writer=-1),
+            dict(writer=1 << 32),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            rec(**kwargs)
+
+
+class TestStateDigest:
+    def test_order_independent(self):
+        records = [rec(key=f"k{i}", version=i + 1) for i in range(5)]
+        assert state_digest(records) == state_digest(reversed(records))
+
+    def test_any_field_changes_the_digest(self):
+        base = [rec(), rec(key="other", version=5)]
+        assert state_digest(base) != state_digest([rec(value="x"), base[1]])
+        assert state_digest(base) != state_digest([rec(version=4), base[1]])
+        assert state_digest(base) != state_digest(base[:1])
+
+    def test_tombstone_distinct_from_empty_value(self):
+        assert state_digest([rec(value=None)]) != state_digest([rec(value="")])

@@ -2,6 +2,7 @@
 
 import functools
 
+from repro.cluster import KVRecord, VersionedKV
 from repro.documents import DocumentCollection
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import (
@@ -78,7 +79,27 @@ def _cached_instances():
         DocumentCollection(bob_texts, 3, seed=19),
         dict(difference_bound=200),
     )
+    left, right = _replica_pair(seed=99)
+    instances["kv"] = (left, right, dict(difference_bound=16))
     return instances
+
+
+def _replica_pair(seed):
+    """Two kv replicas: 30 shared records, 6 one-sided each, one tombstone."""
+    left = VersionedKV(0, seed=seed)
+    right = VersionedKV(1, seed=seed)
+    shared = [
+        KVRecord(f"shared-{i}", version=i + 1, writer=0, value=f"common-{i}")
+        for i in range(30)
+    ]
+    left.merge_records(shared)
+    right.merge_records(shared)
+    for i in range(6):
+        left.put(f"left-{i}", f"lv-{i}")
+        right.put(f"right-{i}", f"rv-{i}")
+    # One side deleted a shared key after the other last saw it: d = 14.
+    right.delete("shared-0")
+    return left, right
 
 
 def protocol_instances():

@@ -25,6 +25,7 @@ EXPECTED_PROTOCOLS = {
     "exhaustive",
     "db",
     "documents",
+    "kv",
 }
 
 
@@ -53,6 +54,7 @@ class TestRegistry:
         assert kinds["forest"] == "forest"
         assert kinds["db"] == "table"
         assert kinds["documents"] == "documents"
+        assert kinds["kv"] == "kv"
 
 
 class TestReconcileEntryPoint:

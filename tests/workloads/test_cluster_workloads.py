@@ -1,0 +1,91 @@
+"""Tests for the replicated-KV cluster workload generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import churn_writes, planted_cluster_writes
+from repro.workloads.cluster import SHARED_WRITER
+
+
+class TestPlantedClusterWrites:
+    def test_shapes_and_counts(self):
+        shared, per_node = planted_cluster_writes(4, 50, 6, seed=1)
+        assert len(shared) == 50
+        assert len(per_node) == 4
+        assert all(len(writes) == 6 for writes in per_node)
+
+    def test_shared_records_are_converged_prefix(self):
+        shared, _ = planted_cluster_writes(3, 20, 2, seed=2)
+        for index, record in enumerate(shared):
+            assert record.key == f"shared:{index}"
+            assert record.version == index + 1
+            assert record.writer == SHARED_WRITER
+            assert record.value is not None
+
+    def test_per_node_keys_are_disjoint(self):
+        _, per_node = planted_cluster_writes(6, 10, 8, seed=3)
+        all_keys = [key for writes in per_node for key, _ in writes]
+        assert len(all_keys) == len(set(all_keys))
+        # Delta keys never collide with the shared keyspace either, so the
+        # planted pairwise difference is exactly the two delta sizes.
+        assert all(not key.startswith("shared:") for key in all_keys)
+
+    def test_deterministic(self):
+        assert planted_cluster_writes(4, 30, 5, seed=4) == planted_cluster_writes(
+            4, 30, 5, seed=4
+        )
+
+    def test_seed_sensitivity(self):
+        first, _ = planted_cluster_writes(2, 10, 1, seed=5)
+        second, _ = planted_cluster_writes(2, 10, 1, seed=6)
+        assert [record.value for record in first] != [
+            record.value for record in second
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            planted_cluster_writes(0, 10, 1)
+        with pytest.raises(ParameterError):
+            planted_cluster_writes(2, -1, 1)
+        with pytest.raises(ParameterError):
+            planted_cluster_writes(2, 10, -1)
+
+
+class TestChurnWrites:
+    def test_schedule_shape(self):
+        schedule = churn_writes(5, 4, 9, seed=1)
+        assert len(schedule) == 4
+        assert all(len(batch) == 9 for batch in schedule)
+        for batch in schedule:
+            for node, key, value in batch:
+                assert 0 <= node < 5
+                assert key.startswith("churn:")
+                assert value
+
+    def test_overwrites_hit_shared_keyspace(self):
+        schedule = churn_writes(
+            3, 6, 20, seed=2, shared_keys=10, overwrite_fraction=1.0
+        )
+        keys = {key for batch in schedule for _, key, _ in batch}
+        assert keys <= {f"shared:{index}" for index in range(10)}
+
+    def test_zero_overwrite_fraction_only_fresh_keys(self):
+        schedule = churn_writes(
+            3, 3, 10, seed=3, shared_keys=10, overwrite_fraction=0.0
+        )
+        assert all(
+            key.startswith("churn:") for batch in schedule for _, key, _ in batch
+        )
+
+    def test_deterministic(self):
+        assert churn_writes(4, 5, 7, seed=4, shared_keys=8) == churn_writes(
+            4, 5, 7, seed=4, shared_keys=8
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            churn_writes(0, 1, 1)
+        with pytest.raises(ParameterError):
+            churn_writes(2, -1, 1)
+        with pytest.raises(ParameterError):
+            churn_writes(2, 1, 1, overwrite_fraction=1.5)

@@ -1,0 +1,61 @@
+"""Tests for the binary-table workload generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import flipped_table_pair, random_binary_table
+
+
+class TestRandomBinaryTable:
+    def test_shape(self):
+        table = random_binary_table(20, 32, 0.5, seed=1)
+        assert table.num_rows == 20
+        assert len(table.columns) == 32
+
+    def test_rows_are_distinct(self):
+        table = random_binary_table(40, 24, 0.5, seed=2)
+        assert len(set(table.rows())) == 40
+
+    def test_deterministic(self):
+        first = random_binary_table(15, 16, 0.4, seed=3)
+        second = random_binary_table(15, 16, 0.4, seed=3)
+        assert set(first.rows()) == set(second.rows())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            random_binary_table(10, 16, 0.0, seed=1)
+        with pytest.raises(ParameterError):
+            random_binary_table(10, 16, 1.0, seed=1)
+        with pytest.raises(ParameterError):
+            random_binary_table(0, 16, 0.5, seed=1)
+
+
+class TestFlippedTablePair:
+    def test_planted_flip_count(self):
+        alice, bob, applied = flipped_table_pair(30, 40, 0.5, 8, seed=4)
+        assert applied == 8
+        assert alice.num_rows == bob.num_rows == 30
+        assert alice.columns == bob.columns
+
+    def test_tables_actually_differ(self):
+        alice, bob, applied = flipped_table_pair(30, 40, 0.5, 6, seed=5)
+        assert applied > 0
+        assert set(alice.rows()) != set(bob.rows())
+
+    def test_zero_flips_identical(self):
+        alice, bob, applied = flipped_table_pair(20, 24, 0.5, 0, seed=6)
+        assert applied == 0
+        assert set(alice.rows()) == set(bob.rows())
+
+    def test_max_rows_touched_bound(self):
+        alice, bob, _ = flipped_table_pair(
+            40, 48, 0.5, 10, seed=7, max_rows_touched=2
+        )
+        # Every flip landed on one of at most 2 rows, so at most 2 of
+        # Alice's rows are missing from Bob's table.
+        assert len(set(alice.rows()) - set(bob.rows())) <= 2
+
+    def test_deterministic(self):
+        first = flipped_table_pair(25, 32, 0.5, 5, seed=8)
+        second = flipped_table_pair(25, 32, 0.5, 5, seed=8)
+        assert set(first[1].rows()) == set(second[1].rows())

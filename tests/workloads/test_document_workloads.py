@@ -1,0 +1,67 @@
+"""Tests for the synthetic-corpus workload generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import edited_corpus_pair, synthetic_corpus
+
+
+class TestSyntheticCorpus:
+    def test_shape(self):
+        corpus = synthetic_corpus(25, 12, seed=1)
+        assert len(corpus) == 25
+        assert all(len(document.split()) == 12 for document in corpus)
+
+    def test_deterministic(self):
+        assert synthetic_corpus(10, 8, seed=2) == synthetic_corpus(10, 8, seed=2)
+
+    def test_seed_sensitivity(self):
+        assert synthetic_corpus(10, 8, seed=3) != synthetic_corpus(10, 8, seed=4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            synthetic_corpus(0, 8, seed=1)
+        with pytest.raises(ParameterError):
+            synthetic_corpus(5, 0, seed=1)
+
+
+class TestEditedCorpusPair:
+    def test_planted_structure(self):
+        alice, bob = edited_corpus_pair(30, 20, 3, 2, 4, seed=5)
+        assert len(alice) == 30
+        # Bob is missing exactly the fresh documents.
+        assert len(bob) == 30 - 4
+        shared = set(alice) & set(bob)
+        # Everything in Bob either matches Alice verbatim or is a near
+        # duplicate (an edited copy not present in Alice's corpus).
+        edited = [document for document in bob if document not in set(alice)]
+        assert len(edited) <= 3
+        assert len(shared) >= 30 - 3 - 4
+
+    def test_edits_change_bounded_words(self):
+        alice, bob = edited_corpus_pair(20, 15, 2, 3, 0, seed=6)
+        changed = [
+            (a, b) for a, b in zip(alice, bob) if a != b
+        ]
+        assert 0 < len(changed) <= 2
+        for original, edited in changed:
+            original_words = original.split()
+            edited_words = edited.split()
+            assert len(original_words) == len(edited_words)
+            differing = sum(
+                1 for x, y in zip(original_words, edited_words) if x != y
+            )
+            assert differing <= 3
+
+    def test_zero_edits_and_fresh(self):
+        alice, bob = edited_corpus_pair(12, 10, 0, 0, 0, seed=7)
+        assert alice == bob
+
+    def test_deterministic(self):
+        first = edited_corpus_pair(15, 10, 2, 1, 2, seed=8)
+        second = edited_corpus_pair(15, 10, 2, 1, 2, seed=8)
+        assert first == second
+
+    def test_overcommitted_edits_rejected(self):
+        with pytest.raises(ParameterError):
+            edited_corpus_pair(5, 10, 4, 1, 2, seed=9)

@@ -1,0 +1,93 @@
+"""Tests for the rooted-forest workload generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import forest_instance, perturb_forest, random_forest
+
+
+class TestRandomForest:
+    def test_shape_and_depth_bound(self):
+        forest = random_forest(80, seed=1, max_depth=3)
+        assert forest.num_vertices == 80
+        assert forest.max_depth <= 3
+
+    def test_every_vertex_has_valid_parent(self):
+        forest = random_forest(50, seed=2)
+        for vertex in range(forest.num_vertices):
+            parent = forest.parent(vertex)
+            # Parents are always earlier vertices, so the structure is acyclic
+            # by construction.
+            assert parent is None or 0 <= parent < vertex
+
+    def test_deterministic(self):
+        first = random_forest(40, seed=3, max_depth=4)
+        second = random_forest(40, seed=3, max_depth=4)
+        assert [first.parent(v) for v in range(40)] == [
+            second.parent(v) for v in range(40)
+        ]
+
+    def test_seed_sensitivity(self):
+        first = random_forest(40, seed=4)
+        second = random_forest(40, seed=5)
+        assert [first.parent(v) for v in range(40)] != [
+            second.parent(v) for v in range(40)
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            random_forest(0, seed=1)
+        with pytest.raises(ParameterError):
+            random_forest(10, seed=1, max_depth=0)
+
+
+class TestPerturbForest:
+    def test_result_is_still_a_forest(self):
+        base = random_forest(60, seed=6, max_depth=4)
+        edited, applied = perturb_forest(base, 5, seed=7)
+        assert 0 <= applied <= 5
+        for vertex in range(edited.num_vertices):
+            # Walking to the root must terminate: no cycles were introduced.
+            seen = set()
+            current = vertex
+            while current is not None:
+                assert current not in seen
+                seen.add(current)
+                current = edited.parent(current)
+
+    def test_zero_edits_is_identity(self):
+        base = random_forest(30, seed=8)
+        edited, applied = perturb_forest(base, 0, seed=9)
+        assert applied == 0
+        assert [edited.parent(v) for v in range(30)] == [
+            base.parent(v) for v in range(30)
+        ]
+
+    def test_original_untouched(self):
+        base = random_forest(30, seed=10)
+        before = [base.parent(v) for v in range(30)]
+        perturb_forest(base, 6, seed=11)
+        assert [base.parent(v) for v in range(30)] == before
+
+    def test_negative_edits_rejected(self):
+        base = random_forest(10, seed=12)
+        with pytest.raises(ParameterError):
+            perturb_forest(base, -1, seed=13)
+
+
+class TestForestInstance:
+    def test_instance_fields(self):
+        instance = forest_instance(100, 4, seed=14, max_depth=4)
+        assert instance.alice.num_vertices == 100
+        assert instance.bob.num_vertices == 100
+        assert 0 <= instance.num_edits <= 4
+        assert instance.max_depth == max(
+            instance.alice.max_depth, instance.bob.max_depth
+        )
+
+    def test_deterministic(self):
+        first = forest_instance(50, 3, seed=15)
+        second = forest_instance(50, 3, seed=15)
+        assert [first.bob.parent(v) for v in range(50)] == [
+            second.bob.parent(v) for v in range(50)
+        ]
